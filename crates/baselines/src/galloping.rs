@@ -1,0 +1,138 @@
+//! Galloping (exponential) search intersection — Bentley & Yao, the
+//! paper's `scalarGalloping` baseline.
+//!
+//! Each element of the smaller set is located in the larger set by doubling
+//! the probe distance until overshoot, then binary-searching the bracketed
+//! window: `O(n1 log(n2/n1))`, the method of choice when `n1 << n2`
+//! (Table I, Fig. 11).
+
+/// Find the first index in `b[lo..]` with `b[idx] >= x` by galloping.
+#[inline]
+fn gallop_lower_bound(b: &[u32], mut lo: usize, x: u32) -> usize {
+    if lo >= b.len() || b[lo] >= x {
+        return lo;
+    }
+    // Exponential phase: invariant b[lo] < x.
+    let mut step = 1usize;
+    while lo + step < b.len() && b[lo + step] < x {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(b.len());
+    // Binary phase over (lo, hi].
+    lo + 1 + b[lo + 1..hi].partition_point(|&v| v < x)
+}
+
+/// Intersection count via galloping: every element of the smaller input is
+/// searched in the larger.
+pub fn count(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    let mut r = 0usize;
+    for &x in small {
+        lo = gallop_lower_bound(large, lo, x);
+        if lo == large.len() {
+            break;
+        }
+        r += (large[lo] == x) as usize;
+    }
+    r
+}
+
+/// Materializing galloping intersection (ascending output).
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    for &x in small {
+        lo = gallop_lower_bound(large, lo, x);
+        if lo == large.len() {
+            break;
+        }
+        if large[lo] == x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// k-way galloping count (Table I): each element of the smallest list is
+/// the anchor, searched in every other list —
+/// `n1 (log n2 + … + log nk)`.
+pub fn kway_count(lists: &[&[u32]]) -> usize {
+    assert!(!lists.is_empty(), "k-way intersection of zero lists");
+    let anchor_idx = (0..lists.len())
+        .min_by_key(|&i| lists[i].len())
+        .expect("non-empty");
+    let anchor = lists[anchor_idx];
+    let mut cursors = vec![0usize; lists.len()];
+    let mut r = 0usize;
+    'outer: for &x in anchor {
+        for (j, list) in lists.iter().enumerate() {
+            if j == anchor_idx {
+                continue;
+            }
+            let lo = gallop_lower_bound(list, cursors[j], x);
+            cursors[j] = lo;
+            if lo == list.len() {
+                break 'outer;
+            }
+            if list[lo] != x {
+                continue 'outer;
+            }
+        }
+        r += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_brackets_correctly() {
+        let b = [2u32, 4, 6, 8, 10, 12, 14];
+        assert_eq!(gallop_lower_bound(&b, 0, 1), 0);
+        assert_eq!(gallop_lower_bound(&b, 0, 2), 0);
+        assert_eq!(gallop_lower_bound(&b, 0, 7), 3);
+        assert_eq!(gallop_lower_bound(&b, 0, 14), 6);
+        assert_eq!(gallop_lower_bound(&b, 0, 15), 7);
+        assert_eq!(gallop_lower_bound(&b, 3, 9), 4);
+    }
+
+    #[test]
+    fn count_matches_merge() {
+        let a: Vec<u32> = (0..200).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..600).map(|i| i * 2).collect();
+        let want = crate::merge::scalar_count(&a, &b);
+        assert_eq!(count(&a, &b), want);
+        assert_eq!(count(&b, &a), want);
+        assert_eq!(intersect(&a, &b), crate::merge::intersect(&a, &b));
+    }
+
+    #[test]
+    fn skewed_inputs() {
+        let small = [10u32, 500, 90_000];
+        let large: Vec<u32> = (0..100_000).collect();
+        assert_eq!(count(&small, &large), 3);
+        assert_eq!(count(&large, &small), 3);
+    }
+
+    #[test]
+    fn kway_matches_pairwise() {
+        let a: Vec<u32> = (0..300).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..300).map(|i| i * 3).collect();
+        let c: Vec<u32> = (0..300).map(|i| i * 5).collect();
+        let ab = crate::merge::intersect(&a, &b);
+        let want = crate::merge::scalar_count(&ab, &c);
+        assert_eq!(kway_count(&[&a, &b, &c]), want);
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(count(&[], &[1, 2, 3]), 0);
+        assert_eq!(count(&[1, 2, 3], &[]), 0);
+        assert_eq!(kway_count(&[&[1u32, 2][..], &[][..]]), 0);
+    }
+}

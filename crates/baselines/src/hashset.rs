@@ -1,0 +1,182 @@
+//! Hash-based intersection (paper §II-A): build a hash table over one set,
+//! probe with the other — `O(min(n1, n2))`, the complexity reference for
+//! the skew experiment (Fig. 11).
+//!
+//! A purpose-built open-addressing table (linear probing, power-of-two
+//! capacity, multiplicative hashing) rather than `std::collections::HashSet`
+//! so the probe path is a handful of instructions, as any serious
+//! hash-intersection baseline would use.
+
+/// Slot sentinel: `u32::MAX` marks an empty slot. `u32::MAX` itself is
+/// stored out of band (the FESIA element domain excludes it anyway, but the
+/// baseline stays correct for the full `u32` range).
+const EMPTY: u32 = u32::MAX;
+
+/// An immutable open-addressing hash set over `u32` keys.
+#[derive(Debug, Clone)]
+pub struct U32HashSet {
+    slots: Vec<u32>,
+    mask: usize,
+    has_max: bool,
+    len: usize,
+}
+
+#[inline]
+fn mix(x: u32) -> u32 {
+    // fmix32 (MurmurHash3 finalizer).
+    let mut x = x ^ (x >> 16);
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^ (x >> 16)
+}
+
+impl U32HashSet {
+    /// Build from a duplicate-free slice at ~50% load factor.
+    pub fn build(keys: &[u32]) -> U32HashSet {
+        let cap = (keys.len() * 2).next_power_of_two().max(8);
+        let mut slots = vec![EMPTY; cap];
+        let mask = cap - 1;
+        let mut has_max = false;
+        for &k in keys {
+            if k == EMPTY {
+                has_max = true;
+                continue;
+            }
+            let mut idx = mix(k) as usize & mask;
+            while slots[idx] != EMPTY {
+                debug_assert_ne!(slots[idx], k, "duplicate key {k}");
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = k;
+        }
+        U32HashSet {
+            slots,
+            mask,
+            has_max,
+            len: keys.len(),
+        }
+    }
+
+    /// Number of keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership probe.
+    #[inline]
+    pub fn contains(&self, k: u32) -> bool {
+        if k == EMPTY {
+            return self.has_max;
+        }
+        let mut idx = mix(k) as usize & self.mask;
+        loop {
+            let s = self.slots[idx];
+            if s == k {
+                return true;
+            }
+            if s == EMPTY {
+                return false;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+}
+
+/// Intersection count: builds the table over the smaller input and probes
+/// with the larger, the classical end-to-end scheme. When the build phase
+/// is amortized offline (as in the paper's skew experiment), use
+/// [`count_prebuilt`] and probe with the *smaller* side instead — that is
+/// the `O(min(n1, n2))` configuration of Table I.
+pub fn count(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let table = U32HashSet::build(small);
+    large.iter().filter(|&&x| table.contains(x)).count()
+}
+
+/// Probe `probe` against a prebuilt table (build cost excluded — the
+/// offline/online split used in the paper's skew experiment).
+pub fn count_prebuilt(probe: &[u32], table: &U32HashSet) -> usize {
+    probe.iter().filter(|&&x| table.contains(x)).count()
+}
+
+/// Materializing variant.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let table = U32HashSet::build(small);
+    let mut out: Vec<u32> = large.iter().copied().filter(|&x| table.contains(x)).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let keys = [1u32, 5, 9, 100, 1000];
+        let t = U32HashSet::build(&keys);
+        assert_eq!(t.len(), 5);
+        for &k in &keys {
+            assert!(t.contains(k));
+        }
+        for k in [0u32, 2, 99, 1001] {
+            assert!(!t.contains(k));
+        }
+    }
+
+    #[test]
+    fn max_value_is_handled() {
+        let t = U32HashSet::build(&[7, u32::MAX]);
+        assert!(t.contains(u32::MAX));
+        assert!(t.contains(7));
+        let t2 = U32HashSet::build(&[7]);
+        assert!(!t2.contains(u32::MAX));
+    }
+
+    #[test]
+    fn count_matches_merge() {
+        let a: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..1000).map(|i| i * 5).collect();
+        let want = crate::merge::scalar_count(&a, &b);
+        assert_eq!(count(&a, &b), want);
+        assert_eq!(intersect(&a, &b), crate::merge::intersect(&a, &b));
+    }
+
+    #[test]
+    fn prebuilt_probe_agrees() {
+        let small: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        let large: Vec<u32> = (0..5000).collect();
+        let t = U32HashSet::build(&large);
+        assert_eq!(
+            count_prebuilt(&small, &t),
+            crate::merge::scalar_count(&small, &large)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(count(&[], &[1, 2]), 0);
+        assert_eq!(count(&[1, 2], &[]), 0);
+        assert!(U32HashSet::build(&[]).is_empty());
+    }
+
+    #[test]
+    fn collision_chains_resolve() {
+        // Force a tiny table with long probe chains.
+        let keys: Vec<u32> = (0..6).collect();
+        let t = U32HashSet::build(&keys);
+        for &k in &keys {
+            assert!(t.contains(k));
+        }
+        assert!(!t.contains(6));
+    }
+}

@@ -1,0 +1,231 @@
+//! Hiera — Schlegel, Willhalm & Lehner, "Fast sorted-set intersection
+//! using SIMD instructions" (the paper's [3]).
+//!
+//! Hiera exploits the SSE4.2 **STTNI** string-comparison instruction
+//! (`pcmpestrm`), which performs an all-pairs equality comparison between
+//! two vectors of up to eight 16-bit values in a single instruction.
+//! Because STTNI only handles 8/16-bit lanes, 32-bit sets are stored
+//! *hierarchically*: elements are grouped by their upper 16 bits, and each
+//! group keeps a sorted list of lower 16-bit halves. Intersection merges
+//! the (few) group headers scalar-style and runs STTNI block comparisons
+//! on the lower-half lists of matching groups.
+//!
+//! The paper's Table I notes Hiera's two weaknesses, both reproduced here:
+//! it degrades to a scalar merge when the data is sparse (every group
+//! holds ~1 element, so the 8-way comparison has nothing to chew on), and
+//! it is not portable to CPUs without STTNI (we fall back to scalar).
+
+use fesia_simd::SimdLevel;
+
+/// A set in Hiera's hierarchical representation.
+#[derive(Debug, Clone)]
+pub struct HieraSet {
+    /// Sorted upper-16-bit group keys.
+    groups: Vec<u16>,
+    /// Start of each group's run in `lows` (length `groups.len() + 1`).
+    offsets: Vec<u32>,
+    /// Lower 16-bit halves, grouped by `groups`, sorted within a group.
+    lows: Vec<u16>,
+}
+
+impl HieraSet {
+    /// Build from a sorted, duplicate-free slice.
+    pub fn build(sorted: &[u32]) -> HieraSet {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        let mut groups = Vec::new();
+        let mut offsets = Vec::new(); // start of each group, plus total
+        let mut lows = Vec::with_capacity(sorted.len());
+        for &x in sorted {
+            let hi = (x >> 16) as u16;
+            if groups.last() != Some(&hi) {
+                groups.push(hi);
+                offsets.push(lows.len() as u32);
+            }
+            lows.push(x as u16);
+        }
+        offsets.push(lows.len() as u32);
+        HieraSet {
+            groups,
+            offsets,
+            lows,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lows.is_empty()
+    }
+
+    /// Heap bytes of the hierarchical encoding.
+    pub fn memory_bytes(&self) -> usize {
+        self.groups.len() * 2 + self.offsets.len() * 4 + self.lows.len() * 2
+    }
+
+    #[inline]
+    fn group_lows(&self, gi: usize) -> &[u16] {
+        &self.lows[self.offsets[gi] as usize..self.offsets[gi + 1] as usize]
+    }
+}
+
+/// Scalar merge over two sorted `u16` runs.
+fn merge_u16(a: &[u16], b: &[u16]) -> usize {
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let x = a[i];
+        let y = b[j];
+        r += (x == y) as usize;
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    r
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// STTNI block intersection of two sorted `u16` runs.
+    ///
+    /// Advances 8-element blocks as in any block merge; each block pair is
+    /// compared all-pairs by one `pcmpestrm` (`_SIDD_UWORD_OPS |
+    /// _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK`).
+    ///
+    /// # Safety
+    /// Requires SSE4.2.
+    #[target_feature(enable = "sse4.2")]
+    pub unsafe fn sttni_count(a: &[u16], b: &[u16]) -> usize {
+        const V: usize = 8;
+        let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+        let (na, nb) = (a.len(), b.len());
+        while i + V <= na && j + V <= nb {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            // For each 16-bit lane of vb: does it equal ANY lane of va?
+            let mask = _mm_cmpestrm::<{ _SIDD_UWORD_OPS | _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK }>(
+                va, V as i32, vb, V as i32,
+            );
+            r += (_mm_cvtsi128_si32(mask) as u32).count_ones() as usize;
+            let amax = *a.get_unchecked(i + V - 1);
+            let bmax = *b.get_unchecked(j + V - 1);
+            i += if amax <= bmax { V } else { 0 };
+            j += if bmax <= amax { V } else { 0 };
+        }
+        r + super::merge_u16(&a[i..], &b[j..])
+    }
+}
+
+/// Intersection count of two Hiera sets.
+pub fn count(a: &HieraSet, b: &HieraSet) -> usize {
+    let use_sttni = SimdLevel::Sse.is_available() && cfg!(target_arch = "x86_64");
+    let (mut gi, mut gj, mut r) = (0usize, 0usize, 0usize);
+    while gi < a.groups.len() && gj < b.groups.len() {
+        match a.groups[gi].cmp(&b.groups[gj]) {
+            std::cmp::Ordering::Less => gi += 1,
+            std::cmp::Ordering::Greater => gj += 1,
+            std::cmp::Ordering::Equal => {
+                let la = a.group_lows(gi);
+                let lb = b.group_lows(gj);
+                r += if use_sttni {
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: SSE4.2 availability checked above.
+                    unsafe {
+                        x86::sttni_count(la, lb)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    merge_u16(la, lb)
+                } else {
+                    merge_u16(la, lb)
+                };
+                gi += 1;
+                gj += 1;
+            }
+        }
+    }
+    r
+}
+
+/// One-shot convenience: build both hierarchies and count (build included).
+pub fn count_slices(a: &[u32], b: &[u32]) -> usize {
+    count(&HieraSet::build(a), &HieraSet::build(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn hierarchy_round_trips() {
+        let v = vec![1u32, 2, 65_535, 65_536, 65_540, 131_072, 4_000_000_000];
+        let h = HieraSet::build(&v);
+        assert_eq!(h.len(), v.len());
+        let mut rebuilt = Vec::new();
+        for (gi, &g) in h.groups.iter().enumerate() {
+            for &lo in h.group_lows(gi) {
+                rebuilt.push(((g as u32) << 16) | lo as u32);
+            }
+        }
+        assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn dense_clusters_use_sttni_path_correctly() {
+        // Many elements share upper-16 groups -> big group lists.
+        let a: Vec<u32> = (0..2_000).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..2_000).map(|i| i * 5).collect();
+        assert_eq!(count_slices(&a, &b), crate::merge::scalar_count(&a, &b));
+    }
+
+    #[test]
+    fn sparse_sets_degrade_gracefully() {
+        // One element per group: the scalar-degradation regime.
+        let a: Vec<u32> = (0..500).map(|i| i << 16).collect();
+        let b: Vec<u32> = (0..500).map(|i| (i << 16) | 1).collect();
+        assert_eq!(count_slices(&a, &b), 0);
+        let c: Vec<u32> = (0..500).step_by(2).map(|i| i << 16).collect();
+        assert_eq!(count_slices(&a, &c), 250);
+    }
+
+    #[test]
+    fn random_workloads_match_merge() {
+        for seed in 0..4u64 {
+            let a = gen(3_000, seed * 2 + 1, 500_000);
+            let b = gen(3_000, seed * 2 + 2, 500_000);
+            assert_eq!(
+                count_slices(&a, &b),
+                crate::merge::scalar_count(&a, &b),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_boundary_values() {
+        let a = vec![0x0000_FFFFu32, 0x0001_0000, 0x0001_FFFF, 0x0002_0000];
+        let b = vec![0x0000_FFFFu32, 0x0001_FFFF, 0x0002_0001];
+        assert_eq!(count_slices(&a, &b), 2);
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(count_slices(&[], &[1, 2]), 0);
+        assert_eq!(count_slices(&[1, 2], &[]), 0);
+        assert!(HieraSet::build(&[]).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Merge-based scalar set intersection (paper §II-A, Listing 1).
+//!
+//! Two variants are provided:
+//!
+//! * [`scalar_count`] — the textbook two-pointer merge with branches,
+//!   exactly Listing 1 of the paper;
+//! * [`branchless_count`] — the paper's *Scalar* baseline (§VII-A): the
+//!   same merge with the `if/else` ladder replaced by arithmetic pointer
+//!   advances that compile to conditional moves, removing the
+//!   data-dependent branches that dominate the textbook version's cost.
+
+/// Textbook merge intersection count (Listing 1).
+pub fn scalar_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            i += 1;
+        } else if a[i] > b[j] {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+            r += 1;
+        }
+    }
+    r
+}
+
+/// Branch-free merge intersection count (the paper's optimized `Scalar`).
+pub fn branchless_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    let (na, nb) = (a.len(), b.len());
+    while i < na && j < nb {
+        let x = a[i];
+        let y = b[j];
+        r += (x == y) as usize;
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    r
+}
+
+/// Materializing merge intersection.
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_agree() {
+        let a = [1u32, 3, 5, 7, 9, 11];
+        let b = [2u32, 3, 4, 7, 10, 11, 12];
+        assert_eq!(scalar_count(&a, &b), 3);
+        assert_eq!(branchless_count(&a, &b), 3);
+        assert_eq!(intersect(&a, &b), vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(scalar_count(&[], &[1, 2]), 0);
+        assert_eq!(branchless_count(&[1, 2], &[]), 0);
+        assert_eq!(scalar_count(&[5], &[5]), 1);
+        assert_eq!(branchless_count(&[5], &[5]), 1);
+        assert!(intersect(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_and_identical() {
+        let a: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..100).map(|i| i * 2 + 1).collect();
+        assert_eq!(scalar_count(&a, &b), 0);
+        assert_eq!(branchless_count(&a, &a), 100);
+        assert_eq!(intersect(&a, &a), a);
+    }
+}

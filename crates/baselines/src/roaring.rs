@@ -1,0 +1,262 @@
+//! A compact Roaring-style bitmap (Lemire et al., "Roaring bitmaps:
+//! implementation of an optimized software library" — the paper's [16]).
+//!
+//! Values are partitioned by their upper 16 bits into *containers* of the
+//! lower 16 bits; sparse containers store a sorted `u16` array, dense ones
+//! a 1024-word bitmap (the classical 4096-element threshold). Intersection
+//! walks the (sorted) container keys and intersects container pairs
+//! case-by-case: array×array merge, array×bitmap probes, bitmap×bitmap
+//! word ANDs with popcount.
+//!
+//! Included as the representative *compressed bitmap* baseline from the
+//! paper's related work (§II-A): like FESIA it exploits word-parallel ANDs
+//! on dense data, but it has no selectivity-proportional filtering step —
+//! dense×dense intersections always sweep all 1024 words per container.
+
+/// Container density threshold: at most this many values as a sorted array.
+const ARRAY_MAX: usize = 4096;
+
+/// Words per bitmap container (`65536 / 64`).
+const BITMAP_WORDS: usize = 1024;
+
+#[derive(Debug, Clone)]
+enum Container {
+    /// Sorted, duplicate-free low-16 values (`len <= ARRAY_MAX`).
+    Array(Vec<u16>),
+    /// 65536-bit bitmap plus its cardinality.
+    Bitmap(Box<[u64; BITMAP_WORDS]>, u32),
+}
+
+impl Container {
+    fn from_sorted_lows(lows: &[u16]) -> Container {
+        if lows.len() <= ARRAY_MAX {
+            Container::Array(lows.to_vec())
+        } else {
+            let mut words = Box::new([0u64; BITMAP_WORDS]);
+            for &v in lows {
+                words[(v >> 6) as usize] |= 1 << (v & 63);
+            }
+            Container::Bitmap(words, lows.len() as u32)
+        }
+    }
+
+    fn cardinality(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap(_, c) => *c as usize,
+        }
+    }
+
+    fn contains(&self, v: u16) -> bool {
+        match self {
+            Container::Array(a) => a.binary_search(&v).is_ok(),
+            Container::Bitmap(w, _) => w[(v >> 6) as usize] & (1 << (v & 63)) != 0,
+        }
+    }
+
+    /// |self ∩ other|.
+    fn intersect_count(&self, other: &Container) -> usize {
+        match (self, other) {
+            (Container::Array(a), Container::Array(b)) => {
+                let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+                while i < a.len() && j < b.len() {
+                    let (x, y) = (a[i], b[j]);
+                    r += (x == y) as usize;
+                    i += (x <= y) as usize;
+                    j += (y <= x) as usize;
+                }
+                r
+            }
+            (Container::Array(a), bm @ Container::Bitmap(..)) => {
+                a.iter().filter(|&&v| bm.contains(v)).count()
+            }
+            (bm @ Container::Bitmap(..), Container::Array(b)) => {
+                b.iter().filter(|&&v| bm.contains(v)).count()
+            }
+            (Container::Bitmap(wa, _), Container::Bitmap(wb, _)) => wa
+                .iter()
+                .zip(wb.iter())
+                .map(|(x, y)| (x & y).count_ones() as usize)
+                .sum(),
+        }
+    }
+}
+
+/// A Roaring-style set of `u32` values.
+#[derive(Debug, Clone)]
+pub struct RoaringSet {
+    keys: Vec<u16>,
+    containers: Vec<Container>,
+    len: usize,
+}
+
+impl RoaringSet {
+    /// Build from a sorted, duplicate-free slice.
+    pub fn build(sorted: &[u32]) -> RoaringSet {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        let mut keys = Vec::new();
+        let mut containers = Vec::new();
+        let mut lows: Vec<u16> = Vec::new();
+        let mut current: Option<u16> = None;
+        for &x in sorted {
+            let hi = (x >> 16) as u16;
+            if current != Some(hi) {
+                if let Some(k) = current {
+                    keys.push(k);
+                    containers.push(Container::from_sorted_lows(&lows));
+                    lows.clear();
+                }
+                current = Some(hi);
+            }
+            lows.push(x as u16);
+        }
+        if let Some(k) = current {
+            keys.push(k);
+            containers.push(Container::from_sorted_lows(&lows));
+        }
+        RoaringSet {
+            keys,
+            containers,
+            len: sorted.len(),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u32) -> bool {
+        match self.keys.binary_search(&((x >> 16) as u16)) {
+            Ok(ci) => self.containers[ci].contains(x as u16),
+            Err(_) => false,
+        }
+    }
+
+    /// Heap bytes of the encoding.
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.len() * 2
+            + self
+                .containers
+                .iter()
+                .map(|c| match c {
+                    Container::Array(v) => v.len() * 2,
+                    Container::Bitmap(..) => BITMAP_WORDS * 8,
+                })
+                .sum::<usize>()
+    }
+
+    /// Count of dense (bitmap) containers — exposed for tests/inspection.
+    pub fn num_bitmap_containers(&self) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| matches!(c, Container::Bitmap(..)))
+            .count()
+    }
+
+    /// Largest container cardinality — exposed for tests/inspection.
+    pub fn max_container_cardinality(&self) -> usize {
+        self.containers.iter().map(Container::cardinality).max().unwrap_or(0)
+    }
+}
+
+/// |A ∩ B| over two Roaring sets: merge the container key lists, intersect
+/// matching containers.
+pub fn count(a: &RoaringSet, b: &RoaringSet) -> usize {
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    while i < a.keys.len() && j < b.keys.len() {
+        match a.keys[i].cmp(&b.keys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                r += a.containers[i].intersect_count(&b.containers[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    r
+}
+
+/// One-shot convenience: build both encodings and count (build included).
+pub fn count_slices(a: &[u32], b: &[u32]) -> usize {
+    count(&RoaringSet::build(a), &RoaringSet::build(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn build_selects_container_kinds() {
+        // Dense run in one 64K chunk -> bitmap container; a few scattered
+        // values elsewhere -> array containers.
+        let mut v: Vec<u32> = (0..5_000u32).collect(); // > ARRAY_MAX in chunk 0
+        v.extend([100_000u32, 200_000, 300_000]);
+        let s = RoaringSet::build(&v);
+        assert_eq!(s.len(), v.len());
+        assert_eq!(s.num_bitmap_containers(), 1);
+        assert_eq!(s.max_container_cardinality(), 5_000);
+        for &x in &v {
+            assert!(s.contains(x));
+        }
+        assert!(!s.contains(5_001));
+        assert!(!s.contains(100_001));
+    }
+
+    #[test]
+    fn all_container_pairings_count_correctly() {
+        // array x array
+        let a1 = gen(1_000, 1, 60_000);
+        let b1 = gen(1_000, 2, 60_000);
+        assert_eq!(count_slices(&a1, &b1), crate::merge::scalar_count(&a1, &b1));
+        // bitmap x bitmap (dense in the same chunk)
+        let a2: Vec<u32> = (0..30_000).map(|i| i * 2).collect();
+        let b2: Vec<u32> = (0..20_000).map(|i| i * 3).collect();
+        assert_eq!(count_slices(&a2, &b2), crate::merge::scalar_count(&a2, &b2));
+        // array x bitmap
+        let a3 = gen(500, 3, 65_000);
+        assert_eq!(count_slices(&a3, &a2), crate::merge::scalar_count(&a3, &a2));
+    }
+
+    #[test]
+    fn memory_is_compact_for_dense_data() {
+        let dense: Vec<u32> = (0..60_000).collect();
+        let s = RoaringSet::build(&dense);
+        // One bitmap container (8 KiB) beats 240 KB of raw u32s.
+        assert!(s.memory_bytes() < 10_000, "{} bytes", s.memory_bytes());
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        let v = vec![0xFFFFu32, 0x1_0000, 0x1_FFFF, 0x2_0000];
+        let w = vec![0xFFFFu32, 0x1_FFFF, 0x2_0001];
+        assert_eq!(count_slices(&v, &w), 2);
+    }
+
+    #[test]
+    fn empties_and_disjoint_keys() {
+        assert_eq!(count_slices(&[], &[1, 2]), 0);
+        let a = vec![1u32, 2, 3];
+        let b = vec![0x10_0000u32, 0x10_0001];
+        assert_eq!(count_slices(&a, &b), 0);
+    }
+}

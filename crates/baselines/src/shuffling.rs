@@ -1,0 +1,242 @@
+//! Shuffling — SIMD block merge with cyclic-rotation all-pairs compares
+//! (Katsov's "fast intersection of sorted lists using SSE", the paper's
+//! [13] and its `Shuffling` baseline; the same scheme as Schlegel et al.).
+//!
+//! Both inputs advance in blocks of `V` elements. For each block pair, all
+//! `V x V` element pairs are compared by rotating one vector `V` times
+//! (`_mm_shuffle_epi32` cyclic permutations) and OR-ing the equality masks;
+//! then whichever block has the smaller last element advances (both on a
+//! tie). Complexity is `O(n1 + n2)` like any merge, but each step retires
+//! `V` elements.
+
+use fesia_simd::SimdLevel;
+
+/// Scalar reference with the same blockwise structure (also the non-x86
+/// fallback): compare `V x V` blocks all-pairs, advance by last elements.
+fn count_scalar_blocked(a: &[u32], b: &[u32], v: usize) -> usize {
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    let (na, nb) = (a.len(), b.len());
+    while i + v <= na && j + v <= nb {
+        let ab = &a[i..i + v];
+        let bb = &b[j..j + v];
+        for &x in ab {
+            for &y in bb {
+                r += (x == y) as usize;
+            }
+        }
+        let amax = a[i + v - 1];
+        let bmax = b[j + v - 1];
+        i += if amax <= bmax { v } else { 0 };
+        j += if bmax <= amax { v } else { 0 };
+    }
+    // Remainders (one side has fewer than `v` elements left) finish with a
+    // scalar merge; the block-advance rule guarantees no retired element
+    // can match anything at or beyond the surviving cursors.
+    r + crate::merge::branchless_count(&a[i..], &b[j..])
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// SSE block loop: 4-element blocks, 4 cyclic rotations.
+    ///
+    /// # Safety
+    /// Requires SSE4.2.
+    #[target_feature(enable = "sse4.2")]
+    pub unsafe fn count_sse(a: &[u32], b: &[u32]) -> (usize, usize, usize) {
+        const V: usize = 4;
+        let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+        let (na, nb) = (a.len(), b.len());
+        while i + V <= na && j + V <= nb {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(j) as *const __m128i);
+            let c0 = _mm_cmpeq_epi32(va, vb);
+            let c1 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b00_11_10_01));
+            let c2 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b01_00_11_10));
+            let c3 = _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0b10_01_00_11));
+            let m = _mm_or_si128(_mm_or_si128(c0, c1), _mm_or_si128(c2, c3));
+            r += (_mm_movemask_ps(_mm_castsi128_ps(m)) as u32).count_ones() as usize;
+            let amax = *a.get_unchecked(i + V - 1);
+            let bmax = *b.get_unchecked(j + V - 1);
+            i += if amax <= bmax { V } else { 0 };
+            j += if bmax <= amax { V } else { 0 };
+        }
+        (i, j, r)
+    }
+
+    /// AVX-512 block loop: 16-element blocks, 16 cyclic rotations via
+    /// `_mm512_permutexvar_epi32` — the same all-pairs network VP2INTERSECT
+    /// emulations use on machines without that instruction.
+    ///
+    /// # Safety
+    /// Requires AVX-512 F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn count_avx512(a: &[u32], b: &[u32]) -> (usize, usize, usize) {
+        const V: usize = 16;
+        let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+        let (na, nb) = (a.len(), b.len());
+        let mut rots = [_mm512_setzero_si512(); V];
+        for (k, rot) in rots.iter_mut().enumerate() {
+            let idx: [i32; 16] = std::array::from_fn(|l| ((l + k) % V) as i32);
+            *rot = _mm512_loadu_si512(idx.as_ptr() as *const _);
+        }
+        while i + V <= na && j + V <= nb {
+            let va = _mm512_loadu_si512(a.as_ptr().add(i) as *const _);
+            let vb = _mm512_loadu_si512(b.as_ptr().add(j) as *const _);
+            let mut m: __mmask16 = 0;
+            for rot in rots {
+                let rb = _mm512_permutexvar_epi32(rot, vb);
+                m |= _mm512_cmpeq_epi32_mask(va, rb);
+            }
+            r += (m as u32).count_ones() as usize;
+            let amax = *a.get_unchecked(i + V - 1);
+            let bmax = *b.get_unchecked(j + V - 1);
+            i += if amax <= bmax { V } else { 0 };
+            j += if bmax <= amax { V } else { 0 };
+        }
+        (i, j, r)
+    }
+
+    /// AVX2 block loop: 8-element blocks, 8 cyclic rotations via
+    /// `_mm256_permutevar8x32_epi32`.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn count_avx2(a: &[u32], b: &[u32]) -> (usize, usize, usize) {
+        const V: usize = 8;
+        let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+        let (na, nb) = (a.len(), b.len());
+        // Cyclic rotation index vectors: rotation k maps lane l -> l + k.
+        let mut rots = [_mm256_setzero_si256(); V];
+        for (k, rot) in rots.iter_mut().enumerate() {
+            let idx: [i32; 8] = std::array::from_fn(|l| ((l + k) % V) as i32);
+            *rot = _mm256_loadu_si256(idx.as_ptr() as *const __m256i);
+        }
+        while i + V <= na && j + V <= nb {
+            let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+            let mut m = _mm256_setzero_si256();
+            for rot in rots {
+                let rb = _mm256_permutevar8x32_epi32(vb, rot);
+                m = _mm256_or_si256(m, _mm256_cmpeq_epi32(va, rb));
+            }
+            r += (_mm256_movemask_ps(_mm256_castsi256_ps(m)) as u32).count_ones() as usize;
+            let amax = *a.get_unchecked(i + V - 1);
+            let bmax = *b.get_unchecked(j + V - 1);
+            i += if amax <= bmax { V } else { 0 };
+            j += if bmax <= amax { V } else { 0 };
+        }
+        (i, j, r)
+    }
+}
+
+fn count_with_level(a: &[u32], b: &[u32], level: SimdLevel) -> usize {
+    match level {
+        SimdLevel::Scalar => count_scalar_blocked(a, b, 4),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse => {
+            // SAFETY: availability checked by callers.
+            let (i, j, r) = unsafe { x86::count_sse(a, b) };
+            r + crate::merge::branchless_count(&a[i..], &b[j..])
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            let (i, j, r) = unsafe { x86::count_avx2(a, b) };
+            r + crate::merge::branchless_count(&a[i..], &b[j..])
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => {
+            let (i, j, r) = unsafe { x86::count_avx512(a, b) };
+            r + crate::merge::branchless_count(&a[i..], &b[j..])
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => count_scalar_blocked(a, b, 4),
+    }
+}
+
+/// Intersection count at the widest available ISA.
+pub fn count(a: &[u32], b: &[u32]) -> usize {
+    count_with_level(a, b, SimdLevel::detect())
+}
+
+/// Intersection count at an explicit ISA level.
+///
+/// # Panics
+/// Panics if `level` is unavailable on this CPU.
+pub fn count_at(a: &[u32], b: &[u32], level: SimdLevel) -> usize {
+    assert!(level.is_available(), "SIMD level {level} not available");
+    count_with_level(a, b, level)
+}
+
+/// Materializing variant (scalar block extraction after the SIMD filter is
+/// not on the benched path, so a plain merge is used).
+pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    crate::merge::intersect(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn scalar_blocked_matches_merge() {
+        let a = gen(1000, 3, 20_000);
+        let b = gen(1200, 11, 20_000);
+        assert_eq!(
+            count_scalar_blocked(&a, &b, 4),
+            crate::merge::scalar_count(&a, &b)
+        );
+    }
+
+    #[test]
+    fn all_levels_match_merge() {
+        let a = gen(5_000, 5, 60_000);
+        let b = gen(5_000, 23, 60_000);
+        let want = crate::merge::scalar_count(&a, &b);
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &b, level), want, "level={level}");
+        }
+    }
+
+    #[test]
+    fn non_multiple_lengths() {
+        let a = gen(1003, 7, 9_000);
+        let b = gen(997, 13, 9_000);
+        let want = crate::merge::scalar_count(&a, &b);
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &b, level), want, "level={level}");
+        }
+    }
+
+    #[test]
+    fn dense_duplication_free_overlap() {
+        // Identical sets: every block pair matches fully.
+        let a: Vec<u32> = (0..256).collect();
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &a, level), 256, "level={level}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_fall_through_to_merge() {
+        let a = [1u32, 5, 7];
+        let b = [5u32, 7];
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &b, level), 2, "level={level}");
+        }
+    }
+}

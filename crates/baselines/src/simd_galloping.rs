@@ -1,0 +1,190 @@
+//! SIMDGalloping — Lemire, Boytsov & Kurz, "SIMD compression and the
+//! intersection of sorted integers" (the paper's [2]).
+//!
+//! Galloping as in [`crate::galloping`], but the larger set is walked in
+//! vector *blocks*: the exponential/binary phases bracket a block, and the
+//! final membership test compares a broadcast of the probe element against
+//! the whole block with one SIMD compare instead of a scalar binary-search
+//! tail. Falls back to scalar galloping when no vector ISA is available.
+
+use fesia_simd::SimdLevel;
+
+/// Find the first *block* index such that the block's last element is
+/// `>= x`, galloping over blocks of `v` elements starting at `blk_lo`.
+#[inline]
+fn gallop_block(b: &[u32], v: usize, mut blk_lo: usize, x: u32) -> usize {
+    let nblocks = b.len() / v;
+    let last = |blk: usize| b[blk * v + v - 1];
+    if blk_lo >= nblocks || last(blk_lo) >= x {
+        return blk_lo;
+    }
+    let mut step = 1usize;
+    while blk_lo + step < nblocks && last(blk_lo + step) < x {
+        blk_lo += step;
+        step <<= 1;
+    }
+    let hi = (blk_lo + step).min(nblocks);
+    let mut lo = blk_lo + 1;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if last(mid) < x {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Whether `block` (4 elements) contains `x`.
+    ///
+    /// # Safety
+    /// Requires SSE4.2 and `block` valid for 4 reads.
+    #[target_feature(enable = "sse4.2")]
+    #[inline]
+    pub unsafe fn block_contains_sse(block: *const u32, x: u32) -> bool {
+        let vx = _mm_set1_epi32(x as i32);
+        let vb = _mm_loadu_si128(block as *const __m128i);
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vx, vb))) != 0
+    }
+
+    /// Whether `block` (8 elements) contains `x`.
+    ///
+    /// # Safety
+    /// Requires AVX2 and `block` valid for 8 reads.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn block_contains_avx2(block: *const u32, x: u32) -> bool {
+        let vx = _mm256_set1_epi32(x as i32);
+        let vb = _mm256_loadu_si256(block as *const __m256i);
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vx, vb))) != 0
+    }
+
+    /// Whether `block` (16 elements) contains `x`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F and `block` valid for 16 reads.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    pub unsafe fn block_contains_avx512(block: *const u32, x: u32) -> bool {
+        let vx = _mm512_set1_epi32(x as i32);
+        let vb = _mm512_loadu_si512(block as *const _);
+        _mm512_cmpeq_epi32_mask(vx, vb) != 0
+    }
+}
+
+fn count_with_level(a: &[u32], b: &[u32], level: SimdLevel) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if level == SimdLevel::Scalar {
+        return crate::galloping::count(small, large);
+    }
+    let v = level.lanes_u32();
+    let nblocks = large.len() / v;
+    let mut blk = 0usize;
+    let mut r = 0usize;
+    let mut idx = 0usize;
+    for (k, &x) in small.iter().enumerate() {
+        blk = gallop_block(large, v, blk, x);
+        if blk == nblocks {
+            idx = k;
+            break;
+        }
+        let ptr = unsafe { large.as_ptr().add(blk * v) };
+        // SAFETY: the level was checked available by `count`; blk < nblocks
+        // so the block is fully in bounds.
+        let hit = unsafe {
+            match level {
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Sse => x86::block_contains_sse(ptr, x),
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx2 => x86::block_contains_avx2(ptr, x),
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Avx512 => x86::block_contains_avx512(ptr, x),
+                _ => unreachable!("scalar handled above"),
+            }
+        };
+        r += hit as usize;
+        idx = k + 1;
+    }
+    // Tail of `large` not covered by whole blocks: finish scalar.
+    if idx < small.len() {
+        r += crate::galloping::count(&small[idx..], &large[nblocks * v..]);
+    }
+    r
+}
+
+/// Intersection count via SIMD galloping at the widest available ISA.
+pub fn count(a: &[u32], b: &[u32]) -> usize {
+    count_with_level(a, b, SimdLevel::detect())
+}
+
+/// Intersection count via SIMD galloping at an explicit ISA level.
+///
+/// # Panics
+/// Panics if `level` is unavailable on this CPU.
+pub fn count_at(a: &[u32], b: &[u32], level: SimdLevel) -> usize {
+    assert!(level.is_available(), "SIMD level {level} not available");
+    count_with_level(a, b, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn gallop_block_brackets() {
+        let b: Vec<u32> = (0..32).map(|i| i * 10).collect(); // blocks of 4
+        assert_eq!(gallop_block(&b, 4, 0, 0), 0);
+        assert_eq!(gallop_block(&b, 4, 0, 35), 1); // block 0 last = 30 < 35
+        assert_eq!(gallop_block(&b, 4, 0, 30), 0);
+        assert_eq!(gallop_block(&b, 4, 0, 31), 1);
+        assert_eq!(gallop_block(&b, 4, 0, 311), 8); // beyond all blocks
+    }
+
+    #[test]
+    fn all_levels_match_scalar_galloping() {
+        let a = gen(500, 3, 100_000);
+        let b = gen(20_000, 17, 100_000);
+        let want = crate::galloping::count(&a, &b);
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &b, level), want, "level={level}");
+            assert_eq!(count_at(&b, &a, level), want, "level={level} swapped");
+        }
+    }
+
+    #[test]
+    fn small_inputs_and_tails() {
+        // Sizes not multiples of any vector width exercise the scalar tail.
+        let a = [1u32, 7, 13, 101, 9999];
+        let b: Vec<u32> = (0..10_001).filter(|x| x % 7 == 0).collect();
+        let want = crate::merge::scalar_count(&a, &b);
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&a, &b, level), want, "level={level}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for level in SimdLevel::available_levels() {
+            assert_eq!(count_at(&[], &[1, 2, 3], level), 0);
+            assert_eq!(count_at(&[1, 2, 3], &[], level), 0);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Criterion benchmarks of end-to-end intersections: FESIA vs every
+//! baseline at the paper's headline regime (1% selectivity) and under
+//! skew — the statistical companion to Figs. 7, 8 and 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fesia_baselines::{hiera, roaring, wordbitmap, Method};
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
+use fesia_datagen::{ksets_with_intersection, pair_with_intersection, skewed_pair, SplitMix64};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_equal_sizes(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(7);
+    let n = 100_000;
+    let (a, b) = pair_with_intersection(n, n, n / 100, &mut rng);
+    let level = SimdLevel::detect();
+    let params = FesiaParams::for_level(level);
+    let sa = SegmentedSet::build(&a, &params).unwrap();
+    let sb = SegmentedSet::build(&b, &params).unwrap();
+    let ha = hiera::HieraSet::build(&a);
+    let hb = hiera::HieraSet::build(&b);
+    let ra = roaring::RoaringSet::build(&a);
+    let rb = roaring::RoaringSet::build(&b);
+    let wa = wordbitmap::WordBitmapSet::build(&a);
+    let wb = wordbitmap::WordBitmapSet::build(&b);
+    let table = KernelTable::new(level, 1);
+
+    let mut group = c.benchmark_group("intersect/n=100k/sel=1%");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.throughput(Throughput::Elements(2 * n as u64));
+    for m in [
+        Method::Scalar,
+        Method::ScalarGalloping,
+        Method::SimdGalloping(level),
+        Method::BMiss(level),
+        Method::Shuffling(level),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
+            bench.iter(|| m.count(black_box(&a), black_box(&b)))
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("FESIA"), |bench| {
+        bench.iter(|| fesia_core::intersect_count_with(black_box(&sa), black_box(&sb), &table))
+    });
+    group.bench_function(BenchmarkId::from_parameter("FESIA-parallel4"), |bench| {
+        bench.iter(|| fesia_core::par_intersect_count(black_box(&sa), black_box(&sb), 4))
+    });
+    // Structure-based competitors with prebuilt encodings (offline/online
+    // split, as for FESIA).
+    group.bench_function(BenchmarkId::from_parameter("Hiera(prebuilt)"), |bench| {
+        bench.iter(|| hiera::count(black_box(&ha), black_box(&hb)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("Roaring(prebuilt)"), |bench| {
+        bench.iter(|| roaring::count(black_box(&ra), black_box(&rb)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("WordBitmap(prebuilt)"), |bench| {
+        bench.iter(|| wordbitmap::count(black_box(&wa), black_box(&wb)))
+    });
+    group.finish();
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(23);
+    let lists = ksets_with_intersection(&[50_000, 50_000, 50_000], 500, &mut rng);
+    let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+    let level = SimdLevel::detect();
+    let params = FesiaParams::for_level(level);
+    let sets: Vec<SegmentedSet> =
+        lists.iter().map(|l| SegmentedSet::build(l, &params).unwrap()).collect();
+    let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
+    let table = KernelTable::new(level, 1);
+
+    let mut group = c.benchmark_group("kway/3x50k/r=500");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for m in [Method::Scalar, Method::ScalarGalloping, Method::Shuffling(level)] {
+        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
+            bench.iter(|| m.kway_count(black_box(&refs)))
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("FESIA"), |bench| {
+        bench.iter(|| fesia_core::kway_count_with(black_box(&set_refs), &table))
+    });
+    group.finish();
+}
+
+fn bench_skew(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(11);
+    let (small, large) = skewed_pair(4_096, 131_072, 0.1, &mut rng);
+    let level = SimdLevel::detect();
+    let params = FesiaParams::for_level(level);
+    let ss = SegmentedSet::build(&small, &params).unwrap();
+    let sl = SegmentedSet::build(&large, &params).unwrap();
+    let table = KernelTable::new(level, 1);
+
+    let mut group = c.benchmark_group("intersect/skew=1:32");
+    for m in [Method::ScalarGalloping, Method::SimdGalloping(level), Method::Shuffling(level)] {
+        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
+            bench.iter(|| m.count(black_box(&small), black_box(&large)))
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("FESIAmerge"), |bench| {
+        bench.iter(|| fesia_core::intersect_count_with(black_box(&ss), black_box(&sl), &table))
+    });
+    group.bench_function(BenchmarkId::from_parameter("FESIAhash"), |bench| {
+        bench.iter(|| fesia_core::hash_probe_count(black_box(&small), black_box(&sl)))
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(13);
+    let (a, _) = pair_with_intersection(100_000, 100_000, 0, &mut rng);
+    let params = FesiaParams::auto();
+    let mut group = c.benchmark_group("build/n=100k");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("SegmentedSet::build", |bench| {
+        bench.iter(|| SegmentedSet::build(black_box(&a), &params).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_equal_sizes, bench_skew, bench_build, bench_kway);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the kernel layer: specialized vs general
+//! kernels per ISA (the statistical companion to Figs. 4-6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fesia_core::kernels::{general_count, KernelTable, PaddedOperand};
+use fesia_core::SimdLevel;
+use fesia_datagen::{sorted_distinct, SplitMix64};
+use std::hint::black_box;
+
+fn operand_pool(sa: usize, sb: usize, seed: u64) -> Vec<(PaddedOperand, PaddedOperand)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..128)
+        .map(|_| {
+            let a = sorted_distinct(sa, 1 << 16, &mut rng);
+            let b = sorted_distinct(sb, 1 << 16, &mut rng);
+            (PaddedOperand::side_a(&a), PaddedOperand::side_b(&b))
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for level in SimdLevel::available_levels() {
+        if level == SimdLevel::Scalar {
+            continue;
+        }
+        let table = KernelTable::new(level, 1);
+        let mut group = c.benchmark_group(format!("kernels/{level}"));
+        for (sa, sb) in [(2usize, 4usize), (4, 4), (2, 7), (7, 7)] {
+            let pool = operand_pool(sa, sb, 42);
+            group.bench_with_input(
+                BenchmarkId::new("specialized", format!("{sa}x{sb}")),
+                &pool,
+                |bench, pool| {
+                    bench.iter(|| {
+                        let mut acc = 0u32;
+                        for (a, b) in pool {
+                            acc += table.count_operands(black_box(a), black_box(b));
+                        }
+                        acc
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("general", format!("{sa}x{sb}")),
+                &pool,
+                |bench, pool| {
+                    bench.iter(|| {
+                        let mut acc = 0u32;
+                        for (a, b) in pool {
+                            acc += general_count(level, black_box(a), black_box(b));
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Fig. 12 — the database query task on the WebDocs-substitute corpus:
+//! 2-keyword and 3-keyword conjunctive queries (selectivity < 20%), plus
+//! skewed workloads (df ratio 0.1 / 0.05), speedups over Scalar.
+//!
+//! Paper shape: FESIA ~4x over Scalar, ~2x over Shuffling, ~3.8x over
+//! SIMDGalloping on balanced queries; up to 3x on skewed ones. The paper
+//! also reports the offline construction time (77.7s on full WebDocs).
+
+use crate::harness::{measure_cycles, Scale, Table};
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SimdLevel};
+use fesia_index::{
+    generate_queries, CorpusParams, FesiaIndex, InvertedIndex, Query, QueryGenParams,
+};
+
+fn speedup_row(
+    index: &InvertedIndex,
+    fesia: &FesiaIndex,
+    table: &KernelTable,
+    queries: &[Query],
+    reps: usize,
+) -> Vec<String> {
+    let level = SimdLevel::detect();
+    let methods = [
+        Method::Scalar,
+        Method::Shuffling(level),
+        Method::BMiss(level),
+        Method::SimdGalloping(level),
+    ];
+    let run_baseline = |m: Method| {
+        measure_cycles(reps, || {
+            let mut total = 0usize;
+            for q in queries {
+                let lists: Vec<&[u32]> = q.terms.iter().map(|&t| index.posting(t)).collect();
+                total += m.kway_count(&lists);
+            }
+            total
+        })
+    };
+    let (scalar_c, want) = run_baseline(Method::Scalar);
+    let mut cells = Vec::new();
+    for m in &methods[1..] {
+        let (c, got) = run_baseline(*m);
+        assert_eq!(got, want, "{}", m.name());
+        cells.push(format!("{:.2}x", scalar_c as f64 / c.max(1) as f64));
+    }
+    let (c, got) = measure_cycles(reps, || {
+        queries
+            .iter()
+            .map(|q| {
+                let sets: Vec<_> = q.terms.iter().map(|&t| fesia.set(t)).collect();
+                fesia_core::kway_count_with(&sets, table)
+            })
+            .sum::<usize>()
+    });
+    assert_eq!(got, want, "FESIA");
+    cells.push(format!("{:.2}x", scalar_c as f64 / c.max(1) as f64));
+    cells
+}
+
+/// Full Fig. 12 report.
+pub fn run(scale: Scale) -> String {
+    let corpus_scale = match scale {
+        Scale::Smoke => 0.002,
+        Scale::Standard => 0.01,
+        Scale::Full => 0.1,
+    };
+    let corpus = CorpusParams::webdocs_scaled(corpus_scale, 0xD0C5);
+    let index = InvertedIndex::synthesize(&corpus);
+    let fesia = FesiaIndex::build(&index, &FesiaParams::auto());
+    let table = KernelTable::auto();
+    let reps = scale.reps();
+    let nquery = match scale {
+        Scale::Smoke => 20,
+        _ => 100,
+    };
+
+    let base = QueryGenParams {
+        count: nquery,
+        selectivity_cap: 0.2,
+        min_doc_freq: 64,
+        ..Default::default()
+    };
+    let q2 = generate_queries(&index, &QueryGenParams { k: 2, seed: 1, ..base });
+    let q3 = generate_queries(&index, &QueryGenParams { k: 3, seed: 2, ..base });
+    let qs01 = generate_queries(
+        &index,
+        &QueryGenParams { k: 2, max_skew: 0.1, selectivity_cap: 0.5, seed: 3, ..base },
+    );
+    let qs005 = generate_queries(
+        &index,
+        &QueryGenParams { k: 2, max_skew: 0.05, selectivity_cap: 0.5, seed: 4, ..base },
+    );
+
+    let mut t = Table::new(vec!["workload", "Shuffling", "BMiss", "SIMDGalloping", "FESIA"]);
+    for (name, queries) in [
+        ("2 sets", &q2),
+        ("3 sets", &q3),
+        ("skew=0.1", &qs01),
+        ("skew=0.05", &qs005),
+    ] {
+        let mut row = vec![name.to_string()];
+        row.extend(speedup_row(&index, &fesia, &table, queries, reps));
+        t.row(row);
+    }
+    format!(
+        "## Fig. 12 — database query task (WebDocs substitute), speedup vs Scalar\n\n\
+         Corpus: {} docs, {} terms, {} postings (scale {} of WebDocs).\n\
+         FESIA construction time: {:.2?} ({} MiB encoded).\n\n{}",
+        index.num_docs(),
+        index.num_terms(),
+        index.total_postings(),
+        corpus_scale,
+        fesia.construction_time,
+        fesia.memory_bytes() / (1 << 20),
+        t.render()
+    )
+}

@@ -1,0 +1,117 @@
+//! Figs. 4, 5, 6 — speedup of specialized intersection kernels over the
+//! general SIMD kernel, per ISA (SSE / AVX2 / AVX-512).
+//!
+//! For each kernel size pair `(sa, sb)` we time a tight loop over a pool of
+//! random segment-sized runs through (a) the specialized dispatch table and
+//! (b) the general rounded kernel, and report general/specialized cycle
+//! ratios. The paper reports up to 70% (SSE), consistent wins (AVX), and up
+//! to 6.7x (AVX-512), growing with the asymmetry of the pair.
+
+use crate::harness::{f2, Scale, Table};
+use fesia_core::kernels::{general_count, table_max, KernelTable, PaddedOperand};
+use fesia_core::SimdLevel;
+use fesia_datagen::{sorted_distinct, SplitMix64};
+use fesia_simd::timer::CycleTimer;
+
+/// Number of operand pairs in the measurement pool.
+const POOL: usize = 256;
+
+fn pool_for(sa: usize, sb: usize, rng: &mut SplitMix64) -> Vec<(PaddedOperand, PaddedOperand)> {
+    (0..POOL)
+        .map(|_| {
+            let a = sorted_distinct(sa, 1 << 16, rng);
+            let mut b = sorted_distinct(sb.max(1), 1 << 16, rng);
+            b.truncate(sb);
+            (PaddedOperand::side_a(&a), PaddedOperand::side_b(&b))
+        })
+        .collect()
+}
+
+fn time_pool<F: FnMut(&PaddedOperand, &PaddedOperand) -> u32>(
+    pool: &[(PaddedOperand, PaddedOperand)],
+    iters: usize,
+    mut f: F,
+) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut sum = 0u64;
+    for _ in 0..3 {
+        let t = CycleTimer::start();
+        sum = 0;
+        for _ in 0..iters {
+            for (a, b) in pool {
+                sum += f(a, b) as u64;
+            }
+        }
+        best = best.min(t.elapsed_cycles());
+    }
+    (best, sum)
+}
+
+/// Run the kernel comparison for one ISA; `fig` is the paper figure number.
+pub fn run_for_level(level: SimdLevel, fig: u32, scale: Scale) -> String {
+    if !level.is_available() {
+        return format!("## Fig. {fig} — skipped: {level} not available on this CPU\n");
+    }
+    let table = KernelTable::new(level, 1);
+    let tmax = table_max(level);
+    let iters = match scale {
+        Scale::Smoke => 20,
+        Scale::Standard => 200,
+        Scale::Full => 1_000,
+    };
+    let mut rng = SplitMix64::new(0xF160 + fig as u64);
+    // Sample pairs along the paper's axes: diagonal plus skewed shapes.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for s in [1usize, 2, 3] {
+        pairs.push((s, s));
+    }
+    let mut s = 4;
+    while s <= tmax {
+        pairs.push((s, s));
+        pairs.push((s / 2, s));
+        pairs.push((1, s));
+        s += s / 2 + 1;
+    }
+    pairs.push((tmax, tmax));
+    pairs.sort_unstable();
+    pairs.dedup();
+
+    let mut t = Table::new(vec![
+        "sa x sb",
+        "specialized (cyc/call)",
+        "general (cyc/call)",
+        "speedup",
+    ]);
+    for (sa, sb) in pairs {
+        let pool = pool_for(sa, sb, &mut rng);
+        let calls = (iters * POOL) as f64;
+        let (spec_c, spec_sum) = time_pool(&pool, iters, |a, b| table.count_operands(a, b));
+        let (gen_c, gen_sum) = time_pool(&pool, iters, |a, b| general_count(level, a, b));
+        assert_eq!(spec_sum, gen_sum, "kernel disagreement at {sa}x{sb}");
+        t.row(vec![
+            format!("{sa}x{sb}"),
+            f2(spec_c as f64 / calls),
+            f2(gen_c as f64 / calls),
+            format!("{:.2}x", gen_c as f64 / spec_c.max(1) as f64),
+        ]);
+    }
+    format!(
+        "## Fig. {fig} — specialized vs general kernels ({level}, V={} lanes)\n\n{}",
+        level.lanes_u32(),
+        t.render()
+    )
+}
+
+/// Figs. 4-6 for every ISA available on this machine.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    for (level, fig) in [
+        (SimdLevel::Sse, 4u32),
+        (SimdLevel::Avx2, 5),
+        (SimdLevel::Avx512, 6),
+    ] {
+        out.push_str(&run_for_level(level, fig, scale));
+        out.push('\n');
+    }
+    out
+}

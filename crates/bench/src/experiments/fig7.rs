@@ -1,0 +1,110 @@
+//! Fig. 7 — performance with varying input size (equal sizes, selectivity
+//! 1%): CPU time in million cycles for every method, at each input size
+//! from 400K to 3.2M elements (scaled by the harness [`Scale`]).
+//!
+//! Fig. 7(a) is the SSE/AVX subset (Haswell in the paper), Fig. 7(b) adds
+//! AVX-512 (Skylake); on our single host all ISA series run side by side.
+
+use crate::harness::{f2, mcycles, measure_cycles, Scale, Table};
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
+use fesia_datagen::{pair_with_intersection, SplitMix64};
+
+/// The per-method, per-size cycle measurements, reusable by Figs. 8/9.
+pub struct MethodSeries {
+    /// Method display name.
+    pub name: String,
+    /// One measurement (cycles) per workload point.
+    pub cycles: Vec<u64>,
+}
+
+/// Build FESIA structures and tables for each available SIMD level.
+fn fesia_configs() -> Vec<(SimdLevel, KernelTable)> {
+    SimdLevel::available_levels()
+        .into_iter()
+        .filter(|l| *l != SimdLevel::Scalar)
+        .map(|l| (l, KernelTable::new(l, 1)))
+        .collect()
+}
+
+/// Run every method over the given workloads; verifies all agree.
+pub fn run_methods_over(workloads: &[Workload], reps: usize) -> Vec<MethodSeries> {
+    let mut series: Vec<MethodSeries> = Vec::new();
+    let baselines: Vec<Method> = {
+        let l = SimdLevel::detect();
+        vec![
+            Method::ScalarGalloping,
+            Method::Scalar,
+            Method::SimdGalloping(l),
+            Method::BMiss(l),
+            Method::Shuffling(l),
+        ]
+    };
+    for m in &baselines {
+        let mut cycles = Vec::new();
+        for (a, b, r) in workloads {
+            let (c, got) = measure_cycles(reps, || m.count(a, b));
+            assert_eq!(got, *r, "{} wrong answer", m.name());
+            cycles.push(c);
+        }
+        series.push(MethodSeries {
+            name: m.name(),
+            cycles,
+        });
+    }
+    for (level, table) in fesia_configs() {
+        let params = FesiaParams::for_level(level);
+        let mut cycles = Vec::new();
+        for (a, b, r) in workloads {
+            let sa = SegmentedSet::build(a, &params).unwrap();
+            let sb = SegmentedSet::build(b, &params).unwrap();
+            let (c, got) = measure_cycles(reps, || fesia_core::intersect_count_with(&sa, &sb, &table));
+            assert_eq!(got, *r, "FESIA{level} wrong answer");
+            cycles.push(c);
+        }
+        series.push(MethodSeries {
+            name: format!("FESIA{level}"),
+            cycles,
+        });
+    }
+    series
+}
+
+/// One benchmark point: the two operand sets and the expected answer.
+pub type Workload = (Vec<u32>, Vec<u32>, usize);
+
+/// Generate the Fig. 7 workloads: equal sizes, 1% selectivity.
+pub fn workloads(scale: Scale) -> (Vec<usize>, Vec<Workload>) {
+    let nominal = [400_000usize, 800_000, 1_200_000, 1_600_000, 2_000_000, 2_400_000, 2_800_000, 3_200_000];
+    let sizes: Vec<usize> = nominal.iter().map(|&n| scale.size(n)).collect();
+    let mut rng = SplitMix64::new(0x716);
+    let workloads = sizes
+        .iter()
+        .map(|&n| {
+            let r = n / 100;
+            let (a, b) = pair_with_intersection(n, n, r, &mut rng);
+            (a, b, r)
+        })
+        .collect();
+    (sizes, workloads)
+}
+
+/// Full Fig. 7 report.
+pub fn run(scale: Scale) -> String {
+    let (sizes, wl) = workloads(scale);
+    let series = run_methods_over(&wl, scale.reps());
+    let mut header: Vec<String> = vec!["method \\ n".into()];
+    header.extend(sizes.iter().map(|n| format!("{}K", n / 1_000)));
+    let mut t = Table::new(header);
+    for s in &series {
+        let mut row = vec![s.name.clone()];
+        row.extend(s.cycles.iter().map(|&c| f2(mcycles(c))));
+        t.row(row);
+    }
+    format!(
+        "## Fig. 7 — varying input size (selectivity 1%), million cycles (lower is better)\n\n\
+         Sizes scaled by {} from the paper's 400K-3.2M.\n\n{}",
+        scale.factor(),
+        t.render()
+    )
+}

@@ -1,0 +1,54 @@
+//! Figs. 8 & 9 — speedup over the scalar merge while varying selectivity
+//! (`r/n`), with `n` fixed at 1M (scaled). Fig. 8 covers SSE/AVX, Fig. 9
+//! AVX-512; we emit both series from the same sweep.
+//!
+//! Paper shape: FESIA's advantage grows as selectivity falls (up to 7.6x vs
+//! scalar, 1.8-3x vs the best SIMD baselines), because only `r + n/sqrt(w)`
+//! segment pairs survive the filter.
+
+use crate::fig7::run_methods_over;
+use crate::harness::{Scale, Table};
+use fesia_datagen::{pair_with_intersection, SplitMix64};
+
+/// The selectivity axis of the paper's Figs. 8/9.
+pub const SELECTIVITIES: [f64; 7] = [0.0, 0.001, 0.01, 0.05, 0.1, 0.3, 0.5];
+
+/// Full Figs. 8/9 report.
+pub fn run(scale: Scale) -> String {
+    let n = scale.size(1_000_000);
+    let mut rng = SplitMix64::new(0x89);
+    let workloads: Vec<crate::fig7::Workload> = SELECTIVITIES
+        .iter()
+        .map(|&sel| {
+            let r = ((n as f64) * sel) as usize;
+            let (a, b) = pair_with_intersection(n, n, r, &mut rng);
+            (a, b, r)
+        })
+        .collect();
+    let series = run_methods_over(&workloads, scale.reps());
+    let scalar = series
+        .iter()
+        .find(|s| s.name == "Scalar")
+        .expect("scalar baseline present")
+        .cycles
+        .clone();
+
+    let mut header: Vec<String> = vec!["method \\ r/n".into()];
+    header.extend(SELECTIVITIES.iter().map(|s| format!("{s}")));
+    let mut t = Table::new(header);
+    for s in &series {
+        let mut row = vec![s.name.clone()];
+        row.extend(
+            s.cycles
+                .iter()
+                .zip(&scalar)
+                .map(|(&c, &base)| format!("{:.2}x", base as f64 / c.max(1) as f64)),
+        );
+        t.row(row);
+    }
+    format!(
+        "## Figs. 8/9 — speedup vs Scalar while varying selectivity (n = {n})\n\n\
+         Fig. 8 reads the SSE/AVX rows, Fig. 9 the AVX-512 rows.\n\n{}",
+        t.render()
+    )
+}

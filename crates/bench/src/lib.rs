@@ -1,0 +1,28 @@
+//! # fesia-bench
+//!
+//! The reproduction harness for the FESIA paper's evaluation (§VII): one
+//! driver per table and figure (see [`experiments`] and DESIGN.md §4), a
+//! cycle-accurate measurement layer ([`harness`]), and the `repro` binary
+//! that regenerates every result as markdown:
+//!
+//! ```text
+//! cargo run --release -p fesia-bench --bin repro -- all --scale standard
+//! cargo run --release -p fesia-bench --bin repro -- fig8 fig11
+//! ```
+//!
+//! Criterion micro-benchmarks (`cargo bench -p fesia-bench`) cover the
+//! kernel layer and the end-to-end intersection paths with statistical
+//! rigor; the `repro` binary favors breadth (every figure) and paper-
+//! matching units (million cycles, speedup ratios).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::Scale;
+
+// Re-export the experiment entry points at the crate root for the repro
+// binary and external users.
+pub use experiments::{run, run_all};
+
+/// Re-exported for `fig8_9`'s dependency on `fig7`'s measurement loop.
+pub(crate) use experiments::fig7;

@@ -1,0 +1,332 @@
+//! Implementation of the `fesia` command-line tool (library-shaped so the
+//! command logic is unit-testable without spawning processes).
+
+use fesia_core::{FesiaParams, KernelTable, LaneWidth, SegmentedSet};
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  fesia build INPUT.txt OUTPUT.fsia [--bits-per-element F] [--segment 8|16]
+  fesia info SET.fsia
+  fesia count A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
+  fesia intersect A.fsia B.fsia
+  fesia kway SET.fsia SET.fsia [SET.fsia ...]
+
+Text inputs: one u32 per line; '#' comments and blank lines ignored.";
+
+/// Errors surfaced to the binary's `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments; the binary prints [`USAGE`] and exits 2.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Input file contained something other than a u32.
+    Parse { line: usize, content: String },
+    /// The set could not be encoded.
+    Build(fesia_core::BuildError),
+    /// A `.fsia` file failed to decode.
+    Decode(fesia_core::DecodeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Parse { line, content } => {
+                write!(f, "line {line}: `{content}` is not a u32")
+            }
+            CliError::Build(e) => write!(f, "build: {e}"),
+            CliError::Decode(e) => write!(f, "decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parse a text file of one u32 per line (comments/blank lines skipped).
+pub fn parse_values(text: &str) -> Result<Vec<u32>, CliError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: u32 = line.parse().map_err(|_| CliError::Parse {
+            line: i + 1,
+            content: line.to_string(),
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+fn load_set(path: &str) -> Result<SegmentedSet, CliError> {
+    let bytes = std::fs::read(Path::new(path))?;
+    let (set, _) = SegmentedSet::deserialize(&bytes).map_err(CliError::Decode)?;
+    Ok(set)
+}
+
+fn cmd_build(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (mut input, mut output) = (None, None);
+    let mut params = FesiaParams::auto();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bits-per-element" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|&v| v > 0.0)
+                    .ok_or_else(|| CliError::Usage("--bits-per-element needs a positive number".into()))?;
+                params = params.with_bits_per_element(v);
+            }
+            "--segment" => {
+                let lane = match it.next().map(String::as_str) {
+                    Some("8") => LaneWidth::U8,
+                    Some("16") => LaneWidth::U16,
+                    _ => return Err(CliError::Usage("--segment needs 8 or 16".into())),
+                };
+                params = params.with_segment(lane);
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other if output.is_none() => output = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let input = input.ok_or_else(|| CliError::Usage("build needs an input file".into()))?;
+    let output = output.ok_or_else(|| CliError::Usage("build needs an output file".into()))?;
+    let text = std::fs::read_to_string(&input)?;
+    let values = parse_values(&text)?;
+    let set = SegmentedSet::from_unsorted(values, &params).map_err(CliError::Build)?;
+    std::fs::write(&output, set.serialize())?;
+    writeln!(
+        out,
+        "built {}: {} elements, {} bitmap bits, {} segments, {} bytes on disk",
+        output,
+        set.len(),
+        set.bitmap_bits(),
+        set.num_segments(),
+        set.serialized_len()
+    )?;
+    Ok(())
+}
+
+fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage("info needs exactly one .fsia file".into()));
+    };
+    let set = load_set(path)?;
+    writeln!(out, "file:            {path}")?;
+    writeln!(out, "elements:        {}", set.len())?;
+    writeln!(out, "bitmap bits (m): {}", set.bitmap_bits())?;
+    writeln!(out, "segment bits:    {}", set.lane().bits())?;
+    writeln!(out, "segments:        {}", set.num_segments())?;
+    writeln!(out, "memory bytes:    {}", set.memory_bytes())?;
+    let populated = (0..set.num_segments()).filter(|&i| set.seg_size(i) > 0).count();
+    let max_pop = (0..set.num_segments()).map(|i| set.seg_size(i)).max().unwrap_or(0);
+    writeln!(out, "populated segs:  {populated} (max population {max_pop})")?;
+    Ok(())
+}
+
+fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut paths = Vec::new();
+    let mut method = "fesia".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => {
+                method = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--method needs a value".into()))?
+                    .clone();
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [pa, pb] = paths.as_slice() else {
+        return Err(CliError::Usage("count needs exactly two .fsia files".into()));
+    };
+    let a = load_set(pa)?;
+    let b = load_set(pb)?;
+    let count = match method.as_str() {
+        "fesia" => fesia_core::intersect_count(&a, &b),
+        "auto" => fesia_core::auto_count(&a, &b),
+        "hash" => {
+            let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            fesia_core::hash_probe_count(small.reordered_elements(), large)
+        }
+        "scalar" | "shuffling" | "galloping" => {
+            // Slice methods need sorted inputs; reconstruct them.
+            let mut av = a.reordered_elements().to_vec();
+            let mut bv = b.reordered_elements().to_vec();
+            av.sort_unstable();
+            bv.sort_unstable();
+            let m = match method.as_str() {
+                "scalar" => fesia_baselines::Method::Scalar,
+                "shuffling" => fesia_baselines::Method::Shuffling(fesia_simd::SimdLevel::detect()),
+                _ => fesia_baselines::Method::ScalarGalloping,
+            };
+            m.count(&av, &bv)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown method `{other}` (fesia|auto|hash|scalar|shuffling|galloping)"
+            )))
+        }
+    };
+    writeln!(out, "{count}")?;
+    Ok(())
+}
+
+fn cmd_intersect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [pa, pb] = args else {
+        return Err(CliError::Usage("intersect needs exactly two .fsia files".into()));
+    };
+    let a = load_set(pa)?;
+    let b = load_set(pb)?;
+    for v in fesia_core::intersect(&a, &b) {
+        writeln!(out, "{v}")?;
+    }
+    Ok(())
+}
+
+fn cmd_kway(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    if args.len() < 2 {
+        return Err(CliError::Usage("kway needs at least two .fsia files".into()));
+    }
+    let sets: Vec<SegmentedSet> = args.iter().map(|p| load_set(p)).collect::<Result<_, _>>()?;
+    let refs: Vec<&SegmentedSet> = sets.iter().collect();
+    let table = KernelTable::auto();
+    writeln!(out, "{}", fesia_core::kway_count_with(&refs, &table))?;
+    Ok(())
+}
+
+/// Dispatch a full argument vector (everything after the binary name).
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..], out),
+        Some("info") => cmd_info(&args[1..], out),
+        Some("count") => cmd_count(&args[1..], out),
+        Some("intersect") => cmd_intersect(&args[1..], out),
+        Some("kway") => cmd_kway(&args[1..], out),
+        Some("--help") | Some("-h") => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
+        None => Err(CliError::Usage("no command given".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fesia-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_values_handles_comments_and_blanks() {
+        let text = "# header\n1\n\n42\n  7  \n# trailing\n";
+        assert_eq!(parse_values(text).unwrap(), vec![1, 42, 7]);
+        let err = parse_values("1\nnope\n").unwrap_err();
+        assert!(matches!(err, CliError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn end_to_end_build_info_count_intersect() {
+        let dir = tmpdir();
+        let ta = dir.join("a.txt");
+        let tb = dir.join("b.txt");
+        std::fs::write(&ta, "1\n4\n15\n21\n32\n34\n").unwrap();
+        std::fs::write(&tb, "2\n6\n12\n16\n21\n23\n").unwrap();
+        let fa = dir.join("a.fsia").to_string_lossy().to_string();
+        let fb = dir.join("b.fsia").to_string_lossy().to_string();
+
+        let mut out = Vec::new();
+        run(&s(&["build", ta.to_str().unwrap(), &fa]), &mut out).unwrap();
+        run(&s(&["build", tb.to_str().unwrap(), &fb]), &mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("6 elements"));
+
+        let mut out = Vec::new();
+        run(&s(&["info", &fa]), &mut out).unwrap();
+        let info = String::from_utf8_lossy(&out);
+        assert!(info.contains("elements:        6"), "{info}");
+
+        for method in ["fesia", "auto", "hash", "scalar", "shuffling", "galloping"] {
+            let mut out = Vec::new();
+            run(&s(&["count", &fa, &fb, "--method", method]), &mut out).unwrap();
+            assert_eq!(String::from_utf8_lossy(&out).trim(), "1", "method={method}");
+        }
+
+        let mut out = Vec::new();
+        run(&s(&["intersect", &fa, &fb]), &mut out).unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).trim(), "21");
+
+        let mut out = Vec::new();
+        run(&s(&["kway", &fa, &fb, &fa]), &mut out).unwrap();
+        assert_eq!(String::from_utf8_lossy(&out).trim(), "1");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_flags_are_respected() {
+        let dir = tmpdir();
+        let t = dir.join("v.txt");
+        std::fs::write(&t, (0..1000).map(|i| (i * 3).to_string()).collect::<Vec<_>>().join("\n"))
+            .unwrap();
+        let f = dir.join("v16.fsia").to_string_lossy().to_string();
+        let mut out = Vec::new();
+        run(
+            &s(&["build", t.to_str().unwrap(), &f, "--segment", "16", "--bits-per-element", "4"]),
+            &mut out,
+        )
+        .unwrap();
+        let set = load_set(&f).unwrap();
+        assert_eq!(set.lane().bits(), 16);
+        assert_eq!(set.bitmap_bits(), 4096); // 1000 * 4 -> 4096
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        let mut out = Vec::new();
+        assert!(matches!(run(&s(&[]), &mut out), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["frobnicate"]), &mut out), Err(CliError::Usage(_))));
+        assert!(matches!(run(&s(&["info"]), &mut out), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&s(&["count", "only-one.fsia"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn decode_errors_surface() {
+        let dir = tmpdir();
+        let bogus = dir.join("bogus.fsia");
+        std::fs::write(&bogus, b"not a fesia file").unwrap();
+        let mut out = Vec::new();
+        let err = run(&s(&["info", bogus.to_str().unwrap()]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Decode(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

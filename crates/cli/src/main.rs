@@ -1,0 +1,30 @@
+//! `fesia` — command-line front end for the FESIA set-intersection library.
+//!
+//! ```text
+//! fesia build  INPUT.txt OUTPUT.fsia [--bits-per-element F] [--segment 8|16]
+//! fesia info   SET.fsia
+//! fesia count  A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
+//! fesia intersect A.fsia B.fsia          # materialize, one value per line
+//! fesia kway   A.fsia B.fsia C.fsia ...
+//! ```
+//!
+//! Text inputs contain one unsigned 32-bit integer per line (`#` comments
+//! and blank lines ignored); they are sorted and deduplicated on build.
+
+use fesia_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", fesia_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

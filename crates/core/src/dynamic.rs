@@ -1,0 +1,300 @@
+//! Incremental updates: [`DynamicSet`].
+//!
+//! The paper's structure is built offline and immutable — appropriate for
+//! its benchmarks, but real posting lists and adjacency lists change. The
+//! standard remedy (as in LSM trees and practical bitmap indexes) is a
+//! small mutable *delta* on top of the immutable base, folded in by a
+//! periodic rebuild:
+//!
+//! * `base` — an ordinary [`SegmentedSet`];
+//! * `added` — sorted values present but not in `base`;
+//! * `deleted` — sorted values in `base` that have been removed.
+//!
+//! Intersections decompose exactly (no approximation): with
+//! `A = (baseA \ delA) ∪ addA`, the count is the base-vs-base FESIA count
+//! corrected by probes of the (small) deltas. When a delta outgrows
+//! [`DynamicSet::REBUILD_FRACTION`] of the base, the set is re-encoded.
+
+use crate::error::BuildError;
+use crate::intersect::intersect_count_with;
+use crate::kernels::KernelTable;
+use crate::params::FesiaParams;
+use crate::set::SegmentedSet;
+
+/// A mutable set: immutable FESIA base plus sorted add/delete deltas.
+#[derive(Debug, Clone)]
+pub struct DynamicSet {
+    base: SegmentedSet,
+    added: Vec<u32>,
+    deleted: Vec<u32>,
+    params: FesiaParams,
+}
+
+impl DynamicSet {
+    /// Delta size (relative to the base) that triggers a rebuild.
+    pub const REBUILD_FRACTION: f64 = 0.25;
+
+    /// Start from a sorted, duplicate-free slice.
+    pub fn build(sorted: &[u32], params: &FesiaParams) -> Result<DynamicSet, BuildError> {
+        Ok(DynamicSet {
+            base: SegmentedSet::build(sorted, params)?,
+            added: Vec::new(),
+            deleted: Vec::new(),
+            params: *params,
+        })
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.base.len() - self.deleted.len() + self.added.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current delta size (pending adds + deletes).
+    pub fn delta_len(&self) -> usize {
+        self.added.len() + self.deleted.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u32) -> bool {
+        if self.added.binary_search(&x).is_ok() {
+            return true;
+        }
+        self.base.contains(x) && self.deleted.binary_search(&x).is_err()
+    }
+
+    /// Insert `x`; returns `true` if it was not already present.
+    ///
+    /// # Errors
+    /// Propagates a rebuild failure for out-of-domain values.
+    pub fn insert(&mut self, x: u32) -> Result<bool, BuildError> {
+        if x > crate::error::MAX_ELEMENT {
+            return Err(BuildError::ReservedValue { index: 0 });
+        }
+        if let Ok(pos) = self.deleted.binary_search(&x) {
+            self.deleted.remove(pos);
+            return Ok(true);
+        }
+        if self.base.contains(x) || self.added.binary_search(&x).is_ok() {
+            return Ok(false);
+        }
+        let pos = self.added.binary_search(&x).unwrap_err();
+        self.added.insert(pos, x);
+        self.maybe_rebuild()?;
+        Ok(true)
+    }
+
+    /// Remove `x`; returns `true` if it was present.
+    pub fn remove(&mut self, x: u32) -> Result<bool, BuildError> {
+        if let Ok(pos) = self.added.binary_search(&x) {
+            self.added.remove(pos);
+            return Ok(true);
+        }
+        if self.base.contains(x) && self.deleted.binary_search(&x).is_err() {
+            let pos = self.deleted.binary_search(&x).unwrap_err();
+            self.deleted.insert(pos, x);
+            self.maybe_rebuild()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Fold the deltas into a fresh base encoding.
+    pub fn rebuild(&mut self) -> Result<(), BuildError> {
+        let snapshot = self.to_sorted_vec();
+        self.base = SegmentedSet::build(&snapshot, &self.params)?;
+        self.added.clear();
+        self.deleted.clear();
+        Ok(())
+    }
+
+    fn maybe_rebuild(&mut self) -> Result<(), BuildError> {
+        let threshold = (self.base.len() as f64 * Self::REBUILD_FRACTION).max(64.0) as usize;
+        if self.delta_len() > threshold {
+            self.rebuild()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the logical contents, sorted ascending.
+    pub fn to_sorted_vec(&self) -> Vec<u32> {
+        let mut base: Vec<u32> = self.base.reordered_elements().to_vec();
+        base.sort_unstable();
+        base.retain(|x| self.deleted.binary_search(x).is_err());
+        let mut out = Vec::with_capacity(base.len() + self.added.len());
+        // Merge base (sorted) with added (sorted, disjoint).
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base.len() || j < self.added.len() {
+            let take_base = j >= self.added.len()
+                || (i < base.len() && base[i] < self.added[j]);
+            if take_base {
+                out.push(base[i]);
+                i += 1;
+            } else {
+                out.push(self.added[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// The immutable base (for inspection/tests).
+    pub fn base(&self) -> &SegmentedSet {
+        &self.base
+    }
+}
+
+/// |A ∩ B| for two dynamic sets: FESIA on the bases, exact corrections
+/// from the deltas (each correction term probes a small sorted list).
+pub fn dynamic_intersect_count(a: &DynamicSet, b: &DynamicSet, table: &KernelTable) -> usize {
+    // Live membership helpers.
+    let in_a = |x: u32| {
+        (a.base.contains(x) && a.deleted.binary_search(&x).is_err())
+            || a.added.binary_search(&x).is_ok()
+    };
+    let in_b = |x: u32| {
+        (b.base.contains(x) && b.deleted.binary_search(&x).is_err())
+            || b.added.binary_search(&x).is_ok()
+    };
+
+    // Term 1: base ∩ base, minus pairs killed by either delete list.
+    let mut count = intersect_count_with(&a.base, &b.base, table);
+    let mut dels: Vec<u32> = a.deleted.iter().chain(&b.deleted).copied().collect();
+    dels.sort_unstable();
+    dels.dedup();
+    for &x in &dels {
+        if a.base.contains(x) && b.base.contains(x) {
+            count -= 1;
+        }
+    }
+    // Term 2: A's additions present in live B.
+    count += a.added.iter().filter(|&&x| in_b(x)).count();
+    // Term 3: B's additions present in live A, excluding pairs already
+    // counted in term 2 (x in both add lists).
+    count += b
+        .added
+        .iter()
+        .filter(|&&x| in_a(x) && a.added.binary_search(&x).is_err())
+        .count();
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn params() -> FesiaParams {
+        FesiaParams::auto()
+    }
+
+    #[test]
+    fn insert_remove_contains_track_a_reference() {
+        let initial: Vec<u32> = (0..500).map(|i| i * 4).collect();
+        let mut dyn_set = DynamicSet::build(&initial, &params()).unwrap();
+        let mut reference: BTreeSet<u32> = initial.iter().copied().collect();
+        let mut state = 0xD15Eu64;
+        for step in 0..3_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state % 3_000) as u32;
+            if state & 1 == 0 {
+                assert_eq!(
+                    dyn_set.insert(x).unwrap(),
+                    reference.insert(x),
+                    "step {step} insert {x}"
+                );
+            } else {
+                assert_eq!(
+                    dyn_set.remove(x).unwrap(),
+                    reference.remove(&x),
+                    "step {step} remove {x}"
+                );
+            }
+            assert_eq!(dyn_set.len(), reference.len(), "step {step}");
+        }
+        assert_eq!(dyn_set.to_sorted_vec(), reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebuild_is_transparent() {
+        let mut s = DynamicSet::build(&[1, 5, 9], &params()).unwrap();
+        for x in 100..400 {
+            s.insert(x).unwrap(); // crosses the rebuild threshold repeatedly
+        }
+        // Auto-rebuild keeps the delta bounded (it only fires on crossing
+        // the threshold, so a small residue may remain).
+        assert!(s.delta_len() <= 65, "delta {} not folded", s.delta_len());
+        assert!(s.base().len() >= 238, "base never absorbed the deltas");
+        assert!(s.contains(1) && s.contains(399));
+        assert_eq!(s.len(), 303);
+    }
+
+    #[test]
+    fn dynamic_intersection_is_exact_under_churn() {
+        let table = KernelTable::auto();
+        let a0: Vec<u32> = (0..2_000).map(|i| i * 3).collect();
+        let b0: Vec<u32> = (0..2_000).map(|i| i * 5).collect();
+        let mut da = DynamicSet::build(&a0, &params()).unwrap();
+        let mut db = DynamicSet::build(&b0, &params()).unwrap();
+        let mut ra: BTreeSet<u32> = a0.iter().copied().collect();
+        let mut rb: BTreeSet<u32> = b0.iter().copied().collect();
+        let mut state = 0xCAFEu64;
+        for _ in 0..400 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state % 12_000) as u32;
+            match state % 4 {
+                0 => {
+                    da.insert(x).unwrap();
+                    ra.insert(x);
+                }
+                1 => {
+                    da.remove(x).unwrap();
+                    ra.remove(&x);
+                }
+                2 => {
+                    db.insert(x).unwrap();
+                    rb.insert(x);
+                }
+                _ => {
+                    db.remove(x).unwrap();
+                    rb.remove(&x);
+                }
+            }
+        }
+        let want = ra.intersection(&rb).count();
+        assert_eq!(dynamic_intersect_count(&da, &db, &table), want);
+        // And after explicit rebuilds the plain path agrees too.
+        da.rebuild().unwrap();
+        db.rebuild().unwrap();
+        assert_eq!(dynamic_intersect_count(&da, &db, &table), want);
+        assert_eq!(
+            crate::intersect::intersect_count_with(da.base(), db.base(), &table),
+            want
+        );
+    }
+
+    #[test]
+    fn domain_violations_are_rejected() {
+        let mut s = DynamicSet::build(&[1], &params()).unwrap();
+        assert!(s.insert(u32::MAX).is_err());
+        assert!(s.contains(1));
+    }
+
+    #[test]
+    fn empty_dynamics() {
+        let table = KernelTable::auto();
+        let e = DynamicSet::build(&[], &params()).unwrap();
+        let s = DynamicSet::build(&[1, 2, 3], &params()).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(dynamic_intersect_count(&e, &s, &table), 0);
+        assert_eq!(dynamic_intersect_count(&s, &e, &table), 0);
+    }
+}

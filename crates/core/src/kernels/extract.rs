@@ -1,0 +1,190 @@
+//! Materializing segment intersection: emit the matching *values*, not
+//! just their count.
+//!
+//! The paper's benchmarks (and ours) count; materialization is the API
+//! convenience path. It still vectorizes well: each element of the smaller
+//! run is broadcast and compared against whole blocks of the larger run —
+//! and because a match's value *is* the broadcast element, no lane
+//! extraction or shuffle table is needed, just a `push` on a non-zero
+//! mask. All loads here are bounds-checked (scalar tails / masked loads),
+//! so this path is entirely safe-slice based with no over-read contract.
+
+use fesia_simd::SimdLevel;
+
+/// Scalar sorted-merge extraction (the reference and fallback).
+fn merge_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires SSE4.2.
+    #[target_feature(enable = "sse4.2")]
+    pub unsafe fn extract_sse(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        const V: usize = 4;
+        let blocks = b.len() / V;
+        let tail = &b[blocks * V..];
+        for &x in a {
+            let vx = _mm_set1_epi32(x as i32);
+            let mut found = false;
+            for blk in 0..blocks {
+                let vb = _mm_loadu_si128(b.as_ptr().add(blk * V) as *const __m128i);
+                if _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vx, vb))) != 0 {
+                    found = true;
+                    break;
+                }
+            }
+            if found || tail.contains(&x) {
+                out.push(x);
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn extract_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        const V: usize = 8;
+        let blocks = b.len() / V;
+        let tail = &b[blocks * V..];
+        for &x in a {
+            let vx = _mm256_set1_epi32(x as i32);
+            let mut found = false;
+            for blk in 0..blocks {
+                let vb = _mm256_loadu_si256(b.as_ptr().add(blk * V) as *const __m256i);
+                if _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vx, vb))) != 0 {
+                    found = true;
+                    break;
+                }
+            }
+            if found || tail.contains(&x) {
+                out.push(x);
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX-512 F.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn extract_avx512(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        const V: usize = 16;
+        let blocks = b.len() / V;
+        let tail_len = b.len() - blocks * V;
+        let tail_mask: __mmask16 = (1u16 << tail_len).wrapping_sub(1);
+        for &x in a {
+            let vx = _mm512_set1_epi32(x as i32);
+            let mut found = false;
+            for blk in 0..blocks {
+                let vb = _mm512_loadu_si512(b.as_ptr().add(blk * V) as *const _);
+                if _mm512_cmpeq_epi32_mask(vx, vb) != 0 {
+                    found = true;
+                    break;
+                }
+            }
+            if !found && tail_len > 0 {
+                // Masked load: lanes beyond the tail read as zero and the
+                // compare is masked, so no out-of-bounds access occurs.
+                let vb = _mm512_maskz_loadu_epi32(tail_mask, b.as_ptr().add(blocks * V) as *const i32);
+                found = _mm512_mask_cmpeq_epi32_mask(tail_mask, vx, vb) != 0;
+            }
+            if found {
+                out.push(x);
+            }
+        }
+    }
+}
+
+/// Append `a ∩ b` to `out`, in the order of `a` (ascending, since segment
+/// runs are sorted). Safe for any slices; SIMD is used when available and
+/// the probe side is iterated from the smaller run.
+pub fn extract_into(level: SimdLevel, a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    assert!(level.is_available(), "SIMD level {level} not available");
+    let (probe, target) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if probe.is_empty() {
+        return;
+    }
+    match level {
+        SimdLevel::Scalar => merge_into(probe, target, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above; helpers take safe slices.
+        SimdLevel::Sse => unsafe { x86::extract_sse(probe, target, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { x86::extract_avx2(probe, target, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { x86::extract_avx512(probe, target, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => merge_into(probe, target, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        merge_into(a, b, &mut out);
+        out
+    }
+
+    #[test]
+    fn all_levels_extract_identically() {
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![], vec![]),
+            (vec![1], vec![]),
+            (vec![1, 2, 3], vec![2, 3, 4]),
+            ((0..40).map(|i| i * 2).collect(), (0..40).map(|i| i * 3).collect()),
+            // Lengths exercising every tail width.
+            ((0..17).collect(), (0..33).collect()),
+            ((0..15).collect(), (0..16).collect()),
+            ((0..31).map(|i| i * 7).collect(), (0..129).map(|i| i * 5).collect()),
+        ];
+        for (a, b) in cases {
+            let mut want = reference(&a, &b);
+            want.sort_unstable();
+            for level in SimdLevel::available_levels() {
+                let mut got = Vec::new();
+                extract_into(level, &a, &b, &mut got);
+                got.sort_unstable();
+                assert_eq!(got, want, "level={level} a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_appended_not_replaced() {
+        let mut out = vec![99u32];
+        extract_into(SimdLevel::detect(), &[1, 2], &[2, 3], &mut out);
+        assert_eq!(out, vec![99, 2]);
+    }
+
+    #[test]
+    fn probe_side_selection_is_symmetric() {
+        let small: Vec<u32> = vec![5, 50, 500];
+        let large: Vec<u32> = (0..1000).collect();
+        for level in SimdLevel::available_levels() {
+            let mut fwd = Vec::new();
+            extract_into(level, &small, &large, &mut fwd);
+            let mut rev = Vec::new();
+            extract_into(level, &large, &small, &mut rev);
+            fwd.sort_unstable();
+            rev.sort_unstable();
+            assert_eq!(fwd, rev, "level={level}");
+            assert_eq!(fwd, vec![5, 50, 500]);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # fesia-core
+//!
+//! A faithful Rust implementation of **FESIA** (Zhang, Lu, Spampinato,
+//! Franchetti — *"FESIA: A Fast and SIMD-Efficient Set Intersection
+//! Approach on Modern CPUs"*, ICDE 2020): set intersection in
+//! `O(n/sqrt(w) + r)` time via a segmented-bitmap filter and runtime-
+//! dispatched specialized SIMD kernels.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fesia_core::{FesiaParams, SegmentedSet};
+//!
+//! let params = FesiaParams::auto();
+//! let a = SegmentedSet::build(&[1, 4, 15, 21, 32, 34], &params).unwrap();
+//! let b = SegmentedSet::build(&[2, 6, 12, 16, 21, 23], &params).unwrap();
+//! assert_eq!(fesia_core::intersect_count(&a, &b), 1); // {21}
+//! assert_eq!(fesia_core::intersect(&a, &b), vec![21]);
+//! ```
+//!
+//! ## Architecture
+//!
+//! * [`SegmentedSet`] — the offline-built encoding (bitmap + segment
+//!   metadata + reordered elements), see [`set`] and [`layout`].
+//! * [`kernels::KernelTable`] — ahead-of-time compiled specialized SIMD
+//!   kernels with jump-table dispatch, per ISA and sampling stride.
+//! * [`intersect_count`] / [`intersect`] — the two-phase online algorithm
+//!   (bitmap filter, then per-segment kernels).
+//! * [`hash_probe_count`] — the hash-style strategy for heavily skewed
+//!   inputs (`FESIAhash`), and [`auto_count`] which picks a strategy from
+//!   the size ratio as §VI prescribes.
+//! * [`kway_count`] — k-way intersection over `k` bitmaps.
+//! * [`par_intersect_count`] — multicore partitioning of the segment space.
+
+pub mod batch;
+pub mod dynamic;
+pub mod error;
+pub mod hash;
+pub mod intersect;
+pub mod kernels;
+pub mod kway;
+pub mod layout;
+pub mod parallel;
+pub mod params;
+pub mod serialize;
+pub mod set;
+pub mod stats;
+pub mod tuning;
+pub mod u64set;
+
+pub use batch::{batch_count, batch_count_pairs};
+pub use dynamic::{dynamic_intersect_count, DynamicSet};
+pub use error::{BuildError, MAX_ELEMENT};
+pub use intersect::{
+    auto_count, auto_count_with, hash_probe_count, intersect, intersect_count,
+    intersect_count_breakdown, intersect_count_with, Breakdown,
+};
+pub use kernels::KernelTable;
+pub use kway::{kway_count, kway_count_with, kway_intersect, kway_intersect_with};
+pub use parallel::par_intersect_count;
+pub use params::FesiaParams;
+pub use serialize::{deserialize_many, serialize_many, DecodeError};
+pub use set::SegmentedSet;
+pub use stats::{bit_collision_rate, filter_stats, FilterStats, SegmentStats};
+pub use tuning::{tune, tune_grid, TuneResult};
+pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};
+
+pub use fesia_simd::mask::LaneWidth;
+pub use fesia_simd::SimdLevel;

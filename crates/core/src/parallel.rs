@@ -1,0 +1,182 @@
+//! Multicore intersection (paper §VI, "Multicore parallelism").
+//!
+//! The bitmap AND has no cross-iteration dependency, so the segment space
+//! is partitioned across threads: each thread scans its slice of the
+//! bitmaps, runs the specialized kernels on its surviving segments, and the
+//! per-thread counts are summed.
+
+use crate::intersect::default_table;
+use crate::kernels::KernelTable;
+use crate::set::SegmentedSet;
+use fesia_simd::mask::for_each_nonzero_lane;
+
+/// |A ∩ B| computed on `num_threads` threads with an explicit table.
+///
+/// Partitioning is over the byte range of the (larger) bitmap, aligned to
+/// 64-byte blocks — and, when the bitmaps differ in size, to whole tiles of
+/// the smaller bitmap so each chunk folds independently.
+pub fn par_intersect_count_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    num_threads: usize,
+    table: &KernelTable,
+) -> usize {
+    assert!(num_threads >= 1, "need at least one thread");
+    assert_eq!(
+        a.lane(),
+        b.lane(),
+        "sets must be built with the same segment width to be intersected"
+    );
+    if num_threads == 1 {
+        return crate::intersect::intersect_count_with(a, b, table);
+    }
+    let (large, small) = if a.bitmap_bits() >= b.bitmap_bits() { (a, b) } else { (b, a) };
+    let folded = large.bitmap_bits() != small.bitmap_bits();
+    let large_bytes = large.bitmap_bytes();
+    let small_bytes = small.bitmap_bytes();
+    let lane = a.lane();
+    let level = table.level();
+
+    // Chunk granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
+    // when folding (so `local_offset & small_mask` equals the global fold).
+    let align = if folded { small_bytes.len().max(64) } else { 64 };
+    let total = large_bytes.len();
+    let chunks = (total / align).max(1);
+    let threads = num_threads.min(chunks);
+    let per_thread = fesia_simd::util::div_ceil(chunks, threads);
+
+    let seg_mask = small.num_segments() - 1;
+    let lane_bytes = lane.bytes();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = (t * per_thread * align).min(total);
+            let hi = (((t + 1) * per_thread * align).min(total)).max(lo);
+            if lo == hi {
+                continue;
+            }
+            let large_chunk = &large_bytes[lo..hi];
+            let base_seg = lo / lane_bytes;
+            handles.push(scope.spawn(move || {
+                let mut count = 0u64;
+                let scan_small = if folded {
+                    small_bytes
+                } else {
+                    &small_bytes[lo..hi]
+                };
+                let visit = |local: usize, count: &mut u64| {
+                    let i = base_seg + local;
+                    let j = if folded { i & seg_mask } else { i };
+                    // SAFETY: as in `intersect_count_with`; chunk alignment
+                    // keeps fold indices consistent with the global scan,
+                    // and the folded dispatch never block-loads the large
+                    // side.
+                    *count += unsafe {
+                        if folded {
+                            table.count_folded(
+                                large.seg_ptr(i),
+                                large.seg_size(i),
+                                small.seg_ptr(j),
+                                small.seg_size(j),
+                            )
+                        } else {
+                            table.count(
+                                large.seg_ptr(i),
+                                large.seg_size(i),
+                                small.seg_ptr(j),
+                                small.seg_size(j),
+                            )
+                        }
+                    } as u64;
+                };
+                if folded {
+                    fesia_simd::mask::for_each_nonzero_lane_folded(
+                        level,
+                        lane,
+                        large_chunk,
+                        scan_small,
+                        |local| visit(local, &mut count),
+                    );
+                } else {
+                    for_each_nonzero_lane(level, lane, large_chunk, scan_small, |local| {
+                        visit(local, &mut count)
+                    });
+                }
+                count
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum::<u64>() as usize
+    })
+}
+
+/// |A ∩ B| on `num_threads` threads with the process-default table.
+pub fn par_intersect_count(a: &SegmentedSet, b: &SegmentedSet, num_threads: usize) -> usize {
+    par_intersect_count_with(a, b, num_threads, default_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::intersect_count;
+    use crate::params::FesiaParams;
+
+    fn gen_sorted(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_equal_sizes() {
+        let av = gen_sorted(20_000, 3, 300_000);
+        let bv = gen_sorted(20_000, 19, 300_000);
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let want = intersect_count(&a, &b);
+        for threads in [1usize, 2, 3, 4, 8] {
+            assert_eq!(par_intersect_count(&a, &b, threads), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_folded() {
+        let av = gen_sorted(1_000, 5, 500_000);
+        let bv = gen_sorted(60_000, 7, 500_000);
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        assert_ne!(a.bitmap_bits(), b.bitmap_bits());
+        let want = intersect_count(&a, &b);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(par_intersect_count(&a, &b, threads), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let av = gen_sorted(50, 11, 10_000);
+        let bv = gen_sorted(50, 13, 10_000);
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let want = intersect_count(&a, &b);
+        assert_eq!(par_intersect_count(&a, &b, 64), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&[1], &p).unwrap();
+        let b = SegmentedSet::build(&[1], &p).unwrap();
+        let _ = par_intersect_count(&a, &b, 0);
+    }
+}

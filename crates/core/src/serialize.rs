@@ -1,0 +1,287 @@
+//! Compact binary persistence for [`SegmentedSet`].
+//!
+//! The segmented bitmap is an *offline*-built structure (the paper reports
+//! 77.7 s to encode WebDocs); a database or search engine builds it once
+//! and memory-maps or loads it at query time. The format is deliberately
+//! simple and versioned:
+//!
+//! ```text
+//! magic   b"FSIA"            4 bytes
+//! version u8                 (currently 1)
+//! lane    u8                 (8 or 16)
+//! log2_m  u8
+//! n       u64 LE
+//! bitmap  [u8; m/8]
+//! meta    per-segment sizes as u32 LE (offsets are recomputed)
+//! body    [u32 LE; n]        reordered elements (padding is rebuilt)
+//! ```
+//!
+//! Storing sizes rather than packed `(offset, size)` entries keeps the
+//! format independent of the in-memory representation (compact vs wide)
+//! and shrinks no information: offsets are prefix sums.
+
+use crate::error::BuildError;
+use crate::params::FesiaParams;
+use crate::set::SegmentedSet;
+use fesia_simd::mask::LaneWidth;
+
+/// Format magic.
+const MAGIC: [u8; 4] = *b"FSIA";
+/// Current format version.
+const VERSION: u8 = 1;
+
+/// Why a byte buffer could not be decoded into a [`SegmentedSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer too short for the declared layout.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Invalid header field (lane width or bitmap size).
+    BadHeader,
+    /// The decoded structure failed validation (corrupt or tampered data).
+    Corrupt,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer too short"),
+            DecodeError::BadMagic => write!(f, "not a FESIA segmented-set buffer"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadHeader => write!(f, "invalid header field"),
+            DecodeError::Corrupt => write!(f, "structure failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl SegmentedSet {
+    /// Append the binary encoding of this set to `out`.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.lane().bits() as u8);
+        out.push(self.log2_m() as u8);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.bitmap_bytes());
+        for i in 0..self.num_segments() {
+            out.extend_from_slice(&(self.seg_size(i) as u32).to_le_bytes());
+        }
+        for &x in self.reordered_elements() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// The binary encoding as a fresh buffer.
+    ///
+    /// ```
+    /// use fesia_core::{FesiaParams, SegmentedSet};
+    /// let s = SegmentedSet::build(&[7, 11, 42], &FesiaParams::auto()).unwrap();
+    /// let bytes = s.serialize();
+    /// let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
+    /// assert_eq!(used, bytes.len());
+    /// assert!(back.contains(42));
+    /// ```
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        self.serialize_into(&mut out);
+        out
+    }
+
+    /// Exact length of [`SegmentedSet::serialize`]'s output.
+    pub fn serialized_len(&self) -> usize {
+        4 + 3 + 8 + self.bitmap_bytes().len() + self.num_segments() * 4 + self.len() * 4
+    }
+
+    /// Decode a buffer produced by [`SegmentedSet::serialize`]; returns the
+    /// set and the number of bytes consumed (buffers may be concatenated).
+    pub fn deserialize(bytes: &[u8]) -> Result<(SegmentedSet, usize), DecodeError> {
+        let need = |n: usize, at: usize| {
+            if bytes.len() < at + n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(15, 0)?;
+        if bytes[0..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(DecodeError::BadVersion(bytes[4]));
+        }
+        let lane = match bytes[5] {
+            8 => LaneWidth::U8,
+            16 => LaneWidth::U16,
+            _ => return Err(DecodeError::BadHeader),
+        };
+        let log2_m = bytes[6] as u32;
+        if !(9..=32).contains(&log2_m) {
+            // m below 512 bits or beyond the hash range is never produced.
+            return Err(DecodeError::BadHeader);
+        }
+        let n = u64::from_le_bytes(bytes[7..15].try_into().expect("checked")) as usize;
+        let m_bytes = (1usize << log2_m) / 8;
+        let segs = (1usize << log2_m) / lane.bits();
+        let mut at = 15;
+        need(m_bytes, at)?;
+        let bitmap = bytes[at..at + m_bytes].to_vec();
+        at += m_bytes;
+        need(segs * 4, at)?;
+        let sizes: Vec<u32> = (0..segs)
+            .map(|i| u32::from_le_bytes(bytes[at + i * 4..at + i * 4 + 4].try_into().expect("checked")))
+            .collect();
+        at += segs * 4;
+        if sizes.iter().map(|&s| s as u64).sum::<u64>() != n as u64 {
+            return Err(DecodeError::Corrupt);
+        }
+        need(n * 4, at)?;
+        let reordered: Vec<u32> = (0..n)
+            .map(|i| u32::from_le_bytes(bytes[at + i * 4..at + i * 4 + 4].try_into().expect("checked")))
+            .collect();
+        at += n * 4;
+
+        let set = SegmentedSet::from_decoded_parts(bitmap, sizes, reordered, log2_m, lane)
+            .ok_or(DecodeError::Corrupt)?;
+        Ok((set, at))
+    }
+}
+
+/// Convenience: serialize a whole collection (e.g. the per-term encodings
+/// of an inverted index) into one buffer.
+pub fn serialize_many(sets: &[SegmentedSet]) -> Vec<u8> {
+    let total: usize = sets.iter().map(SegmentedSet::serialized_len).sum();
+    let mut out = Vec::with_capacity(total + 8);
+    out.extend_from_slice(&(sets.len() as u64).to_le_bytes());
+    for s in sets {
+        s.serialize_into(&mut out);
+    }
+    out
+}
+
+/// Decode a buffer produced by [`serialize_many`].
+pub fn deserialize_many(bytes: &[u8]) -> Result<Vec<SegmentedSet>, DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked")) as usize;
+    let mut at = 8;
+    let mut sets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (set, used) = SegmentedSet::deserialize(&bytes[at..])?;
+        at += used;
+        sets.push(set);
+    }
+    Ok(sets)
+}
+
+/// Rebuild a set from an already-sorted slice with an explicit bitmap size
+/// — used by tests that need a specific (m, s) combination.
+pub fn build_with_bits(
+    sorted: &[u32],
+    bits_per_element: f64,
+    lane: LaneWidth,
+) -> Result<SegmentedSet, BuildError> {
+    SegmentedSet::build(
+        sorted,
+        &FesiaParams::auto()
+            .with_bits_per_element(bits_per_element)
+            .with_segment(lane),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::intersect_count;
+
+    fn sample_set(n: usize, seed: u64) -> SegmentedSet {
+        let mut state = seed | 1;
+        let mut vals = std::collections::BTreeSet::new();
+        while vals.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            vals.insert((state % 1_000_000) as u32);
+        }
+        let v: Vec<u32> = vals.into_iter().collect();
+        SegmentedSet::build(&v, &FesiaParams::auto()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for n in [0usize, 1, 100, 5_000] {
+            let set = sample_set(n, 42 + n as u64);
+            let bytes = set.serialize();
+            assert_eq!(bytes.len(), set.serialized_len());
+            let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert!(back.validate());
+            assert_eq!(back.len(), set.len());
+            assert_eq!(back.bitmap_bytes(), set.bitmap_bytes());
+            assert_eq!(back.reordered_elements(), set.reordered_elements());
+            // Behavioral equality: intersects identically.
+            assert_eq!(intersect_count(&set, &back), set.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_buffers_decode_in_sequence() {
+        let a = sample_set(200, 1);
+        let b = sample_set(300, 2);
+        let many = serialize_many(&[a.clone(), b.clone()]);
+        let back = deserialize_many(&many).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].reordered_elements(), a.reordered_elements());
+        assert_eq!(back[1].reordered_elements(), b.reordered_elements());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            SegmentedSet::deserialize(b"FSIA").unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            SegmentedSet::deserialize(&[0u8; 64]).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let mut bytes = sample_set(100, 3).serialize();
+        bytes[4] = 99;
+        assert_eq!(
+            SegmentedSet::deserialize(&bytes).unwrap_err(),
+            DecodeError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn rejects_tampered_payload() {
+        let set = sample_set(500, 7);
+        let mut bytes = set.serialize();
+        // Flip a bit inside the bitmap region: the element -> bit mapping
+        // no longer validates.
+        let bitmap_start = 15;
+        bytes[bitmap_start + 3] ^= 0xFF;
+        assert_eq!(
+            SegmentedSet::deserialize(&bytes).unwrap_err(),
+            DecodeError::Corrupt
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let set = sample_set(500, 9);
+        let bytes = set.serialize();
+        for cut in [10usize, 20, bytes.len() - 1] {
+            assert_eq!(
+                SegmentedSet::deserialize(&bytes[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut={cut}"
+            );
+        }
+    }
+}

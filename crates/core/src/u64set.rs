@@ -1,0 +1,261 @@
+//! 64-bit element support: [`Fesia64Set`].
+//!
+//! The paper's data structure and kernels are defined over 32-bit integers
+//! (as are its experiments). For 64-bit keys — row ids, hashes — we apply
+//! the same hierarchical decomposition Hiera and Roaring use: values are
+//! partitioned by their upper 32 bits into *groups*, and each group's
+//! lower-32 values form an ordinary [`SegmentedSet`]. Intersection merges
+//! the sorted group keys (few, since real 64-bit data is clustered) and
+//! runs the full two-phase FESIA algorithm per matching group.
+//!
+//! The two lower-32 values reserved as SIMD sentinels
+//! ([`crate::MAX_ELEMENT`] excludes them) are kept in a tiny per-group
+//! exception list and merged scalar-style, so the *full* `u64` domain is
+//! supported.
+
+use crate::error::{BuildError, MAX_ELEMENT};
+use crate::intersect::intersect_count_with;
+use crate::kernels::KernelTable;
+use crate::params::FesiaParams;
+use crate::set::SegmentedSet;
+
+/// One group: FESIA over the common low-32 values plus the (at most two)
+/// reserved-value exceptions.
+#[derive(Debug, Clone)]
+struct Group {
+    key: u32,
+    set: SegmentedSet,
+    exceptions: Vec<u32>,
+}
+
+/// A set of `u64` values as grouped segmented bitmaps.
+#[derive(Debug, Clone)]
+pub struct Fesia64Set {
+    groups: Vec<Group>,
+    n: usize,
+}
+
+impl Fesia64Set {
+    /// Encode a sorted, duplicate-free `u64` slice.
+    pub fn build(sorted: &[u64], params: &FesiaParams) -> Result<Fesia64Set, BuildError> {
+        for (i, w) in sorted.windows(2).enumerate() {
+            if w[0] == w[1] {
+                return Err(BuildError::Duplicate { index: i + 1 });
+            }
+            if w[0] > w[1] {
+                return Err(BuildError::NotSorted { index: i + 1 });
+            }
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut lows: Vec<u32> = Vec::new();
+        let mut exceptions: Vec<u32> = Vec::new();
+        let mut current: Option<u32> = None;
+        let flush = |key: Option<u32>,
+                         lows: &mut Vec<u32>,
+                         exceptions: &mut Vec<u32>,
+                         groups: &mut Vec<Group>|
+         -> Result<(), BuildError> {
+            if let Some(key) = key {
+                groups.push(Group {
+                    key,
+                    set: SegmentedSet::build(lows, params)?,
+                    exceptions: std::mem::take(exceptions),
+                });
+                lows.clear();
+            }
+            Ok(())
+        };
+        for &x in sorted {
+            let hi = (x >> 32) as u32;
+            if current != Some(hi) {
+                flush(current, &mut lows, &mut exceptions, &mut groups)?;
+                current = Some(hi);
+            }
+            let lo = x as u32;
+            if lo > MAX_ELEMENT {
+                exceptions.push(lo);
+            } else {
+                lows.push(lo);
+            }
+        }
+        flush(current, &mut lows, &mut exceptions, &mut groups)?;
+        Ok(Fesia64Set {
+            groups,
+            n: sorted.len(),
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of high-32 groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u64) -> bool {
+        let hi = (x >> 32) as u32;
+        match self.groups.binary_search_by_key(&hi, |g| g.key) {
+            Err(_) => false,
+            Ok(gi) => {
+                let lo = x as u32;
+                if lo > MAX_ELEMENT {
+                    self.groups[gi].exceptions.contains(&lo)
+                } else {
+                    self.groups[gi].set.contains(lo)
+                }
+            }
+        }
+    }
+
+    /// Total heap footprint in bytes (approximate).
+    pub fn memory_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| 8 + g.set.memory_bytes() + g.exceptions.len() * 4)
+            .sum()
+    }
+}
+
+/// |A ∩ B| for 64-bit sets: group-key merge, FESIA per matching group.
+pub fn intersect_count64_with(a: &Fesia64Set, b: &Fesia64Set, table: &KernelTable) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.groups.len() && j < b.groups.len() {
+        let (ga, gb) = (&a.groups[i], &b.groups[j]);
+        match ga.key.cmp(&gb.key) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += intersect_count_with(&ga.set, &gb.set, table);
+                count += ga
+                    .exceptions
+                    .iter()
+                    .filter(|x| gb.exceptions.contains(x))
+                    .count();
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// |A ∩ B| with the process-default kernel table.
+///
+/// ```
+/// use fesia_core::{intersect_count64, Fesia64Set, FesiaParams};
+/// let p = FesiaParams::auto();
+/// let a = Fesia64Set::build(&[1, 1 << 40, u64::MAX], &p).unwrap();
+/// let b = Fesia64Set::build(&[1 << 40, u64::MAX], &p).unwrap();
+/// assert_eq!(intersect_count64(&a, &b), 2);
+/// ```
+pub fn intersect_count64(a: &Fesia64Set, b: &Fesia64Set) -> usize {
+    intersect_count64_with(a, b, crate::intersect::default_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen64(n: usize, seed: u64, groups: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let hi = state % groups;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let lo = state % 1_000_000;
+            set.insert((hi << 32) | lo);
+        }
+        set.into_iter().collect()
+    }
+
+    fn reference(a: &[u64], b: &[u64]) -> usize {
+        let bs: std::collections::HashSet<u64> = b.iter().copied().collect();
+        a.iter().filter(|x| bs.contains(x)).count()
+    }
+
+    #[test]
+    fn grouped_counts_match_reference() {
+        let params = FesiaParams::auto();
+        for groups in [1u64, 4, 64] {
+            let a = gen64(5_000, 3, groups);
+            let mut b = gen64(5_000, 7, groups);
+            // Force overlap.
+            b.extend(a.iter().step_by(5));
+            b.sort_unstable();
+            b.dedup();
+            let want = reference(&a, &b);
+            assert!(want > 0);
+            let sa = Fesia64Set::build(&a, &params).unwrap();
+            let sb = Fesia64Set::build(&b, &params).unwrap();
+            assert_eq!(intersect_count64(&sa, &sb), want, "groups={groups}");
+        }
+    }
+
+    #[test]
+    fn full_u64_domain_including_sentinel_lows() {
+        let params = FesiaParams::auto();
+        // Values whose low 32 bits are the reserved sentinels.
+        let a: Vec<u64> = vec![
+            0x0000_0001_0000_0000,
+            0x0000_0001_FFFF_FFFE, // lo = u32::MAX - 1 (reserved)
+            0x0000_0001_FFFF_FFFF, // lo = u32::MAX (reserved)
+            0x0000_0002_0000_0007,
+            u64::MAX,
+        ];
+        let b: Vec<u64> = vec![
+            0x0000_0001_FFFF_FFFF,
+            0x0000_0002_0000_0007,
+            0x0000_0003_0000_0000,
+            u64::MAX,
+        ];
+        let sa = Fesia64Set::build(&a, &params).unwrap();
+        let sb = Fesia64Set::build(&b, &params).unwrap();
+        assert_eq!(intersect_count64(&sa, &sb), 3);
+        for &x in &a {
+            assert!(sa.contains(x), "{x:#x}");
+        }
+        assert!(!sa.contains(0x0000_0001_FFFF_FFFD));
+        assert!(!sa.contains(0xFFFF_0001_0000_0000));
+    }
+
+    #[test]
+    fn membership_and_shape() {
+        let params = FesiaParams::auto();
+        let v = gen64(2_000, 11, 16);
+        let s = Fesia64Set::build(&v, &params).unwrap();
+        assert_eq!(s.len(), 2_000);
+        assert!(s.num_groups() <= 16);
+        assert!(s.memory_bytes() > 0);
+        for &x in v.iter().step_by(37) {
+            assert!(s.contains(x));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let params = FesiaParams::auto();
+        assert!(matches!(
+            Fesia64Set::build(&[5, 5], &params),
+            Err(BuildError::Duplicate { index: 1 })
+        ));
+        assert!(matches!(
+            Fesia64Set::build(&[5, 4], &params),
+            Err(BuildError::NotSorted { index: 1 })
+        ));
+        assert!(Fesia64Set::build(&[], &params).unwrap().is_empty());
+    }
+}

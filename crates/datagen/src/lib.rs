@@ -1,0 +1,24 @@
+//! # fesia-datagen
+//!
+//! Deterministic synthetic workload generators for the FESIA experiments
+//! (paper §VII-A): sorted duplicate-free `u32` sets with controlled
+//!
+//! * **size** `n` (Fig. 7),
+//! * **selectivity** `r / n` (Figs. 8-9),
+//! * **density** `n / range` for k-way workloads (Fig. 10),
+//! * **skew** `n1 / n2` (Fig. 11),
+//!
+//! plus a [`Zipf`] sampler (for the WebDocs-substitute corpus in
+//! `fesia-index`) and the seedable [`SplitMix64`] generator everything runs
+//! on — a fixed seed regenerates a workload bit for bit.
+
+pub mod rng;
+pub mod sets;
+pub mod zipf;
+
+pub use rng::SplitMix64;
+pub use sets::{
+    ksets_with_density, ksets_with_intersection, pair_with_intersection, reference_count,
+    skewed_pair, sorted_distinct, MAX_VALUE,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,224 @@
+//! Synthetic sorted-set workloads with controlled size, selectivity,
+//! density and skew — the knobs of the paper's §VII experiments.
+
+use crate::rng::SplitMix64;
+use std::collections::HashSet;
+
+/// Largest element value generated (the top few `u32` values are reserved
+/// as SIMD padding sentinels by `fesia-core`).
+pub const MAX_VALUE: u32 = u32::MAX - 16;
+
+/// `n` distinct sorted values uniform over `[0, universe)`.
+///
+/// # Panics
+/// Panics if `universe < n` or `universe > MAX_VALUE`.
+pub fn sorted_distinct(n: usize, universe: u32, rng: &mut SplitMix64) -> Vec<u32> {
+    assert!(universe as usize >= n, "universe too small for n distinct values");
+    assert!(universe <= MAX_VALUE, "universe exceeds the element domain");
+    let mut out: Vec<u32>;
+    if n * 2 >= universe as usize {
+        // Dense: materialize the range and keep a random n-subset
+        // (partial Fisher-Yates).
+        let mut all: Vec<u32> = (0..universe).collect();
+        for i in 0..n {
+            let j = i + rng.below((universe as usize - i) as u64) as usize;
+            all.swap(i, j);
+        }
+        all.truncate(n);
+        out = all;
+    } else {
+        // Sparse: rejection sampling.
+        let mut seen = HashSet::with_capacity(n * 2);
+        out = Vec::with_capacity(n);
+        while out.len() < n {
+            let v = rng.below(universe as u64) as u32;
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A pair of sorted sets with exact sizes `n1`, `n2` and exactly `r`
+/// common elements, drawn sparsely from the full domain.
+///
+/// This is the workload of Figs. 7-9: `selectivity = r / n` with
+/// `n1 = n2 = n`.
+///
+/// # Panics
+/// Panics if `r > min(n1, n2)`.
+pub fn pair_with_intersection(
+    n1: usize,
+    n2: usize,
+    r: usize,
+    rng: &mut SplitMix64,
+) -> (Vec<u32>, Vec<u32>) {
+    let sets = ksets_with_intersection(&[n1, n2], r, rng);
+    let mut it = sets.into_iter();
+    (it.next().unwrap(), it.next().unwrap())
+}
+
+/// `k` sorted sets of the given sizes sharing exactly `r` common elements
+/// (and nothing else pairwise — private elements are globally distinct).
+///
+/// # Panics
+/// Panics if `r > min(sizes)`.
+pub fn ksets_with_intersection(sizes: &[usize], r: usize, rng: &mut SplitMix64) -> Vec<Vec<u32>> {
+    assert!(!sizes.is_empty());
+    let min_n = *sizes.iter().min().unwrap();
+    assert!(r <= min_n, "intersection size exceeds the smallest set");
+    let total: usize = sizes.iter().sum::<usize>() - (sizes.len() - 1) * r;
+    // Draw `total` globally distinct values: r common + private pools.
+    let pool = sorted_distinct(total, MAX_VALUE, rng);
+    let mut shuffled = pool;
+    rng.shuffle(&mut shuffled);
+    let (common, rest) = shuffled.split_at(r);
+    let mut offset = 0usize;
+    sizes
+        .iter()
+        .map(|&n| {
+            let private = &rest[offset..offset + (n - r)];
+            offset += n - r;
+            let mut s: Vec<u32> = common.iter().chain(private).copied().collect();
+            s.sort_unstable();
+            s
+        })
+        .collect()
+}
+
+/// `k` sorted sets of size `n` drawn independently from a range sized by
+/// `density = n / range` (the x-axis of Fig. 10). Density 0 means the full
+/// domain (effectively disjoint sets); density 1 makes every set almost the
+/// whole range, so the intersection is nearly everything. For `k` sets the
+/// expected selectivity scales like `density^(k-1)`.
+pub fn ksets_with_density(k: usize, n: usize, density: f64, rng: &mut SplitMix64) -> Vec<Vec<u32>> {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let range = if density <= f64::EPSILON {
+        MAX_VALUE
+    } else {
+        ((n as f64 / density) as u64).clamp(n as u64, MAX_VALUE as u64) as u32
+    };
+    (0..k).map(|_| sorted_distinct(n, range, rng)).collect()
+}
+
+/// A skewed pair for Fig. 11: sizes `n1 <= n2`, intersection
+/// `r = selectivity * n1`.
+pub fn skewed_pair(
+    n1: usize,
+    n2: usize,
+    selectivity: f64,
+    rng: &mut SplitMix64,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!(n1 <= n2, "call with n1 <= n2");
+    let r = ((n1 as f64) * selectivity).round() as usize;
+    pair_with_intersection(n1, n2, r.min(n1), rng)
+}
+
+/// Exact intersection size of two sorted runs (test/verification helper).
+pub fn reference_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut r) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                r += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted_distinct(v: &[u32]) -> bool {
+        v.windows(2).all(|w| w[0] < w[1])
+    }
+
+    #[test]
+    fn sorted_distinct_properties() {
+        let mut rng = SplitMix64::new(1);
+        for (n, u) in [(0usize, 10u32), (10, 10), (100, 1000), (5000, 1 << 20)] {
+            let v = sorted_distinct(n, u, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(is_sorted_distinct(&v));
+            assert!(v.iter().all(|&x| x < u));
+        }
+    }
+
+    #[test]
+    fn dense_path_covers_whole_range() {
+        let mut rng = SplitMix64::new(2);
+        let v = sorted_distinct(100, 100, &mut rng);
+        assert_eq!(v, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pair_has_exact_intersection() {
+        let mut rng = SplitMix64::new(3);
+        for (n1, n2, r) in [(100usize, 100usize, 0usize), (100, 100, 10), (50, 500, 50), (1000, 1000, 1000)] {
+            let (a, b) = pair_with_intersection(n1, n2, r, &mut rng);
+            assert_eq!(a.len(), n1);
+            assert_eq!(b.len(), n2);
+            assert!(is_sorted_distinct(&a) && is_sorted_distinct(&b));
+            assert_eq!(reference_count(&a, &b), r, "n1={n1} n2={n2} r={r}");
+        }
+    }
+
+    #[test]
+    fn ksets_share_exactly_r() {
+        let mut rng = SplitMix64::new(4);
+        let sets = ksets_with_intersection(&[200, 300, 400], 25, &mut rng);
+        assert_eq!(sets.len(), 3);
+        // Common to all three.
+        let mut common: Vec<u32> = sets[0]
+            .iter()
+            .copied()
+            .filter(|x| sets[1].binary_search(x).is_ok() && sets[2].binary_search(x).is_ok())
+            .collect();
+        common.dedup();
+        assert_eq!(common.len(), 25);
+        // Pairwise intersections are exactly the common pool (privates are
+        // globally distinct).
+        assert_eq!(reference_count(&sets[0], &sets[1]), 25);
+        assert_eq!(reference_count(&sets[1], &sets[2]), 25);
+    }
+
+    #[test]
+    fn density_controls_overlap() {
+        let mut rng = SplitMix64::new(5);
+        let sparse = ksets_with_density(2, 2000, 0.0, &mut rng);
+        let dense = ksets_with_density(2, 2000, 0.9, &mut rng);
+        let r_sparse = reference_count(&sparse[0], &sparse[1]);
+        let r_dense = reference_count(&dense[0], &dense[1]);
+        assert!(r_dense > 50 * (r_sparse + 1), "sparse={r_sparse} dense={r_dense}");
+    }
+
+    #[test]
+    fn skewed_pair_selectivity() {
+        let mut rng = SplitMix64::new(6);
+        let (a, b) = skewed_pair(1000, 32_000, 0.1, &mut rng);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(b.len(), 32_000);
+        assert_eq!(reference_count(&a, &b), 100);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let v1 = sorted_distinct(500, 1 << 20, &mut SplitMix64::new(77));
+        let v2 = sorted_distinct(500, 1 << 20, &mut SplitMix64::new(77));
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn impossible_request_panics() {
+        let _ = sorted_distinct(11, 10, &mut SplitMix64::new(1));
+    }
+}

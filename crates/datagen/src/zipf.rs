@@ -1,0 +1,154 @@
+//! Zipf-distributed sampling by rejection inversion (Hörmann &
+//! Derflinger, "Rejection-inversion to generate variates from monotone
+//! discrete distributions", 1996).
+//!
+//! Used to synthesize the WebDocs-substitute corpus: real web-document term
+//! frequencies are famously Zipfian, and FESIA's advantage on the database
+//! query task depends on that skew (long posting lists for frequent terms,
+//! short for rare ones). O(1) expected time per sample, any `n`.
+
+use crate::rng::SplitMix64;
+
+/// A Zipf distribution over `{1, …, n}` with exponent `s > 0`
+/// (`P(k) ∝ k^-s`).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    dense_ok: f64,
+}
+
+impl Zipf {
+    /// Create a sampler. `n >= 1`, `s > 0`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one element");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        // Acceptance shortcut threshold: samples with x - k <= this are
+        // accepted without evaluating the boundary integral.
+        let dense_ok = 1.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            dense_ok,
+        }
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        loop {
+            let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if (k - x).abs() <= self.dense_ok
+                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// `H(x) = ∫ t^-s dt` with the additive constant chosen so `H(1)=0`:
+/// `(x^(1-s) - 1) / (1-s)`, or `ln x` at `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (1.0 - s).abs() < 1e-9 {
+        log_x
+    } else {
+        ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+    }
+}
+
+/// `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(u: f64, s: f64) -> f64 {
+    if (1.0 - s).abs() < 1e-9 {
+        u.exp()
+    } else {
+        let t = (u * (1.0 - s)).max(-1.0 + 1e-15);
+        (t.ln_1p() / (1.0 - s)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, s: f64, samples: usize, seed: u64) -> Vec<usize> {
+        let z = Zipf::new(n, s);
+        let mut rng = SplitMix64::new(seed);
+        let mut counts = vec![0usize; n as usize + 1];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            assert!(k >= 1 && k <= n);
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for (n, s) in [(1u64, 1.0), (10, 0.5), (1000, 1.0), (1_000_000, 1.2)] {
+            let z = Zipf::new(n, s);
+            let mut rng = SplitMix64::new(42);
+            for _ in 0..2_000 {
+                let k = z.sample(&mut rng);
+                assert!((1..=n).contains(&k), "n={n} s={s} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn frequencies_decay_like_a_power_law() {
+        let counts = histogram(1000, 1.0, 200_000, 7);
+        // P(1)/P(2) should be ~2 for s=1; allow generous noise.
+        let ratio = counts[1] as f64 / counts[2].max(1) as f64;
+        assert!((1.5..3.0).contains(&ratio), "P(1)/P(2) = {ratio}");
+        // Rank 1 dominates rank 100 by roughly 100x.
+        let r100 = counts[1] as f64 / counts[100].max(1) as f64;
+        assert!(r100 > 20.0, "P(1)/P(100) = {r100}");
+        // Head mass: for s=1, n=1000, rank 1 has ~1/H(1000) ~ 13% of mass.
+        let p1 = counts[1] as f64 / 200_000.0;
+        assert!((0.08..0.20).contains(&p1), "P(1) = {p1}");
+    }
+
+    #[test]
+    fn exponent_controls_skew() {
+        let flat = histogram(100, 0.2, 100_000, 3);
+        let steep = histogram(100, 2.0, 100_000, 3);
+        let head_flat = flat[1] as f64 / 100_000.0;
+        let head_steep = steep[1] as f64 / 100_000.0;
+        assert!(head_steep > 3.0 * head_flat, "flat={head_flat} steep={head_steep}");
+    }
+
+    #[test]
+    fn degenerate_n_one() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn zero_exponent_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic graph generators standing in for the SNAP datasets of the
+//! paper's triangle-counting task (Table III / Fig. 13 — Patents, HepPh,
+//! LiveJournal). See DESIGN.md §3 for the substitution argument: triangle
+//! counting stresses many small-intersection adjacency queries over a
+//! skewed degree distribution, which power-law generators reproduce.
+
+use crate::csr::CsrGraph;
+use fesia_datagen::SplitMix64;
+
+/// Erdős–Rényi G(n, m): `m` uniform random edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes with probability proportional to degree
+/// (implemented with the repeated-endpoints trick). Produces the heavy-
+/// tailed degree distribution and high clustering of citation/social
+/// graphs.
+pub fn barabasi_albert(n: usize, m_per_node: usize, seed: u64) -> CsrGraph {
+    assert!(n > m_per_node && m_per_node >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_per_node);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m_per_node);
+    // Seed clique over the first m_per_node + 1 nodes.
+    for u in 0..=m_per_node as u32 {
+        for v in 0..u {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (m_per_node + 1)..n {
+        let u = u as u32;
+        let mut picked = Vec::with_capacity(m_per_node);
+        while picked.len() < m_per_node {
+            let v = endpoints[rng.below(endpoints.len() as u64) as usize];
+            if v != u && !picked.contains(&v) {
+                picked.push(v);
+            }
+        }
+        for &v in &picked {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// R-MAT (Chakrabarti et al.): recursive quadrant sampling with partition
+/// probabilities `(a, b, c, d)`. The standard skewed parameterization
+/// `(0.57, 0.19, 0.19, 0.05)` yields power-law degrees and community
+/// structure similar to web/social graphs such as LiveJournal.
+pub fn rmat(scale: u32, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let d = 1.0 - a - b - c;
+    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && d > 0.0, "bad R-MAT parameters");
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let r = rng.f64();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u as u32, v as u32));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// A named graph preset mirroring one of the paper's Table III datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphPreset {
+    /// cit-Patents-like: sparse citation network, low clustering
+    /// (3.77M nodes / 16.5M edges in the paper).
+    Patents,
+    /// ca-HepPh-like: small dense collaboration network with very high
+    /// clustering (34.5k nodes / 421k edges).
+    HepPh,
+    /// soc-LiveJournal-like: large social network, heavy-tailed degrees
+    /// (4.0M nodes / 34.7M edges).
+    LiveJournal,
+}
+
+impl GraphPreset {
+    /// All presets, in Table III order.
+    pub const ALL: [GraphPreset; 3] =
+        [GraphPreset::Patents, GraphPreset::HepPh, GraphPreset::LiveJournal];
+
+    /// The dataset name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphPreset::Patents => "Patents",
+            GraphPreset::HepPh => "HepPh",
+            GraphPreset::LiveJournal => "LiveJournal",
+        }
+    }
+
+    /// Paper-reported (nodes, edges) of the real dataset.
+    pub fn paper_size(&self) -> (usize, usize) {
+        match self {
+            GraphPreset::Patents => (3_774_768, 16_518_948),
+            GraphPreset::HepPh => (34_546, 421_578),
+            GraphPreset::LiveJournal => (3_997_962, 34_681_189),
+        }
+    }
+
+    /// Generate the synthetic stand-in at `scale` (1.0 = paper-sized;
+    /// benchmarks default to a smaller scale, recorded in EXPERIMENTS.md).
+    pub fn generate(&self, scale: f64, seed: u64) -> CsrGraph {
+        let (n0, m0) = self.paper_size();
+        let n = ((n0 as f64 * scale) as usize).max(1_000);
+        let m = ((m0 as f64 * scale) as usize).max(4_000);
+        match self {
+            // Citation graph: low clustering -> ER-like with mild skew.
+            GraphPreset::Patents => erdos_renyi(n, m, seed),
+            // Dense collaboration network: strong clustering -> BA.
+            GraphPreset::HepPh => barabasi_albert(n, (m / n).max(2), seed),
+            // Social network: R-MAT with the standard skewed quadrants.
+            GraphPreset::LiveJournal => {
+                let scale_bits = (n as f64).log2().ceil() as u32;
+                rmat(scale_bits, m, 0.57, 0.19, 0.19, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_shape() {
+        let g = erdos_renyi(1_000, 5_000, 1);
+        assert!(g.validate());
+        assert_eq!(g.num_nodes(), 1_000);
+        // Some duplicates collapse; stay within 10%.
+        assert!(g.num_edges() > 4_500 && g.num_edges() <= 5_000);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let g = barabasi_albert(2_000, 3, 2);
+        assert!(g.validate());
+        let max_deg = (0..2_000u32).map(|v| g.degree(v)).max().unwrap();
+        let mean_deg = g.num_directed_edges() as f64 / 2_000.0;
+        assert!(
+            max_deg as f64 > 8.0 * mean_deg,
+            "max {max_deg} vs mean {mean_deg} — no hub formed"
+        );
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 30_000, 0.57, 0.19, 0.19, 3);
+        assert!(g.validate());
+        let mut degs: Vec<usize> = (0..g.num_nodes() as u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top node holds far more than the mean.
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(degs[0] as f64 > 10.0 * mean, "top={} mean={mean}", degs[0]);
+    }
+
+    #[test]
+    fn presets_generate_scaled_graphs() {
+        for preset in GraphPreset::ALL {
+            let g = preset.generate(0.002, 7);
+            assert!(g.validate(), "{}", preset.name());
+            assert!(g.num_nodes() >= 1_000, "{}", preset.name());
+            assert!(g.num_edges() >= 1_000, "{}", preset.name());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = erdos_renyi(500, 2_000, 9);
+        let b = erdos_renyi(500, 2_000, 9);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..500u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # fesia-graph
+//!
+//! The graph-analytics substrate for the FESIA evaluation (paper §VII-F,
+//! Table III / Fig. 13): CSR graphs with sorted adjacency, synthetic
+//! generators standing in for the SNAP datasets (Patents / HepPh /
+//! LiveJournal — see DESIGN.md §3), and intersection-based triangle
+//! counting with a pluggable intersection method and multicore scaling.
+//!
+//! ```
+//! use fesia_graph::{count_reference, CsrGraph};
+//!
+//! let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+//! assert_eq!(count_reference(&g), 2);
+//! ```
+
+pub mod cliques;
+pub mod clustering;
+pub mod csr;
+pub mod generate;
+pub mod similarity;
+pub mod triangles;
+
+pub use cliques::{clique_size_histogram, maximal_cliques};
+pub use csr::CsrGraph;
+pub use generate::{barabasi_albert, erdos_renyi, rmat, GraphPreset};
+pub use clustering::{average_clustering, local_clustering, per_vertex_triangles, transitivity};
+pub use similarity::{cosine, jaccard, recommend, Candidate};
+pub use triangles::{common_neighbors, count_reference, count_with_method, FesiaGraph};

@@ -1,0 +1,156 @@
+//! Neighborhood similarity and link prediction — the "common friends"
+//! application from the paper's introduction (§I): recommending `v` to `u`
+//! because they share many neighbors is one set intersection per candidate
+//! pair, exactly the small-intersection regime FESIA targets.
+
+use crate::csr::CsrGraph;
+use fesia_baselines::SliceIntersector;
+
+/// Jaccard similarity of two vertices' neighborhoods:
+/// `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|` (0 when both are isolated).
+pub fn jaccard(g: &CsrGraph, u: u32, v: u32, method: &dyn SliceIntersector) -> f64 {
+    let inter = method.count(g.neighbors(u), g.neighbors(v));
+    let union = g.degree(u) + g.degree(v) - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity of neighborhoods:
+/// `|N(u) ∩ N(v)| / sqrt(deg(u) · deg(v))`.
+pub fn cosine(g: &CsrGraph, u: u32, v: u32, method: &dyn SliceIntersector) -> f64 {
+    let inter = method.count(g.neighbors(u), g.neighbors(v));
+    let denom = (g.degree(u) as f64 * g.degree(v) as f64).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        inter as f64 / denom
+    }
+}
+
+/// A scored link-prediction candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The recommended vertex.
+    pub vertex: u32,
+    /// Number of common neighbors with the query vertex.
+    pub common: usize,
+    /// Jaccard score.
+    pub jaccard: f64,
+}
+
+/// Top-k link predictions for `u`: non-adjacent vertices at distance two,
+/// ranked by common-neighbor count (ties by Jaccard, then id).
+///
+/// Distance-two candidates are exactly the vertices whose recommendation
+/// score can be non-zero, so the candidate set is `∪_{w ∈ N(u)} N(w)`.
+pub fn recommend(
+    g: &CsrGraph,
+    u: u32,
+    k: usize,
+    method: &dyn SliceIntersector,
+) -> Vec<Candidate> {
+    let mut candidates: Vec<u32> = g
+        .neighbors(u)
+        .iter()
+        .flat_map(|&w| g.neighbors(w).iter().copied())
+        .filter(|&v| v != u)
+        .collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    // Drop existing neighbors.
+    candidates.retain(|v| g.neighbors(u).binary_search(v).is_err());
+
+    let mut scored: Vec<Candidate> = candidates
+        .into_iter()
+        .map(|v| {
+            let common = method.count(g.neighbors(u), g.neighbors(v));
+            Candidate {
+                vertex: v,
+                common,
+                jaccard: {
+                    let union = g.degree(u) + g.degree(v) - common;
+                    if union == 0 { 0.0 } else { common as f64 / union as f64 }
+                },
+            }
+        })
+        .filter(|c| c.common > 0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.common
+            .cmp(&a.common)
+            .then(b.jaccard.partial_cmp(&a.jaccard).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.vertex.cmp(&b.vertex))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fesia_baselines::Method;
+
+    /// Two triangles sharing an edge plus a pendant:
+    /// 0-1, 0-2, 1-2, 1-3, 2-3, 3-4.
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let g = sample();
+        let m = Method::Scalar;
+        // N(0) = {1,2}, N(3) = {1,2,4}: inter 2, union 3.
+        assert!((jaccard(&g, 0, 3, &m) - 2.0 / 3.0).abs() < 1e-12);
+        // N(0) = {1,2}, N(4) = {3}: disjoint.
+        assert_eq!(jaccard(&g, 0, 4, &m), 0.0);
+        // Symmetry.
+        assert_eq!(jaccard(&g, 0, 3, &m), jaccard(&g, 3, 0, &m));
+    }
+
+    #[test]
+    fn cosine_known_values() {
+        let g = sample();
+        let m = Method::Scalar;
+        // inter(0,3) = 2, deg 2 and 3.
+        assert!((cosine(&g, 0, 3, &m) - 2.0 / 6.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recommendation_finds_the_missing_link() {
+        let g = sample();
+        let m = Method::Scalar;
+        // 0 and 3 share two neighbors and are not adjacent: the top pick.
+        let recs = recommend(&g, 0, 3, &m);
+        assert_eq!(recs[0].vertex, 3);
+        assert_eq!(recs[0].common, 2);
+        // Existing neighbors are never recommended.
+        assert!(recs.iter().all(|c| ![1u32, 2].contains(&c.vertex)));
+    }
+
+    #[test]
+    fn all_methods_give_identical_recommendations() {
+        let g = crate::generate::barabasi_albert(600, 4, 77);
+        let want = recommend(&g, 5, 10, &Method::Scalar);
+        for m in Method::all() {
+            let got = recommend(&g, 5, 10, &m);
+            assert_eq!(got.len(), want.len(), "method={}", m.name());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.vertex, b.vertex, "method={}", m.name());
+                assert_eq!(a.common, b.common, "method={}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_harmless() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let m = Method::Scalar;
+        assert_eq!(jaccard(&g, 2, 0, &m), 0.0);
+        assert_eq!(cosine(&g, 2, 2, &m), 0.0);
+        assert!(recommend(&g, 2, 5, &m).is_empty());
+    }
+}

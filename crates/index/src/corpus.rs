@@ -1,0 +1,180 @@
+//! Synthetic web-document corpus and inverted index.
+//!
+//! Stands in for the WebDocs dataset of the paper's database query task
+//! (Fig. 12; FIMI repository — 1.7M HTML documents, 5.27M distinct items).
+//! Real web corpora have Zipfian term frequencies, which is exactly what
+//! makes keyword-query intersections low-selectivity and posting-list
+//! lengths skewed; the generator reproduces both properties with explicit
+//! knobs (see DESIGN.md §3 for the substitution argument).
+
+use fesia_datagen::{SplitMix64, Zipf};
+use std::collections::HashSet;
+
+/// Shape of a synthetic corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusParams {
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size (distinct terms).
+    pub num_terms: usize,
+    /// Mean distinct terms per document.
+    pub avg_doc_len: usize,
+    /// Zipf exponent of term popularity (≈1.0 for natural language).
+    pub zipf_exponent: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CorpusParams {
+    /// A laptop-scale stand-in for WebDocs: same shape, scaled counts.
+    pub fn webdocs_scaled(scale: f64, seed: u64) -> CorpusParams {
+        CorpusParams {
+            num_docs: ((1_700_000.0 * scale) as usize).max(1_000),
+            num_terms: ((5_267_656.0 * scale) as usize).max(10_000),
+            avg_doc_len: 177, // WebDocs' mean transaction length
+            zipf_exponent: 1.0,
+            seed,
+        }
+    }
+}
+
+/// An inverted index: term id → sorted list of document ids.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<u32>>,
+    num_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Synthesize a corpus and build its inverted index.
+    ///
+    /// Each document draws `~avg_doc_len` distinct terms from a Zipf
+    /// distribution over the vocabulary; document ids are assigned in
+    /// increasing order, so posting lists come out sorted for free.
+    pub fn synthesize(params: &CorpusParams) -> InvertedIndex {
+        assert!(params.num_docs > 0 && params.num_terms > 0 && params.avg_doc_len > 0);
+        let mut rng = SplitMix64::new(params.seed);
+        let zipf = Zipf::new(params.num_terms as u64, params.zipf_exponent);
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); params.num_terms];
+        let mut doc_terms: HashSet<u32> = HashSet::new();
+        for doc in 0..params.num_docs as u32 {
+            // Doc length jitter: uniform in [avg/2, 3*avg/2).
+            let len = params.avg_doc_len / 2
+                + rng.below(params.avg_doc_len.max(1) as u64) as usize;
+            doc_terms.clear();
+            // Cap the retry budget: very short vocabularies may not have
+            // `len` distinct terms reachable in reasonable time.
+            let mut attempts = 0usize;
+            while doc_terms.len() < len && attempts < len * 8 {
+                attempts += 1;
+                let term = (zipf.sample(&mut rng) - 1) as u32;
+                doc_terms.insert(term);
+            }
+            for &t in &doc_terms {
+                postings[t as usize].push(doc);
+            }
+        }
+        InvertedIndex {
+            postings,
+            num_docs: params.num_docs,
+        }
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Vocabulary size.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The sorted posting list of a term.
+    pub fn posting(&self, term: u32) -> &[u32] {
+        &self.postings[term as usize]
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: u32) -> usize {
+        self.postings[term as usize].len()
+    }
+
+    /// Total number of postings (sum of list lengths).
+    pub fn total_postings(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Term ids sorted by descending document frequency.
+    pub fn terms_by_frequency(&self) -> Vec<u32> {
+        let mut terms: Vec<u32> = (0..self.num_terms() as u32).collect();
+        terms.sort_by_key(|&t| std::cmp::Reverse(self.doc_freq(t)));
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> InvertedIndex {
+        InvertedIndex::synthesize(&CorpusParams {
+            num_docs: 2_000,
+            num_terms: 5_000,
+            avg_doc_len: 40,
+            zipf_exponent: 1.0,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn postings_are_sorted_doc_ids() {
+        let idx = small_corpus();
+        assert_eq!(idx.num_docs(), 2_000);
+        assert_eq!(idx.num_terms(), 5_000);
+        for t in 0..idx.num_terms() as u32 {
+            let p = idx.posting(t);
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "term {t} unsorted");
+            assert!(p.iter().all(|&d| d < 2_000));
+        }
+    }
+
+    #[test]
+    fn total_postings_track_doc_lengths() {
+        let idx = small_corpus();
+        let total = idx.total_postings();
+        // ~2000 docs x ~40 terms, generous band for Zipf duplicate-draws.
+        assert!(total > 2_000 * 15 && total < 2_000 * 80, "total={total}");
+    }
+
+    #[test]
+    fn term_popularity_is_zipfian() {
+        let idx = small_corpus();
+        let by_freq = idx.terms_by_frequency();
+        let head = idx.doc_freq(by_freq[0]);
+        let mid = idx.doc_freq(by_freq[idx.num_terms() / 10]).max(1);
+        assert!(
+            head > 10 * mid,
+            "head df {head} should dwarf the 10th-percentile df {mid}"
+        );
+        // The head terms appear in a sizable fraction of all documents.
+        assert!(head > idx.num_docs() / 10);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        for t in (0..5_000u32).step_by(97) {
+            assert_eq!(a.posting(t), b.posting(t));
+        }
+    }
+
+    #[test]
+    fn webdocs_scaled_shape() {
+        let p = CorpusParams::webdocs_scaled(0.01, 1);
+        assert_eq!(p.num_docs, 17_000);
+        assert_eq!(p.num_terms, 52_676);
+        assert_eq!(p.avg_doc_len, 177);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fesia-index
+//!
+//! The database-query substrate for the FESIA evaluation (paper §VII-F,
+//! Fig. 12): a synthetic web-document corpus with Zipfian term statistics
+//! (standing in for the WebDocs dataset — see DESIGN.md §3), an inverted
+//! index over it, and a conjunctive keyword-query executor that can run any
+//! baseline method or FESIA over pre-encoded posting lists.
+//!
+//! ```
+//! use fesia_index::{CorpusParams, InvertedIndex, QueryGenParams};
+//!
+//! let idx = InvertedIndex::synthesize(&CorpusParams {
+//!     num_docs: 1_000,
+//!     num_terms: 2_000,
+//!     avg_doc_len: 30,
+//!     zipf_exponent: 1.0,
+//!     seed: 7,
+//! });
+//! let queries = fesia_index::generate_queries(
+//!     &idx,
+//!     &QueryGenParams { count: 5, min_doc_freq: 16, ..Default::default() },
+//! );
+//! assert_eq!(queries.len(), 5);
+//! ```
+
+pub mod corpus;
+pub mod query;
+
+pub use corpus::{CorpusParams, InvertedIndex};
+pub use query::{
+    generate_queries, reference_kway, run_queries_baseline, FesiaIndex, Query, QueryGenParams,
+};

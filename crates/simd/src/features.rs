@@ -1,0 +1,196 @@
+//! Runtime CPU feature detection and the [`SimdLevel`] ladder.
+//!
+//! FESIA's data structures are parameterized by the SIMD width `w` of the
+//! host (the paper evaluates SSE = 128-bit, AVX = 256-bit and AVX-512 =
+//! 512-bit). [`SimdLevel::detect`] picks the widest level the CPU supports;
+//! every level can also be requested explicitly so the benchmark harness can
+//! reproduce the paper's per-ISA series on a single machine.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A vector ISA level, ordered from narrowest to widest.
+///
+/// `Scalar` is a strict software fallback with identical semantics to the
+/// SIMD paths; it is what non-x86 targets always get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar code (64-bit word tricks only).
+    Scalar,
+    /// 128-bit SSE (requires SSE4.2 for efficient popcount-style idioms).
+    Sse,
+    /// 256-bit AVX2.
+    Avx2,
+    /// 512-bit AVX-512 (requires F + BW + VL for byte-lane mask ops).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// All levels, narrowest first.
+    pub const ALL: [SimdLevel; 4] = [
+        SimdLevel::Scalar,
+        SimdLevel::Sse,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ];
+
+    /// Detect the widest level usable on this CPU.
+    ///
+    /// The result is cached in an atomic after the first call, so this is
+    /// cheap enough for per-intersection dispatch checks.
+    #[cfg(target_arch = "x86_64")]
+    pub fn detect() -> SimdLevel {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static CACHED: AtomicU8 = AtomicU8::new(u8::MAX);
+        match CACHED.load(Ordering::Relaxed) {
+            0 => SimdLevel::Scalar,
+            1 => SimdLevel::Sse,
+            2 => SimdLevel::Avx2,
+            3 => SimdLevel::Avx512,
+            _ => {
+                let level = if is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512bw")
+                    && is_x86_feature_detected!("avx512vl")
+                {
+                    SimdLevel::Avx512
+                } else if is_x86_feature_detected!("avx2") {
+                    SimdLevel::Avx2
+                } else if is_x86_feature_detected!("sse4.2") {
+                    SimdLevel::Sse
+                } else {
+                    SimdLevel::Scalar
+                };
+                CACHED.store(level as u8, Ordering::Relaxed);
+                level
+            }
+        }
+    }
+
+    /// Detect the widest level usable on this CPU (non-x86: always scalar).
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn detect() -> SimdLevel {
+        SimdLevel::Scalar
+    }
+
+    /// Whether this level can actually run on the current CPU.
+    pub fn is_available(self) -> bool {
+        self <= SimdLevel::detect()
+    }
+
+    /// The SIMD width `w` in bits used in the paper's complexity
+    /// `O(n/sqrt(w) + r)`. The scalar path operates on 64-bit words.
+    pub const fn width_bits(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 64,
+            SimdLevel::Sse => 128,
+            SimdLevel::Avx2 => 256,
+            SimdLevel::Avx512 => 512,
+        }
+    }
+
+    /// The number of 32-bit element lanes in one vector (`V` in the paper).
+    pub const fn lanes_u32(self) -> usize {
+        self.width_bits() / 32
+    }
+
+    /// The number of byte lanes in one vector.
+    pub const fn lanes_u8(self) -> usize {
+        self.width_bits() / 8
+    }
+
+    /// All levels available on this machine, narrowest first.
+    pub fn available_levels() -> Vec<SimdLevel> {
+        let max = SimdLevel::detect();
+        SimdLevel::ALL.iter().copied().filter(|&l| l <= max).collect()
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse => "sse",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing an unknown [`SimdLevel`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSimdLevelError(pub String);
+
+impl fmt::Display for ParseSimdLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown SIMD level `{}` (expected scalar|sse|avx2|avx512)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSimdLevelError {}
+
+impl FromStr for SimdLevel {
+    type Err = ParseSimdLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(SimdLevel::Scalar),
+            "sse" | "sse4.2" | "sse42" => Ok(SimdLevel::Sse),
+            "avx" | "avx2" => Ok(SimdLevel::Avx2),
+            "avx512" | "avx-512" => Ok(SimdLevel::Avx512),
+            other => Err(ParseSimdLevelError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse);
+        assert!(SimdLevel::Sse < SimdLevel::Avx2);
+        assert!(SimdLevel::Avx2 < SimdLevel::Avx512);
+    }
+
+    #[test]
+    fn widths_match_paper() {
+        assert_eq!(SimdLevel::Sse.width_bits(), 128);
+        assert_eq!(SimdLevel::Avx2.width_bits(), 256);
+        assert_eq!(SimdLevel::Avx512.width_bits(), 512);
+        assert_eq!(SimdLevel::Sse.lanes_u32(), 4);
+        assert_eq!(SimdLevel::Avx2.lanes_u32(), 8);
+        assert_eq!(SimdLevel::Avx512.lanes_u32(), 16);
+    }
+
+    #[test]
+    fn detect_is_self_consistent() {
+        let l = SimdLevel::detect();
+        assert!(l.is_available());
+        for level in SimdLevel::available_levels() {
+            assert!(level.is_available());
+            assert!(level <= l);
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(SimdLevel::Scalar.is_available());
+        assert!(SimdLevel::available_levels().contains(&SimdLevel::Scalar));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for level in SimdLevel::ALL {
+            let parsed: SimdLevel = level.to_string().parse().unwrap();
+            assert_eq!(parsed, level);
+        }
+        assert!("mmx".parse::<SimdLevel>().is_err());
+        assert_eq!("AVX".parse::<SimdLevel>().unwrap(), SimdLevel::Avx2);
+    }
+}

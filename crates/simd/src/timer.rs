@@ -1,0 +1,142 @@
+//! Cycle-accurate timing for the benchmark harness.
+//!
+//! The paper reports runtimes in CPU cycles (Fig. 7 uses "million cycles").
+//! On x86-64 we read the time-stamp counter (`rdtsc`); on other targets we
+//! fall back to [`std::time::Instant`] scaled by a calibrated cycles-per-
+//! nanosecond estimate so downstream code always works in cycle units.
+
+use std::time::Instant;
+
+/// Read the time-stamp counter.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn rdtsc() -> u64 {
+    // SAFETY: `_rdtsc` is available on all x86-64 CPUs.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Portable stand-in for `rdtsc` on non-x86-64 targets: nanoseconds since an
+/// arbitrary process-local epoch (close enough to cycles for shape
+/// comparisons on ~GHz machines).
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn rdtsc() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// A started cycle timer; [`CycleTimer::elapsed_cycles`] reads it.
+///
+/// Also records wall-clock time so harness output can show both units.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTimer {
+    start_tsc: u64,
+    start_wall: Instant,
+}
+
+impl CycleTimer {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        CycleTimer {
+            start_wall: Instant::now(),
+            start_tsc: rdtsc(),
+        }
+    }
+
+    /// Cycles elapsed since [`CycleTimer::start`].
+    #[inline]
+    pub fn elapsed_cycles(&self) -> u64 {
+        rdtsc().saturating_sub(self.start_tsc)
+    }
+
+    /// Nanoseconds elapsed since [`CycleTimer::start`].
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start_wall.elapsed().as_nanos() as u64
+    }
+}
+
+/// Estimate the TSC frequency in GHz by timing a short sleep.
+///
+/// Used only for pretty-printing; measurement comparisons are done in cycles.
+pub fn estimate_tsc_ghz() -> f64 {
+    let t = CycleTimer::start();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let cycles = t.elapsed_cycles() as f64;
+    let nanos = t.elapsed_nanos() as f64;
+    cycles / nanos.max(1.0)
+}
+
+/// Run `f` repeatedly and return the minimum observed cycle count.
+///
+/// The minimum over `reps` runs is the standard low-noise estimator for
+/// short deterministic kernels (it discards interrupts and frequency ramp).
+pub fn min_cycles<F: FnMut() -> u64>(reps: usize, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        best = best.min(f());
+    }
+    best
+}
+
+/// Time one invocation of `f` in cycles, returning `(cycles, value)`.
+///
+/// `f`'s return value is passed through (and thus kept live) so the compiler
+/// cannot discard the computation.
+#[inline]
+pub fn time_cycles<T, F: FnOnce() -> T>(f: F) -> (u64, T) {
+    let t = CycleTimer::start();
+    let v = f();
+    (t.elapsed_cycles(), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic_enough() {
+        let a = rdtsc();
+        let b = rdtsc();
+        // TSC is monotonic on any post-2008 CPU; allow equality.
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let t = CycleTimer::start();
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        assert!(t.elapsed_cycles() > 0);
+    }
+
+    #[test]
+    fn time_cycles_passes_value_through() {
+        let (cycles, v) = time_cycles(|| 21 * 2);
+        assert_eq!(v, 42);
+        // Even an empty closure costs a couple of cycles to time.
+        assert!(cycles < u64::MAX);
+    }
+
+    #[test]
+    fn min_cycles_returns_min() {
+        let mut i = 0u64;
+        let got = min_cycles(5, || {
+            i += 1;
+            i * 100
+        });
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn ghz_estimate_is_plausible() {
+        let ghz = estimate_tsc_ghz();
+        assert!(ghz > 0.05 && ghz < 10.0, "implausible TSC GHz: {ghz}");
+    }
+}

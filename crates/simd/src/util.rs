@@ -1,0 +1,106 @@
+//! Small arithmetic helpers shared across the workspace.
+
+/// Round `n` up to the next power of two (minimum 1).
+///
+/// FESIA rounds every bitmap size to a power of two so that a larger bitmap
+/// is always divisible by a smaller one (paper §III-C, "Different bitmap
+/// sizes").
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Integer base-2 logarithm of a power of two.
+///
+/// # Panics
+/// Panics (debug) if `n` is not a power of two.
+#[inline]
+pub fn log2_pow2(n: usize) -> u32 {
+    debug_assert!(n.is_power_of_two(), "log2_pow2 requires a power of two");
+    n.trailing_zeros()
+}
+
+/// Iterator over the indices of set bits in a `u64`, lowest first.
+///
+/// This is the `tzcnt`-and-clear loop of the paper's step 3 ("non-zero
+/// segment index extraction", §IV): each `next` returns the index of the
+/// least-significant 1-bit and clears it.
+#[derive(Debug, Clone)]
+pub struct SetBits(pub u64);
+
+impl Iterator for SetBits {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros();
+        self.0 &= self.0 - 1; // clear the lowest set bit
+        Some(idx)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetBits {}
+
+/// Ceiling division (const-friendly wrapper over `usize::div_ceil`).
+#[inline]
+pub const fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(12), 16);
+        assert_eq!(next_pow2(1 << 20), 1 << 20);
+        assert_eq!(next_pow2((1 << 20) + 1), 1 << 21);
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        for k in 0..63 {
+            assert_eq!(log2_pow2(1usize << k), k as u32);
+        }
+    }
+
+    #[test]
+    fn set_bits_enumerates_all() {
+        let bits: Vec<u32> = SetBits(0b1011_0001).collect();
+        assert_eq!(bits, vec![0, 4, 5, 7]);
+        assert_eq!(SetBits(0).count(), 0);
+        assert_eq!(SetBits(u64::MAX).count(), 64);
+        let all: Vec<u32> = SetBits(u64::MAX).collect();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_bits_len_matches_popcount() {
+        let v = 0xdead_beef_cafe_f00du64;
+        assert_eq!(SetBits(v).len(), v.count_ones() as usize);
+    }
+
+    #[test]
+    fn div_ceil_basics() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+        assert_eq!(div_ceil(7, 4), 2);
+        assert_eq!(div_ceil(8, 4), 2);
+    }
+}

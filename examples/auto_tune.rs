@@ -1,0 +1,50 @@
+//! Parameter auto-tuning (paper §III-A: "m and s are chosen to minimize
+//! the total time"): measure a grid of bitmap densities and segment
+//! widths on a representative workload and adopt the fastest.
+//!
+//! ```text
+//! cargo run --release -p fesia-bench --example auto_tune
+//! ```
+
+use fesia_core::{tune_grid, KernelTable, SegmentedSet};
+use fesia_datagen::{pair_with_intersection, SplitMix64};
+
+fn main() {
+    let mut rng = SplitMix64::new(0x7C4Eu64);
+    // Representative workload: 50K-element sets at 1% selectivity.
+    let samples: Vec<(Vec<u32>, Vec<u32>)> = (0..4)
+        .map(|_| pair_with_intersection(50_000, 50_000, 500, &mut rng))
+        .collect();
+
+    println!("Tuning over {} sample pairs ...\n", samples.len());
+    let results = tune_grid(&samples, &KernelTable::auto(), 3);
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "s (bits)", "m (bits/elem)", "cycles", "memory KiB"
+    );
+    println!("{}", "-".repeat(56));
+    for r in &results {
+        println!(
+            "{:<10} {:>14} {:>14} {:>14}",
+            r.params.segment.bits(),
+            r.params.bits_per_element,
+            r.cycles,
+            r.memory_bytes / 1024
+        );
+    }
+    let best = results[0].params;
+    println!(
+        "\nBest: s = {} bits, m = {} bits/element",
+        best.segment.bits(),
+        best.bits_per_element
+    );
+
+    // Use the tuned parameters.
+    let (a, b) = &samples[0];
+    let sa = SegmentedSet::build(a, &best).unwrap();
+    let sb = SegmentedSet::build(b, &best).unwrap();
+    println!(
+        "Tuned intersection: |A ∩ B| = {}",
+        fesia_core::intersect_count(&sa, &sb)
+    );
+}

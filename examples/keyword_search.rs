@@ -1,0 +1,70 @@
+//! Keyword search over a synthetic web corpus — the paper's motivating
+//! database workload (§I, §VII-F).
+//!
+//! Builds an inverted index over a WebDocs-like corpus, generates
+//! low-selectivity conjunctive queries, and answers them with every
+//! baseline and with FESIA, printing the per-method throughput.
+//!
+//! ```text
+//! cargo run --release -p fesia-bench --example keyword_search
+//! ```
+
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable};
+use fesia_index::{generate_queries, CorpusParams, FesiaIndex, InvertedIndex, QueryGenParams};
+
+fn main() {
+    let corpus = CorpusParams {
+        num_docs: 50_000,
+        num_terms: 100_000,
+        avg_doc_len: 120,
+        zipf_exponent: 1.0,
+        seed: 2020,
+    };
+    println!(
+        "Synthesizing corpus: {} docs x ~{} terms/doc, vocabulary {} ...",
+        corpus.num_docs, corpus.avg_doc_len, corpus.num_terms
+    );
+    let index = InvertedIndex::synthesize(&corpus);
+    println!(
+        "Index has {} postings; most frequent term appears in {} docs",
+        index.total_postings(),
+        index.doc_freq(index.terms_by_frequency()[0]),
+    );
+
+    let qparams = QueryGenParams {
+        k: 2,
+        count: 200,
+        selectivity_cap: 0.2,
+        min_doc_freq: 200,
+        max_skew: 1.0,
+        seed: 7,
+    };
+    let queries = generate_queries(&index, &qparams);
+    println!(
+        "\nGenerated {} two-keyword queries (intersection ≤ 20% of inputs)\n",
+        queries.len()
+    );
+
+    let fesia = FesiaIndex::build(&index, &FesiaParams::auto());
+    println!(
+        "FESIA offline encoding: {:.2?} ({} MiB)",
+        fesia.construction_time,
+        fesia.memory_bytes() / (1 << 20)
+    );
+
+    println!("\n{:<24} {:>12} {:>14}", "method", "answers", "time");
+    println!("{}", "-".repeat(52));
+    for method in [
+        Method::Scalar,
+        Method::ScalarGalloping,
+        Method::SimdGalloping(fesia_core::SimdLevel::detect()),
+        Method::BMiss(fesia_core::SimdLevel::detect()),
+        Method::Shuffling(fesia_core::SimdLevel::detect()),
+    ] {
+        let (total, t) = fesia_index::run_queries_baseline(&index, &queries, method);
+        println!("{:<24} {:>12} {:>14.2?}", method.name(), total, t);
+    }
+    let (total, t) = fesia.run_queries(&queries, &KernelTable::auto());
+    println!("{:<24} {:>12} {:>14.2?}", "FESIA", total, t);
+}

@@ -1,0 +1,73 @@
+//! Offline build, persist, reload, query — the deployment shape the paper
+//! assumes ("the data structure of our approach is built offline", §VII-A).
+//!
+//! Builds a corpus index, serializes every FESIA posting-list encoding to
+//! a file, reloads it in a fresh state, and answers queries from the
+//! loaded artifact.
+//!
+//! ```text
+//! cargo run --release -p fesia-bench --example persistent_index
+//! ```
+
+use fesia_core::{FesiaParams, KernelTable};
+use fesia_index::{generate_queries, CorpusParams, FesiaIndex, InvertedIndex, QueryGenParams};
+use std::time::Instant;
+
+fn main() {
+    let corpus = CorpusParams {
+        num_docs: 20_000,
+        num_terms: 40_000,
+        avg_doc_len: 80,
+        zipf_exponent: 1.0,
+        seed: 99,
+    };
+    let index = InvertedIndex::synthesize(&corpus);
+    println!(
+        "Corpus: {} docs, {} terms, {} postings",
+        index.num_docs(),
+        index.num_terms(),
+        index.total_postings()
+    );
+
+    // Offline phase: encode and persist.
+    let fidx = FesiaIndex::build(&index, &FesiaParams::auto());
+    println!(
+        "Offline encode: {:.2?} ({} MiB in memory)",
+        fidx.construction_time,
+        fidx.memory_bytes() / (1 << 20)
+    );
+    let bytes = fidx.serialize();
+    let path = std::env::temp_dir().join("fesia_index.bin");
+    std::fs::write(&path, &bytes).expect("write index artifact");
+    println!(
+        "Persisted {} posting-list encodings: {} MiB at {}",
+        fidx.num_terms(),
+        bytes.len() / (1 << 20),
+        path.display()
+    );
+
+    // Online phase: reload and serve queries.
+    let t = Instant::now();
+    let raw = std::fs::read(&path).expect("read index artifact");
+    let loaded = FesiaIndex::deserialize(&raw).expect("valid artifact");
+    println!("Reloaded + validated in {:.2?}", t.elapsed());
+
+    let queries = generate_queries(
+        &index,
+        &QueryGenParams {
+            k: 2,
+            count: 50,
+            min_doc_freq: 100,
+            ..Default::default()
+        },
+    );
+    let table = KernelTable::auto();
+    let (total, dt) = loaded.run_queries(&queries, &table);
+    println!(
+        "Answered {} conjunctive queries from the loaded index: {} hits in {:.2?}",
+        queries.len(),
+        total,
+        dt
+    );
+    std::fs::remove_file(&path).ok();
+}

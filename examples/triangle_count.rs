@@ -1,0 +1,42 @@
+//! Triangle counting on a power-law graph — the paper's graph-analytics
+//! workload (§VII-F, Fig. 13), including multicore scaling.
+//!
+//! ```text
+//! cargo run --release -p fesia-bench --example triangle_count
+//! ```
+
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SimdLevel};
+use fesia_graph::{barabasi_albert, count_with_method, FesiaGraph};
+
+fn main() {
+    let (n, m_per_node) = (100_000, 8);
+    println!("Generating Barabási–Albert graph: {n} nodes, ~{} edges ...", n * m_per_node);
+    let g = barabasi_albert(n, m_per_node, 1337);
+    println!(
+        "Graph: {} nodes, {} edges, max degree {}",
+        g.num_nodes(),
+        g.num_edges(),
+        (0..g.num_nodes() as u32).map(|v| g.degree(v)).max().unwrap()
+    );
+
+    let oriented = g.orient_by_degree();
+    let fesia = FesiaGraph::build(&oriented, &FesiaParams::auto());
+    println!(
+        "FESIA offline encoding of all neighborhoods: {:.2?} ({} MiB)",
+        fesia.construction_time,
+        fesia.memory_bytes() / (1 << 20)
+    );
+    let table = KernelTable::auto();
+
+    println!("\n{:<28} {:>14} {:>12}", "method", "triangles", "time");
+    println!("{}", "-".repeat(56));
+    for method in [Method::Scalar, Method::Shuffling(SimdLevel::detect())] {
+        let (tri, t) = count_with_method(&oriented, &method, 1);
+        println!("{:<28} {:>14} {:>12.2?}", method.name(), tri, t);
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let (tri, t) = fesia.count_triangles(&oriented, &table, threads);
+        println!("{:<28} {:>14} {:>12.2?}", format!("FESIA ({threads} threads)"), tri, t);
+    }
+}

@@ -1,0 +1,148 @@
+//! Adversarial workloads: inputs crafted to stress specific code paths —
+//! hash-collision pileups, domain extremes, vector-width boundaries,
+//! pathological run shapes — through every intersection method at once.
+
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel, MAX_ELEMENT};
+
+fn reference(a: &[u32], b: &[u32]) -> usize {
+    let bs: std::collections::HashSet<u32> = b.iter().copied().collect();
+    a.iter().filter(|x| bs.contains(x)).count()
+}
+
+fn check_everyone(name: &str, a: &[u32], b: &[u32]) {
+    let want = reference(a, b);
+    for m in Method::all() {
+        assert_eq!(m.count(a, b), want, "{name}: {}", m.name());
+        assert_eq!(m.count(b, a), want, "{name}: {} swapped", m.name());
+    }
+    for level in SimdLevel::available_levels() {
+        let params = FesiaParams::for_level(level);
+        let sa = SegmentedSet::build(a, &params).unwrap();
+        let sb = SegmentedSet::build(b, &params).unwrap();
+        for stride in [1usize, 8] {
+            let t = KernelTable::new(level, stride);
+            assert_eq!(
+                fesia_core::intersect_count_with(&sa, &sb, &t),
+                want,
+                "{name}: FESIA {level}/s{stride}"
+            );
+        }
+        assert_eq!(fesia_core::auto_count(&sa, &sb), want, "{name}: auto {level}");
+        let got = fesia_core::intersect(&sa, &sb);
+        assert_eq!(got.len(), want, "{name}: materialize {level}");
+    }
+}
+
+#[test]
+fn domain_extremes() {
+    // Values hugging the top of the element domain (adjacent to the
+    // reserved SIMD sentinels).
+    let a: Vec<u32> = (0..200).map(|i| MAX_ELEMENT - 2 * i).rev().collect();
+    let b: Vec<u32> = (0..200).map(|i| MAX_ELEMENT - 3 * i).rev().collect();
+    check_everyone("top-of-domain", &a, &b);
+    // And the very bottom.
+    let c: Vec<u32> = (0..64).collect();
+    let d: Vec<u32> = (0..64).map(|i| i * 2).collect();
+    check_everyone("bottom-of-domain", &c, &d);
+}
+
+#[test]
+fn vector_width_boundaries() {
+    // Every length in 1..=33 against every length in 1..=33 would be 1089
+    // cases; sample the boundary-adjacent ones (V and 2V for all ISAs).
+    for &na in &[1usize, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+        for &nb in &[1usize, 4, 8, 16, 32, 33] {
+            let a: Vec<u32> = (0..na as u32).map(|i| i * 5 + 1).collect();
+            let b: Vec<u32> = (0..nb as u32).map(|i| i * 3 + 1).collect();
+            check_everyone(&format!("widths {na}x{nb}"), &a, &b);
+        }
+    }
+}
+
+#[test]
+fn hash_pileup_single_segment() {
+    // A tiny bitmap rams thousands of elements into each segment,
+    // exercising the merge fallback beyond every table's TMAX.
+    let a: Vec<u32> = (0..20_000u32).map(|i| i * 2).collect();
+    let b: Vec<u32> = (0..20_000u32).map(|i| i * 3).collect();
+    let want = reference(&a, &b);
+    let params = FesiaParams::auto().with_bits_per_element(0.001);
+    let sa = SegmentedSet::build(&a, &params).unwrap();
+    let sb = SegmentedSet::build(&b, &params).unwrap();
+    assert_eq!(sa.bitmap_bits(), 512, "floor bitmap expected");
+    for level in SimdLevel::available_levels() {
+        let t = KernelTable::new(level, 1);
+        assert_eq!(fesia_core::intersect_count_with(&sa, &sb, &t), want, "level={level}");
+    }
+}
+
+#[test]
+fn interleaved_and_nested_runs() {
+    // Perfectly interleaved: no matches, maximal pointer ping-pong.
+    let a: Vec<u32> = (0..5_000).map(|i| i * 2).collect();
+    let b: Vec<u32> = (0..5_000).map(|i| i * 2 + 1).collect();
+    check_everyone("interleaved", &a, &b);
+    // Nested: one run strictly inside a gap of the other.
+    let c: Vec<u32> = (0..1_000).chain(900_000..901_000).collect();
+    let d: Vec<u32> = (400_000..402_000).collect();
+    check_everyone("nested", &c, &d);
+    // Block-aligned stripes (hits the shuffling advance logic).
+    let e: Vec<u32> = (0..4_096).map(|i| (i / 8) * 64 + (i % 8)).collect();
+    let f: Vec<u32> = (0..4_096).map(|i| (i / 8) * 64 + (i % 8) + 8).collect();
+    check_everyone("stripes", &e, &f);
+}
+
+#[test]
+fn powers_of_two_and_bit_patterns() {
+    // Values with pathological bit structure for multiplicative hashing.
+    let a: Vec<u32> = (0..31).map(|i| 1u32 << i).collect();
+    let b: Vec<u32> = (0..31).map(|i| (1u32 << i) | 1).collect();
+    check_everyone("powers-of-two", &a, &b);
+    let c: Vec<u32> = (1u64..2_000)
+        .map(|i| (i * 0x0101_0101 % (MAX_ELEMENT as u64 / 2)) as u32)
+        .collect::<std::collections::BTreeSet<u32>>()
+        .into_iter()
+        .collect();
+    let d: Vec<u32> = (1u64..2_000)
+        .map(|i| (i * 0x1010_1010 % (MAX_ELEMENT as u64 / 2)) as u32)
+        .collect::<std::collections::BTreeSet<u32>>()
+        .into_iter()
+        .collect();
+    check_everyone("repeating-bytes", &c, &d);
+}
+
+#[test]
+fn one_sided_extremes() {
+    let single = vec![123_456u32];
+    let big: Vec<u32> = (0..100_000).map(|i| i * 7).collect();
+    check_everyone("singleton-vs-big", &single, &big);
+    let empty: Vec<u32> = vec![];
+    check_everyone("empty-vs-big", &empty, &big);
+}
+
+#[test]
+fn u16_lane_width_under_adversarial_load() {
+    use fesia_core::LaneWidth;
+    let a: Vec<u32> = (0..8_000u32).map(|i| i * 11).collect();
+    let b: Vec<u32> = (0..8_000u32).map(|i| i * 7).collect();
+    let want = reference(&a, &b);
+    for level in SimdLevel::available_levels() {
+        let params = FesiaParams::for_level(level).with_segment(LaneWidth::U16);
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        let t = KernelTable::new(level, 1);
+        assert_eq!(
+            fesia_core::intersect_count_with(&sa, &sb, &t),
+            want,
+            "u16 level={level}"
+        );
+        // k-way over u16-lane sets.
+        let sc = SegmentedSet::build(&a, &params).unwrap();
+        assert_eq!(
+            fesia_core::kway_count_with(&[&sa, &sb, &sc], &t),
+            want,
+            "u16 kway level={level}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration: every intersection method in the workspace —
+//! all baselines and every FESIA configuration — must agree on every
+//! workload regime of the paper's evaluation grid.
+
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
+use fesia_datagen::{
+    ksets_with_density, ksets_with_intersection, pair_with_intersection, reference_count,
+    skewed_pair, SplitMix64,
+};
+
+/// The workload grid: (n1, n2, r) triples spanning the paper's axes.
+fn workload_grid() -> Vec<(usize, usize, usize)> {
+    vec![
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 1, 0),
+        (100, 100, 0),          // selectivity 0
+        (1_000, 1_000, 10),     // selectivity 1%
+        (1_000, 1_000, 500),    // selectivity 50%
+        (1_000, 1_000, 1_000),  // identical sets
+        (1_000, 32_000, 100),   // skew 1/32
+        (7, 50_000, 3),         // extreme skew
+        (10_000, 10_000, 100),  // paper's headline regime
+    ]
+}
+
+#[test]
+fn all_baselines_agree_on_the_grid() {
+    let mut rng = SplitMix64::new(0xA11);
+    for (n1, n2, r) in workload_grid() {
+        let (a, b) = pair_with_intersection(n1, n2, r, &mut rng);
+        assert_eq!(reference_count(&a, &b), r);
+        for m in Method::all() {
+            assert_eq!(m.count(&a, &b), r, "{} on ({n1},{n2},{r})", m.name());
+            assert_eq!(m.count(&b, &a), r, "{} swapped on ({n1},{n2},{r})", m.name());
+        }
+    }
+}
+
+#[test]
+fn fesia_agrees_on_the_grid_at_every_level_and_stride() {
+    let mut rng = SplitMix64::new(0xF35);
+    for (n1, n2, r) in workload_grid() {
+        let (av, bv) = pair_with_intersection(n1, n2, r, &mut rng);
+        for level in SimdLevel::available_levels() {
+            let params = FesiaParams::for_level(level);
+            let a = SegmentedSet::build(&av, &params).unwrap();
+            let b = SegmentedSet::build(&bv, &params).unwrap();
+            for stride in [1usize, 4] {
+                let table = KernelTable::new(level, stride);
+                assert_eq!(
+                    fesia_core::intersect_count_with(&a, &b, &table),
+                    r,
+                    "FESIA level={level} stride={stride} on ({n1},{n2},{r})"
+                );
+            }
+            assert_eq!(fesia_core::auto_count(&a, &b), r, "auto level={level}");
+            assert_eq!(
+                fesia_core::hash_probe_count(&av, &b),
+                r,
+                "hash-probe level={level}"
+            );
+            assert_eq!(
+                fesia_core::par_intersect_count(&a, &b, 4),
+                r,
+                "parallel level={level}"
+            );
+            let materialized = fesia_core::intersect(&a, &b);
+            assert_eq!(materialized.len(), r, "materialize level={level}");
+            assert!(materialized.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+#[test]
+fn density_workloads_agree() {
+    let mut rng = SplitMix64::new(0xD37);
+    let params = FesiaParams::auto();
+    for density in [0.0, 0.01, 0.1, 0.5, 0.9] {
+        let sets = ksets_with_density(2, 4_000, density, &mut rng);
+        let want = reference_count(&sets[0], &sets[1]);
+        for m in Method::all() {
+            assert_eq!(m.count(&sets[0], &sets[1]), want, "{} d={density}", m.name());
+        }
+        let a = SegmentedSet::build(&sets[0], &params).unwrap();
+        let b = SegmentedSet::build(&sets[1], &params).unwrap();
+        assert_eq!(fesia_core::intersect_count(&a, &b), want, "FESIA d={density}");
+    }
+}
+
+#[test]
+fn kway_agreement_across_arities_and_methods() {
+    let mut rng = SplitMix64::new(0x3A7);
+    let params = FesiaParams::auto();
+    for k in [2usize, 3, 4, 6] {
+        let sizes: Vec<usize> = (0..k).map(|i| 2_000 + i * 500).collect();
+        let lists = ksets_with_intersection(&sizes, 37, &mut rng);
+        let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+        // Private pools are globally distinct, so the k-way answer is 37.
+        for m in Method::all() {
+            assert_eq!(m.kway_count(&refs), 37, "{} k={k}", m.name());
+        }
+        let sets: Vec<SegmentedSet> =
+            lists.iter().map(|l| SegmentedSet::build(l, &params).unwrap()).collect();
+        let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
+        assert_eq!(fesia_core::kway_count(&set_refs), 37, "FESIA k={k}");
+    }
+}
+
+#[test]
+fn skew_sweep_strategies_agree() {
+    let params = FesiaParams::auto();
+    let n2 = 32_768;
+    for shift in 0..=5 {
+        let n1 = n2 >> shift;
+        let mut rng = SplitMix64::new(100 + shift as u64);
+        let (small, large) = skewed_pair(n1, n2, 0.1, &mut rng);
+        let want = reference_count(&small, &large);
+        let a = SegmentedSet::build(&small, &params).unwrap();
+        let b = SegmentedSet::build(&large, &params).unwrap();
+        assert_eq!(fesia_core::intersect_count(&a, &b), want, "merge skew 1/{}", 1 << shift);
+        assert_eq!(
+            fesia_core::hash_probe_count(&small, &b),
+            want,
+            "hash skew 1/{}",
+            1 << shift
+        );
+        assert_eq!(fesia_core::auto_count(&a, &b), want, "auto skew 1/{}", 1 << shift);
+        for m in Method::all() {
+            assert_eq!(m.count(&small, &large), want, "{} skew 1/{}", m.name(), 1 << shift);
+        }
+    }
+}
+
+#[test]
+fn u16_segments_agree_with_u8() {
+    use fesia_core::LaneWidth;
+    let mut rng = SplitMix64::new(0x16);
+    let (av, bv) = pair_with_intersection(8_000, 8_000, 80, &mut rng);
+    for lane in [LaneWidth::U8, LaneWidth::U16] {
+        let params = FesiaParams::auto().with_segment(lane);
+        let a = SegmentedSet::build(&av, &params).unwrap();
+        let b = SegmentedSet::build(&bv, &params).unwrap();
+        assert_eq!(fesia_core::intersect_count(&a, &b), 80, "lane={lane:?}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Fuzz-style robustness tests for the persistence format: arbitrary
+//! corruption of a serialized [`SegmentedSet`] must never panic, never
+//! read out of bounds, and never produce a structurally invalid set —
+//! the decoder either returns `Err` or a set that passes `validate()`.
+
+use fesia_core::{FesiaParams, SegmentedSet};
+use fesia_datagen::{sorted_distinct, SplitMix64};
+
+fn sample(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let v = sorted_distinct(n, 1 << 22, &mut rng);
+    SegmentedSet::build(&v, &FesiaParams::auto()).unwrap().serialize()
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let bytes = sample(400, 1);
+    let mut rng = SplitMix64::new(2);
+    // Exhaustive over the header, sampled over the body.
+    let positions: Vec<usize> = (0..64.min(bytes.len()))
+        .chain((0..400).map(|_| rng.below(bytes.len() as u64) as usize))
+        .collect();
+    for pos in positions {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut m = bytes.clone();
+            m[pos] ^= flip;
+            match SegmentedSet::deserialize(&m) {
+                Err(_) => {}
+                Ok((set, used)) => {
+                    assert!(set.validate(), "pos={pos} flip={flip:#x} decoded invalid set");
+                    assert!(used <= m.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_never_panic() {
+    let bytes = sample(300, 3);
+    for cut in 0..bytes.len() {
+        match SegmentedSet::deserialize(&bytes[..cut]) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "cut={cut}"),
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix64::new(7);
+    for len in [0usize, 1, 4, 15, 16, 64, 500, 5_000] {
+        for trial in 0..20 {
+            let buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            match SegmentedSet::deserialize(&buf) {
+                Err(_) => {}
+                Ok((set, _)) => assert!(set.validate(), "len={len} trial={trial}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_with_valid_magic_never_panics() {
+    let mut rng = SplitMix64::new(11);
+    for trial in 0..200 {
+        let len = 15 + rng.below(2_000) as usize;
+        let mut buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        buf[0..4].copy_from_slice(b"FSIA");
+        buf[4] = 1; // valid version
+        match SegmentedSet::deserialize(&buf) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "trial={trial}"),
+        }
+    }
+}
+
+#[test]
+fn length_field_attacks_are_contained() {
+    // Declare absurd n / log2_m values and ensure bounds hold.
+    let bytes = sample(100, 13);
+    for (pos, val) in [(6usize, 40u8), (6, 0), (7, 0xFF), (14, 0xFF), (5, 12), (5, 0)] {
+        let mut m = bytes.clone();
+        m[pos] = val;
+        match SegmentedSet::deserialize(&m) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "pos={pos} val={val}"),
+        }
+    }
+}
+
+#[test]
+fn decoded_sets_behave_identically_to_originals() {
+    // Round-trip then use in every algorithm — end-to-end sanity that the
+    // decoder's output is a first-class set.
+    let mut rng = SplitMix64::new(17);
+    let av = sorted_distinct(3_000, 1 << 20, &mut rng);
+    let bv = sorted_distinct(3_000, 1 << 20, &mut rng);
+    let params = FesiaParams::auto();
+    let a0 = SegmentedSet::build(&av, &params).unwrap();
+    let b0 = SegmentedSet::build(&bv, &params).unwrap();
+    let (a, _) = SegmentedSet::deserialize(&a0.serialize()).unwrap();
+    let (b, _) = SegmentedSet::deserialize(&b0.serialize()).unwrap();
+    assert_eq!(
+        fesia_core::intersect_count(&a, &b),
+        fesia_core::intersect_count(&a0, &b0)
+    );
+    assert_eq!(fesia_core::intersect(&a, &b), fesia_core::intersect(&a0, &b0));
+    assert_eq!(fesia_core::auto_count(&a, &b), fesia_core::auto_count(&a0, &b0));
+    assert_eq!(
+        fesia_core::kway_count(&[&a, &b, &a0]),
+        fesia_core::kway_count(&[&a0, &b0, &a0])
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based invariants over arbitrary inputs (proptest).
+//!
+//! Strategy: generate arbitrary duplicate-free sorted sets (as value sets,
+//! then sort), and assert that every method computes exactly the reference
+//! intersection, that the segmented encoding round-trips, and that the
+//! algebraic identities of intersection hold.
+
+use fesia_baselines::Method;
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+const DOMAIN: u32 = u32::MAX - 16;
+
+fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    btree_set(0..DOMAIN, 0..max_len).prop_map(|s| s.into_iter().collect())
+}
+
+/// A pair with forced overlap: some elements of `a` are spliced into `b`.
+fn overlapping_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (sorted_set(300), sorted_set(300), any::<u64>()).prop_map(|(a, mut b, sel)| {
+        for (i, &x) in a.iter().enumerate() {
+            if (sel >> (i % 64)) & 1 == 1 {
+                if let Err(pos) = b.binary_search(&x) {
+                    b.insert(pos, x);
+                }
+            }
+        }
+        (a, b)
+    })
+}
+
+fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let bs: std::collections::HashSet<u32> = b.iter().copied().collect();
+    a.iter().copied().filter(|x| bs.contains(x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_baseline_counts_the_reference((a, b) in overlapping_pair()) {
+        let want = reference(&a, &b).len();
+        for m in Method::all() {
+            prop_assert_eq!(m.count(&a, &b), want, "method {}", m.name());
+        }
+    }
+
+    #[test]
+    fn fesia_counts_the_reference((a, b) in overlapping_pair()) {
+        let want = reference(&a, &b).len();
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        prop_assert_eq!(fesia_core::intersect_count(&sa, &sb), want);
+        prop_assert_eq!(fesia_core::intersect(&sa, &sb), reference(&a, &b));
+        prop_assert_eq!(fesia_core::auto_count(&sa, &sb), want);
+        prop_assert_eq!(fesia_core::hash_probe_count(&a, &sb), want);
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_bounded((a, b) in overlapping_pair()) {
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        let ab = fesia_core::intersect_count(&sa, &sb);
+        let ba = fesia_core::intersect_count(&sb, &sa);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab <= a.len().min(b.len()));
+        // Self-intersection is identity.
+        prop_assert_eq!(fesia_core::intersect_count(&sa, &sa), a.len());
+    }
+
+    #[test]
+    fn encoding_round_trips(a in sorted_set(500)) {
+        let params = FesiaParams::auto();
+        let s = SegmentedSet::build(&a, &params).unwrap();
+        prop_assert!(s.validate());
+        prop_assert_eq!(s.len(), a.len());
+        // The reordered array is a permutation of the input.
+        let mut elems = s.reordered_elements().to_vec();
+        elems.sort_unstable();
+        prop_assert_eq!(elems, a.clone());
+        // Membership is exact.
+        for &x in a.iter().take(64) {
+            prop_assert!(s.contains(x));
+        }
+    }
+
+    #[test]
+    fn kway_equals_iterated_pairwise(
+        a in sorted_set(200),
+        b in sorted_set(200),
+        c in sorted_set(200),
+    ) {
+        let ab = reference(&a, &b);
+        let want = reference(&ab, &c).len();
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        let sc = SegmentedSet::build(&c, &params).unwrap();
+        prop_assert_eq!(fesia_core::kway_count(&[&sa, &sb, &sc]), want);
+        for m in Method::all() {
+            prop_assert_eq!(m.kway_count(&[&a, &b, &c]), want, "method {}", m.name());
+        }
+    }
+
+    #[test]
+    fn kernel_tables_agree_across_levels_on_tiny_runs(
+        a in btree_set(0u32..10_000, 0..30),
+        b in btree_set(0u32..10_000, 0..30),
+    ) {
+        use fesia_core::kernels::PaddedOperand;
+        let av: Vec<u32> = a.into_iter().collect();
+        let bv: Vec<u32> = b.into_iter().collect();
+        let want = reference(&av, &bv).len() as u32;
+        let pa = PaddedOperand::side_a(&av);
+        let pb = PaddedOperand::side_b(&bv);
+        for level in SimdLevel::available_levels() {
+            for stride in [1usize, 2, 8] {
+                let t = KernelTable::new(level, stride);
+                prop_assert_eq!(
+                    t.count_operands(&pa, &pb), want,
+                    "level={} stride={}", level, stride
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips(a in sorted_set(400)) {
+        let params = FesiaParams::auto();
+        let s = SegmentedSet::build(&a, &params).unwrap();
+        let bytes = s.serialize();
+        prop_assert_eq!(bytes.len(), s.serialized_len());
+        let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert!(back.validate());
+        prop_assert_eq!(back.reordered_elements(), s.reordered_elements());
+        prop_assert_eq!(back.bitmap_bytes(), s.bitmap_bytes());
+    }
+
+    #[test]
+    fn u64_sets_count_the_reference(
+        a in btree_set(0u64..5_000_000, 0..200),
+        b in btree_set(0u64..5_000_000, 0..200),
+        shift in 0u32..33,
+    ) {
+        use fesia_core::{intersect_count64, Fesia64Set};
+        // Spread values across high-32 groups by shifting.
+        let av: Vec<u64> = a.iter().map(|&x| x << shift).collect();
+        let bv: Vec<u64> = b.iter().map(|&x| x << shift).collect();
+        let bs: std::collections::HashSet<u64> = bv.iter().copied().collect();
+        let want = av.iter().filter(|x| bs.contains(x)).count();
+        let params = FesiaParams::auto();
+        let sa = Fesia64Set::build(&av, &params).unwrap();
+        let sb = Fesia64Set::build(&bv, &params).unwrap();
+        prop_assert_eq!(intersect_count64(&sa, &sb), want);
+    }
+
+    #[test]
+    fn extraction_matches_reference_on_all_levels(
+        a in btree_set(0u32..50_000, 0..120),
+        b in btree_set(0u32..50_000, 0..120),
+    ) {
+        use fesia_core::kernels::extract::extract_into;
+        let av: Vec<u32> = a.into_iter().collect();
+        let bv: Vec<u32> = b.into_iter().collect();
+        let mut want = reference(&av, &bv);
+        want.sort_unstable();
+        for level in SimdLevel::available_levels() {
+            let mut got = Vec::new();
+            extract_into(level, &av, &bv, &mut got);
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "level={}", level);
+        }
+    }
+
+    #[test]
+    fn breakdown_count_matches_fused((a, b) in overlapping_pair()) {
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        let table = KernelTable::auto();
+        let bd = fesia_core::intersect_count_breakdown(&sa, &sb, &table);
+        prop_assert_eq!(bd.count, fesia_core::intersect_count_with(&sa, &sb, &table));
+        // Every true match lives in a surviving segment.
+        prop_assert!(bd.count == 0 || bd.matched_segments > 0);
+    }
+}
