@@ -1,15 +1,25 @@
-//! Criterion benchmarks of end-to-end intersections: FESIA vs every
-//! baseline at the paper's headline regime (1% selectivity) and under
-//! skew — the statistical companion to Figs. 7, 8 and 11.
+//! End-to-end intersection benchmarks: FESIA vs every baseline at the
+//! paper's headline regime (1% selectivity) and under skew — the
+//! statistical companion to Figs. 7, 8 and 11. Self-timed with the
+//! cycle-counting harness — run with `cargo bench --bench intersections`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fesia_baselines::{hiera, roaring, wordbitmap, Method};
+use fesia_bench::harness::{measure_cycles, Table};
 use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
 use fesia_datagen::{ksets_with_intersection, pair_with_intersection, skewed_pair, SplitMix64};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_equal_sizes(c: &mut Criterion) {
+const REPS: usize = 20;
+
+fn report(title: &str, rows: Vec<(String, u64)>) {
+    let mut t = Table::new(vec!["method", "cycles"]);
+    for (name, cycles) in rows {
+        t.row(vec![name, cycles.to_string()]);
+    }
+    println!("## {title}\n\n{}", t.render());
+}
+
+fn bench_equal_sizes() {
     let mut rng = SplitMix64::new(7);
     let n = 100_000;
     let (a, b) = pair_with_intersection(n, n, n / 100, &mut rng);
@@ -25,10 +35,7 @@ fn bench_equal_sizes(c: &mut Criterion) {
     let wb = wordbitmap::WordBitmapSet::build(&b);
     let table = KernelTable::new(level, 1);
 
-    let mut group = c.benchmark_group("intersect/n=100k/sel=1%");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(500));
-    group.throughput(Throughput::Elements(2 * n as u64));
+    let mut rows = Vec::new();
     for m in [
         Method::Scalar,
         Method::ScalarGalloping,
@@ -36,31 +43,29 @@ fn bench_equal_sizes(c: &mut Criterion) {
         Method::BMiss(level),
         Method::Shuffling(level),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
-            bench.iter(|| m.count(black_box(&a), black_box(&b)))
-        });
+        let (c, _) = measure_cycles(REPS, || m.count(black_box(&a), black_box(&b)));
+        rows.push((m.name().to_string(), c));
     }
-    group.bench_function(BenchmarkId::from_parameter("FESIA"), |bench| {
-        bench.iter(|| fesia_core::intersect_count_with(black_box(&sa), black_box(&sb), &table))
+    let (c, _) = measure_cycles(REPS, || {
+        fesia_core::intersect_count_with(black_box(&sa), black_box(&sb), &table)
     });
-    group.bench_function(BenchmarkId::from_parameter("FESIA-parallel4"), |bench| {
-        bench.iter(|| fesia_core::par_intersect_count(black_box(&sa), black_box(&sb), 4))
+    rows.push(("FESIA".into(), c));
+    let (c, _) = measure_cycles(REPS, || {
+        fesia_core::par_intersect_count(black_box(&sa), black_box(&sb), 4)
     });
+    rows.push(("FESIA-parallel4".into(), c));
     // Structure-based competitors with prebuilt encodings (offline/online
     // split, as for FESIA).
-    group.bench_function(BenchmarkId::from_parameter("Hiera(prebuilt)"), |bench| {
-        bench.iter(|| hiera::count(black_box(&ha), black_box(&hb)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("Roaring(prebuilt)"), |bench| {
-        bench.iter(|| roaring::count(black_box(&ra), black_box(&rb)))
-    });
-    group.bench_function(BenchmarkId::from_parameter("WordBitmap(prebuilt)"), |bench| {
-        bench.iter(|| wordbitmap::count(black_box(&wa), black_box(&wb)))
-    });
-    group.finish();
+    let (c, _) = measure_cycles(REPS, || hiera::count(black_box(&ha), black_box(&hb)));
+    rows.push(("Hiera(prebuilt)".into(), c));
+    let (c, _) = measure_cycles(REPS, || roaring::count(black_box(&ra), black_box(&rb)));
+    rows.push(("Roaring(prebuilt)".into(), c));
+    let (c, _) = measure_cycles(REPS, || wordbitmap::count(black_box(&wa), black_box(&wb)));
+    rows.push(("WordBitmap(prebuilt)".into(), c));
+    report("intersect/n=100k/sel=1%", rows);
 }
 
-fn bench_kway(c: &mut Criterion) {
+fn bench_kway() {
     let mut rng = SplitMix64::new(23);
     let lists = ksets_with_intersection(&[50_000, 50_000, 50_000], 500, &mut rng);
     let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
@@ -71,21 +76,19 @@ fn bench_kway(c: &mut Criterion) {
     let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
     let table = KernelTable::new(level, 1);
 
-    let mut group = c.benchmark_group("kway/3x50k/r=500");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(500));
+    let mut rows = Vec::new();
     for m in [Method::Scalar, Method::ScalarGalloping, Method::Shuffling(level)] {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
-            bench.iter(|| m.kway_count(black_box(&refs)))
-        });
+        let (c, _) = measure_cycles(REPS, || m.kway_count(black_box(&refs)));
+        rows.push((m.name().to_string(), c));
     }
-    group.bench_function(BenchmarkId::from_parameter("FESIA"), |bench| {
-        bench.iter(|| fesia_core::kway_count_with(black_box(&set_refs), &table))
+    let (c, _) = measure_cycles(REPS, || {
+        fesia_core::kway_count_with(black_box(&set_refs), &table)
     });
-    group.finish();
+    rows.push(("FESIA".into(), c));
+    report("kway/3x50k/r=500", rows);
 }
 
-fn bench_skew(c: &mut Criterion) {
+fn bench_skew() {
     let mut rng = SplitMix64::new(11);
     let (small, large) = skewed_pair(4_096, 131_072, 0.1, &mut rng);
     let level = SimdLevel::detect();
@@ -94,32 +97,34 @@ fn bench_skew(c: &mut Criterion) {
     let sl = SegmentedSet::build(&large, &params).unwrap();
     let table = KernelTable::new(level, 1);
 
-    let mut group = c.benchmark_group("intersect/skew=1:32");
+    let mut rows = Vec::new();
     for m in [Method::ScalarGalloping, Method::SimdGalloping(level), Method::Shuffling(level)] {
-        group.bench_function(BenchmarkId::from_parameter(m.name()), |bench| {
-            bench.iter(|| m.count(black_box(&small), black_box(&large)))
-        });
+        let (c, _) = measure_cycles(REPS, || m.count(black_box(&small), black_box(&large)));
+        rows.push((m.name().to_string(), c));
     }
-    group.bench_function(BenchmarkId::from_parameter("FESIAmerge"), |bench| {
-        bench.iter(|| fesia_core::intersect_count_with(black_box(&ss), black_box(&sl), &table))
+    let (c, _) = measure_cycles(REPS, || {
+        fesia_core::intersect_count_with(black_box(&ss), black_box(&sl), &table)
     });
-    group.bench_function(BenchmarkId::from_parameter("FESIAhash"), |bench| {
-        bench.iter(|| fesia_core::hash_probe_count(black_box(&small), black_box(&sl)))
+    rows.push(("FESIAmerge".into(), c));
+    let (c, _) = measure_cycles(REPS, || {
+        fesia_core::hash_probe_count(black_box(&small), black_box(&sl))
     });
-    group.finish();
+    rows.push(("FESIAhash".into(), c));
+    report("intersect/skew=1:32", rows);
 }
 
-fn bench_build(c: &mut Criterion) {
+fn bench_build() {
     let mut rng = SplitMix64::new(13);
     let (a, _) = pair_with_intersection(100_000, 100_000, 0, &mut rng);
     let params = FesiaParams::auto();
-    let mut group = c.benchmark_group("build/n=100k");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("SegmentedSet::build", |bench| {
-        bench.iter(|| SegmentedSet::build(black_box(&a), &params).unwrap())
-    });
-    group.finish();
+    let (c, set) = measure_cycles(REPS, || SegmentedSet::build(black_box(&a), &params).unwrap());
+    assert_eq!(set.len(), a.len());
+    report("build/n=100k", vec![("SegmentedSet::build".into(), c)]);
 }
 
-criterion_group!(benches, bench_equal_sizes, bench_skew, bench_build, bench_kway);
-criterion_main!(benches);
+fn main() {
+    bench_equal_sizes();
+    bench_skew();
+    bench_build();
+    bench_kway();
+}

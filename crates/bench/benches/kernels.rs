@@ -1,11 +1,14 @@
-//! Criterion micro-benchmarks of the kernel layer: specialized vs general
-//! kernels per ISA (the statistical companion to Figs. 4-6).
+//! Micro-benchmarks of the kernel layer: specialized vs general kernels
+//! per ISA (the statistical companion to Figs. 4-6). Self-timed with the
+//! cycle-counting harness — run with `cargo bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fesia_bench::harness::{f2, measure_cycles, Table};
 use fesia_core::kernels::{general_count, KernelTable, PaddedOperand};
 use fesia_core::SimdLevel;
 use fesia_datagen::{sorted_distinct, SplitMix64};
 use std::hint::black_box;
+
+const REPS: usize = 200;
 
 fn operand_pool(sa: usize, sb: usize, seed: u64) -> Vec<(PaddedOperand, PaddedOperand)> {
     let mut rng = SplitMix64::new(seed);
@@ -18,45 +21,39 @@ fn operand_pool(sa: usize, sb: usize, seed: u64) -> Vec<(PaddedOperand, PaddedOp
         .collect()
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
+    let mut table_out = Table::new(vec!["level", "sizes", "specialized (cyc)", "general (cyc)", "speedup"]);
     for level in SimdLevel::available_levels() {
         if level == SimdLevel::Scalar {
             continue;
         }
         let table = KernelTable::new(level, 1);
-        let mut group = c.benchmark_group(format!("kernels/{level}"));
         for (sa, sb) in [(2usize, 4usize), (4, 4), (2, 7), (7, 7)] {
             let pool = operand_pool(sa, sb, 42);
-            group.bench_with_input(
-                BenchmarkId::new("specialized", format!("{sa}x{sb}")),
-                &pool,
-                |bench, pool| {
-                    bench.iter(|| {
-                        let mut acc = 0u32;
-                        for (a, b) in pool {
-                            acc += table.count_operands(black_box(a), black_box(b));
-                        }
-                        acc
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("general", format!("{sa}x{sb}")),
-                &pool,
-                |bench, pool| {
-                    bench.iter(|| {
-                        let mut acc = 0u32;
-                        for (a, b) in pool {
-                            acc += general_count(level, black_box(a), black_box(b));
-                        }
-                        acc
-                    })
-                },
-            );
+            let (spec_cycles, spec_acc) = measure_cycles(REPS, || {
+                let mut acc = 0u32;
+                for (a, b) in &pool {
+                    acc += table.count_operands(black_box(a), black_box(b));
+                }
+                acc
+            });
+            let (gen_cycles, gen_acc) = measure_cycles(REPS, || {
+                let mut acc = 0u32;
+                for (a, b) in &pool {
+                    acc += general_count(level, black_box(a), black_box(b));
+                }
+                acc
+            });
+            assert_eq!(spec_acc, gen_acc, "kernel disagreement at {level} {sa}x{sb}");
+            table_out.row(vec![
+                level.to_string(),
+                format!("{sa}x{sb}"),
+                spec_cycles.to_string(),
+                gen_cycles.to_string(),
+                f2(gen_cycles as f64 / spec_cycles.max(1) as f64),
+            ]);
         }
-        group.finish();
     }
+    println!("## kernels: specialized vs general (128-pair pool, min of {REPS} reps)\n");
+    println!("{}", table_out.render());
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

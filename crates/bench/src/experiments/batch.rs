@@ -1,0 +1,203 @@
+//! Batch-throughput experiment for the persistent executor and the
+//! pipelined dispatch (this repo's execution-layer additions; the paper's
+//! Fig. 13 parallelizes across intersections the same way).
+//!
+//! Measures pairs/second of [`fesia_core::batch_count_pairs_on`] at
+//! 1/2/4/8 pool threads with the pipelined dispatch on and off, against a
+//! copy of the pre-executor implementation (one `std::thread::scope`
+//! spawn per call, static chunking) — plus the single-pair
+//! pipelined-vs-interleaved cycle counts. Writes the machine-readable
+//! series to `BENCH_batch.json` in the working directory and returns a
+//! markdown report.
+
+use crate::harness::{f2, measure_cycles, Scale, Table};
+use fesia_core::{
+    batch_count_pairs_on, intersect_count_interleaved_with, intersect_count_pipelined_with,
+    pipeline_params, set_pipeline_params, FesiaParams, KernelTable, PipelineParams, SegmentedSet,
+};
+use fesia_datagen::{sorted_distinct, SplitMix64};
+use fesia_exec::Executor;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The seed's `batch_count_pairs`: fresh scoped threads per call, one
+/// static chunk per thread. Kept verbatim as the baseline the executor
+/// must beat (or tie, on a single-core host).
+fn legacy_scoped_batch(
+    sets: &[SegmentedSet],
+    pairs: &[(u32, u32)],
+    table: &KernelTable,
+    threads: usize,
+) -> Vec<usize> {
+    let run = |chunk: &[(u32, u32)], out: &mut [usize]| {
+        for (slot, &(ai, bi)) in out.iter_mut().zip(chunk) {
+            *slot = fesia_core::auto_count_with(&sets[ai as usize], &sets[bi as usize], table);
+        }
+    };
+    let mut results = vec![0usize; pairs.len()];
+    if threads == 1 || pairs.len() < 2 {
+        run(pairs, &mut results);
+        return results;
+    }
+    let chunk_len = pairs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut remaining_pairs = pairs;
+        let mut remaining_out: &mut [usize] = &mut results;
+        let mut handles = Vec::new();
+        while !remaining_pairs.is_empty() {
+            let take = chunk_len.min(remaining_pairs.len());
+            let (p_chunk, p_rest) = remaining_pairs.split_at(take);
+            let (o_chunk, o_rest) = remaining_out.split_at_mut(take);
+            remaining_pairs = p_rest;
+            remaining_out = o_rest;
+            handles.push(scope.spawn(move || run(p_chunk, o_chunk)));
+        }
+        for h in handles {
+            h.join().expect("batch worker panicked");
+        }
+    });
+    results
+}
+
+fn pairs_per_sec(pairs: usize, reps: usize, mut f: impl FnMut() -> Vec<usize>) -> f64 {
+    let _ = f(); // warm-up
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    pairs as f64 / best.max(1e-12)
+}
+
+pub fn run(scale: Scale) -> String {
+    let mut rng = SplitMix64::new(0xBA7C);
+    let n = scale.size(20_000);
+    let universe = (n as u32) * 20;
+    let num_sets = 24usize;
+    let num_pairs = match scale {
+        Scale::Smoke => 128,
+        Scale::Standard => 512,
+        Scale::Full => 2_048,
+    };
+    let params = FesiaParams::auto();
+    let sets: Vec<SegmentedSet> = (0..num_sets)
+        .map(|i| {
+            // Mix of sizes so per-pair cost is uneven (the dynamic-chunking
+            // case the executor exists for).
+            let size = n / 4 + (i * n) / num_sets;
+            SegmentedSet::build(&sorted_distinct(size, universe, &mut rng), &params).unwrap()
+        })
+        .collect();
+    let pairs: Vec<(u32, u32)> = (0..num_pairs)
+        .map(|_| {
+            (
+                rng.below(num_sets as u64) as u32,
+                rng.below(num_sets as u64) as u32,
+            )
+        })
+        .collect();
+    let table = KernelTable::auto();
+    let reps = scale.reps();
+
+    let saved = pipeline_params();
+    let want = {
+        set_pipeline_params(PipelineParams::default().with_enabled(false));
+        legacy_scoped_batch(&sets, &pairs, &table, 1)
+    };
+
+    let mut t = Table::new(vec![
+        "threads",
+        "pipelined (pairs/s)",
+        "interleaved (pairs/s)",
+        "legacy scoped (pairs/s)",
+    ]);
+    let mut json_rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let exec = Executor::new(threads);
+        set_pipeline_params(PipelineParams::default().with_min_elements(0));
+        let got = batch_count_pairs_on(&exec, &sets, &pairs, &table, threads);
+        assert_eq!(got, want, "pipelined batch disagreed at {threads} threads");
+        let piped = pairs_per_sec(pairs.len(), reps, || {
+            batch_count_pairs_on(&exec, &sets, &pairs, &table, threads)
+        });
+        set_pipeline_params(PipelineParams::default().with_enabled(false));
+        let inter = pairs_per_sec(pairs.len(), reps, || {
+            batch_count_pairs_on(&exec, &sets, &pairs, &table, threads)
+        });
+        let legacy = pairs_per_sec(pairs.len(), reps, || {
+            legacy_scoped_batch(&sets, &pairs, &table, threads)
+        });
+        t.row(vec![
+            threads.to_string(),
+            f2(piped),
+            f2(inter),
+            f2(legacy),
+        ]);
+        json_rows.push(format!(
+            "    {{\"threads\": {threads}, \"pipelined_pairs_per_sec\": {piped:.2}, \
+             \"interleaved_pairs_per_sec\": {inter:.2}, \"legacy_scoped_pairs_per_sec\": {legacy:.2}}}"
+        ));
+    }
+
+    // Single-pair pipelined vs interleaved on a uniform workload. Two
+    // sizes: the batch-set size (cache-resident — here the shipped
+    // dispatcher routes interleaved, because it sits below the
+    // `min_elements` floor) and a memory-bound size above the floor,
+    // which is where the dispatcher actually picks the pipelined form
+    // and where it must not lose.
+    let a = SegmentedSet::build(&sorted_distinct(n, universe, &mut rng), &params).unwrap();
+    let b = SegmentedSet::build(&sorted_distinct(n, universe, &mut rng), &params).unwrap();
+    let dist = PipelineParams::default().prefetch_distance;
+    let mut scratch = Vec::new();
+    let (inter_c, want1) =
+        measure_cycles(reps * 5, || intersect_count_interleaved_with(&a, &b, &table));
+    let (pipe_c, got1) = measure_cycles(reps * 5, || {
+        intersect_count_pipelined_with(&a, &b, &table, &mut scratch, dist)
+    });
+    assert_eq!(got1, want1, "single-pair forms disagreed");
+
+    let n_big = PipelineParams::default().min_elements / 2;
+    let universe_big = (n_big as u32).saturating_mul(8);
+    let big_a =
+        SegmentedSet::build(&sorted_distinct(n_big, universe_big, &mut rng), &params).unwrap();
+    let big_b =
+        SegmentedSet::build(&sorted_distinct(n_big, universe_big, &mut rng), &params).unwrap();
+    let big_reps = reps.min(3).max(1);
+    let (big_inter_c, big_want) =
+        measure_cycles(big_reps, || intersect_count_interleaved_with(&big_a, &big_b, &table));
+    let (big_pipe_c, big_got) = measure_cycles(big_reps, || {
+        intersect_count_pipelined_with(&big_a, &big_b, &table, &mut scratch, dist)
+    });
+    assert_eq!(big_got, big_want, "memory-bound single-pair forms disagreed");
+    set_pipeline_params(saved);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"batch\",\n  \"pairs\": {},\n  \"set_elements\": {n},\n  \
+         \"threads\": [\n{}\n  ],\n  \"single_pair_small\": {{\"elements\": {n}, \
+         \"pipelined_cycles\": {pipe_c}, \"interleaved_cycles\": {inter_c}, \
+         \"prefetch_distance\": {dist}, \"default_dispatch\": \"interleaved\"}},\n  \
+         \"single_pair_memory_bound\": {{\"elements\": {n_big}, \
+         \"pipelined_cycles\": {big_pipe_c}, \"interleaved_cycles\": {big_inter_c}, \
+         \"prefetch_distance\": {dist}, \"default_dispatch\": \"pipelined\"}}\n}}\n",
+        pairs.len(),
+        json_rows.join(",\n"),
+    );
+    let json_path = "BENCH_batch.json";
+    if let Err(e) = std::fs::write(json_path, &json) {
+        eprintln!("[batch] could not write {json_path}: {e}");
+    }
+
+    format!(
+        "## Batch throughput — persistent executor + pipelined dispatch\n\n\
+         {num_sets} sets ({n} elements nominal), {} random pairs; pool threads\n\
+         timeshare whatever cores the host exposes. Series written to {json_path}.\n\n{}\n\
+         Single pair, cache-resident ({n} x {n}; default dispatch is interleaved at this\n\
+         size): pipelined {pipe_c} cycles vs interleaved {inter_c} cycles (distance {dist}).\n\
+         Single pair, memory-bound ({n_big} x {n_big}; default dispatch is pipelined):\n\
+         pipelined {big_pipe_c} cycles vs interleaved {big_inter_c} cycles.\n",
+        pairs.len(),
+        t.render()
+    )
+}

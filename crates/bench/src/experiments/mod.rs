@@ -2,6 +2,7 @@
 //! (the per-experiment index lives in DESIGN.md §4).
 
 pub mod ablation;
+pub mod batch;
 pub mod fig10;
 pub mod memory;
 pub mod fig11;
@@ -42,6 +43,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "fig13" => fig13::run(scale),
         "fig14" => fig14::run(scale),
         "ablation" => ablation::run(scale),
+        "batch" => batch::run(scale),
         "memory" => memory::run(scale),
         _ => return None,
     })
@@ -52,7 +54,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 pub fn run_all(scale: Scale) -> String {
     let ids = [
         "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory",
+        "fig13", "fig14", "ablation", "memory", "batch",
     ];
     let mut out = String::new();
     for id in ids {

@@ -12,6 +12,7 @@ usage:
   fesia build INPUT.txt OUTPUT.fsia [--bits-per-element F] [--segment 8|16]
   fesia info SET.fsia
   fesia count A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
+                            [--threads N]
   fesia intersect A.fsia B.fsia
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
 
@@ -142,6 +143,7 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut paths = Vec::new();
     let mut method = "fesia".to_string();
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -151,15 +153,26 @@ fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     .ok_or_else(|| CliError::Usage("--method needs a value".into()))?
                     .clone();
             }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage("--threads needs a positive integer".into()))?;
+            }
             other => paths.push(other.to_string()),
         }
     }
     let [pa, pb] = paths.as_slice() else {
         return Err(CliError::Usage("count needs exactly two .fsia files".into()));
     };
+    if threads > 1 && method != "fesia" {
+        return Err(CliError::Usage("--threads only applies to --method fesia".into()));
+    }
     let a = load_set(pa)?;
     let b = load_set(pb)?;
     let count = match method.as_str() {
+        "fesia" if threads > 1 => fesia_core::par_intersect_count(&a, &b, threads),
         "fesia" => fesia_core::intersect_count(&a, &b),
         "auto" => fesia_core::auto_count(&a, &b),
         "hash" => {
@@ -276,6 +289,21 @@ mod tests {
             run(&s(&["count", &fa, &fb, "--method", method]), &mut out).unwrap();
             assert_eq!(String::from_utf8_lossy(&out).trim(), "1", "method={method}");
         }
+
+        for t in ["1", "4"] {
+            let mut out = Vec::new();
+            run(&s(&["count", &fa, &fb, "--threads", t]), &mut out).unwrap();
+            assert_eq!(String::from_utf8_lossy(&out).trim(), "1", "threads={t}");
+        }
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&s(&["count", &fa, &fb, "--threads", "0"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["count", &fa, &fb, "--method", "scalar", "--threads", "2"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
 
         let mut out = Vec::new();
         run(&s(&["intersect", &fa, &fb]), &mut out).unwrap();

@@ -3,16 +3,40 @@
 //!
 //! This is how the substrates actually consume FESIA — triangle counting
 //! issues one intersection per edge, a query engine one per query — and
-//! batching amortizes table lookup, thread spawn, and strategy dispatch
+//! batching amortizes table lookup, thread wakeup, and strategy dispatch
 //! over the whole workload (the paper's Fig. 13 parallelizes across
 //! intersections in exactly this way).
+//!
+//! Parallel batches run on the persistent [`fesia_exec::Executor`] with
+//! dynamic chunking: the pair range is split ~8× finer than the thread
+//! count and workers claim chunks as they finish, so a run of expensive
+//! pairs (large sets, skewed sizes) no longer serializes on whichever
+//! thread drew them — the failure mode of the old one-static-chunk-per-
+//! thread `std::thread::scope` partitioning. Each pool worker keeps its
+//! own survivor scratch buffer (thread-local in the pipelined dispatch),
+//! so the phase-1/phase-2 buffer is allocated once per thread and reused
+//! across every pair of the batch.
 
 use crate::intersect::{auto_count_with, default_table};
 use crate::kernels::KernelTable;
 use crate::set::SegmentedSet;
+use fesia_exec::Executor;
+
+/// Fewest pairs a chunk claim should hold; below this the claim's atomic
+/// traffic rivals the intersection work itself.
+const MIN_PAIRS_PER_CHUNK: usize = 8;
+
+/// Shared output slice written by disjoint-range parallel workers.
+///
+/// SAFETY invariant: `for_each_chunk` hands each index range to exactly
+/// one worker, so concurrent writers never alias a slot.
+struct DisjointOut(*mut usize);
+unsafe impl Send for DisjointOut {}
+unsafe impl Sync for DisjointOut {}
 
 /// Count |A ∩ B| for every `(a, b)` index pair over `sets`, with the
-/// paper's §VI strategy selection per pair.
+/// paper's §VI strategy selection per pair, on the global executor
+/// capped at `threads` participants.
 ///
 /// # Panics
 /// Panics if an index is out of bounds or `threads == 0`.
@@ -23,31 +47,29 @@ pub fn batch_count_pairs(
     threads: usize,
 ) -> Vec<usize> {
     assert!(threads >= 1, "need at least one thread");
-    let run = |chunk: &[(u32, u32)], out: &mut [usize]| {
-        for (slot, &(ai, bi)) in out.iter_mut().zip(chunk) {
-            *slot = auto_count_with(&sets[ai as usize], &sets[bi as usize], table);
-        }
-    };
+    batch_count_pairs_on(Executor::global(), sets, pairs, table, threads)
+}
+
+/// [`batch_count_pairs`] on an explicit executor (tests and benches use
+/// dedicated pools to pin the worker count regardless of the host).
+pub fn batch_count_pairs_on(
+    exec: &Executor,
+    sets: &[SegmentedSet],
+    pairs: &[(u32, u32)],
+    table: &KernelTable,
+    threads: usize,
+) -> Vec<usize> {
+    assert!(threads >= 1, "need at least one thread");
     let mut results = vec![0usize; pairs.len()];
-    if threads == 1 || pairs.len() < 2 {
-        run(pairs, &mut results);
-        return results;
-    }
-    let chunk_len = pairs.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut remaining_pairs = pairs;
-        let mut remaining_out: &mut [usize] = &mut results;
-        let mut handles = Vec::new();
-        while !remaining_pairs.is_empty() {
-            let take = chunk_len.min(remaining_pairs.len());
-            let (p_chunk, p_rest) = remaining_pairs.split_at(take);
-            let (o_chunk, o_rest) = remaining_out.split_at_mut(take);
-            remaining_pairs = p_rest;
-            remaining_out = o_rest;
-            handles.push(scope.spawn(move || run(p_chunk, o_chunk)));
-        }
-        for h in handles {
-            h.join().expect("batch worker panicked");
+    let out = DisjointOut(results.as_mut_ptr());
+    exec.for_each_chunk(pairs.len(), MIN_PAIRS_PER_CHUNK, threads, |range| {
+        let out = &out;
+        for k in range {
+            let (ai, bi) = pairs[k];
+            let n = auto_count_with(&sets[ai as usize], &sets[bi as usize], table);
+            // SAFETY: chunk ranges partition 0..pairs.len(), so `k` is
+            // in bounds and written by exactly one worker.
+            unsafe { out.0.add(k).write(n) };
         }
     });
     results
@@ -109,9 +131,64 @@ mod tests {
         let a = SegmentedSet::build(&(0..100).collect::<Vec<_>>(), &p).unwrap();
         let b = SegmentedSet::build(&(50..150).collect::<Vec<_>>(), &p).unwrap();
         let sets = vec![a, b];
-        // 7 pairs over 3 threads: chunks of 3/3/1.
-        let pairs: Vec<(u32, u32)> = (0..7).map(|i| ((i % 2) as u32, ((i + 1) % 2) as u32)).collect();
+        let pairs: Vec<(u32, u32)> =
+            (0..7).map(|i| ((i % 2) as u32, ((i + 1) % 2) as u32)).collect();
         let got = batch_count_pairs(&sets, &pairs, &KernelTable::auto(), 3);
         assert_eq!(got, vec![50; 7]);
+    }
+
+    /// Adversarial pair-cost skew: all the expensive pairs sit at the
+    /// front of the batch, exactly where the old static chunking would
+    /// hand them to a single thread (and where a tiny `len % threads`
+    /// tail would leave the last worker nearly idle). Dynamic chunking
+    /// must still count every pair correctly on every pool size, with
+    /// the pair count chosen so the claim granularity leaves a partial
+    /// tail chunk.
+    #[test]
+    fn adversarial_cost_skew_counts_correctly() {
+        let p = FesiaParams::auto();
+        let heavy_a = gen_sorted(30_000, 101, 600_000);
+        let heavy_b = gen_sorted(30_000, 102, 600_000);
+        let light: Vec<Vec<u32>> =
+            (0..4u64).map(|s| gen_sorted(80, s + 201, 600_000)).collect();
+        let mut sets = vec![
+            SegmentedSet::build(&heavy_a, &p).unwrap(),
+            SegmentedSet::build(&heavy_b, &p).unwrap(),
+        ];
+        sets.extend(light.iter().map(|l| SegmentedSet::build(l, &p).unwrap()));
+        // 4 heavy pairs first (each ~375x the elements of a light pair),
+        // then 57 light ones: 61 % 8 != 0 and 61 % MIN_PAIRS_PER_CHUNK != 0.
+        let mut pairs: Vec<(u32, u32)> = vec![(0, 1), (1, 0), (0, 0), (1, 1)];
+        for k in 0..57u32 {
+            pairs.push((2 + k % 4, 2 + (k + 1) % 4));
+        }
+        let table = KernelTable::auto();
+        let want: Vec<usize> = pairs
+            .iter()
+            .map(|&(i, j)| auto_count_with(&sets[i as usize], &sets[j as usize], &table))
+            .collect();
+        for n in [2usize, 3, 8] {
+            let exec = Executor::new(n);
+            let got = batch_count_pairs_on(&exec, &sets, &pairs, &table, n);
+            assert_eq!(got, want, "skewed batch, threads={n}");
+        }
+    }
+
+    #[test]
+    fn dedicated_executor_matches_global_path() {
+        let p = FesiaParams::auto();
+        let lists: Vec<Vec<u32>> =
+            (0..4u64).map(|s| gen_sorted(400, s + 11, 9_000)).collect();
+        let sets: Vec<SegmentedSet> =
+            lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+        let pairs: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|i| (0..4u32).map(move |j| (i, j)))
+            .collect();
+        let want = batch_count_pairs(&sets, &pairs, &KernelTable::auto(), 1);
+        for n in [1usize, 2, 8] {
+            let exec = Executor::new(n);
+            let got = batch_count_pairs_on(&exec, &sets, &pairs, &KernelTable::auto(), n);
+            assert_eq!(got, want, "executor threads={n}");
+        }
     }
 }

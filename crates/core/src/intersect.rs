@@ -2,15 +2,60 @@
 //! strategy selection for skewed inputs (§VI).
 
 use crate::kernels::KernelTable;
+use crate::params::PipelineParams;
 use crate::set::SegmentedSet;
 use fesia_simd::mask::{for_each_nonzero_lane, for_each_nonzero_lane_folded};
+use fesia_simd::prefetch::prefetch_read;
 use fesia_simd::timer::CycleTimer;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// The process-wide default kernel table (widest ISA, full table).
 pub(crate) fn default_table() -> &'static KernelTable {
     static TABLE: OnceLock<KernelTable> = OnceLock::new();
     TABLE.get_or_init(KernelTable::auto)
+}
+
+static PIPE_ENABLED: AtomicBool = AtomicBool::new(true);
+static PIPE_DISTANCE: AtomicUsize = AtomicUsize::new(8);
+static PIPE_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 22);
+static PIPE_INIT: OnceLock<()> = OnceLock::new();
+
+fn ensure_pipeline_init() {
+    PIPE_INIT.get_or_init(|| {
+        let p = PipelineParams::from_env();
+        PIPE_ENABLED.store(p.enabled, Ordering::Relaxed);
+        PIPE_DISTANCE.store(p.prefetch_distance, Ordering::Relaxed);
+        PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
+    });
+}
+
+/// The process-wide [`PipelineParams`] governing
+/// [`intersect_count_with`]'s dispatch form.
+pub fn pipeline_params() -> PipelineParams {
+    ensure_pipeline_init();
+    PipelineParams {
+        enabled: PIPE_ENABLED.load(Ordering::Relaxed),
+        prefetch_distance: PIPE_DISTANCE.load(Ordering::Relaxed),
+        min_elements: PIPE_MIN_ELEMENTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Replace the process-wide [`PipelineParams`] (e.g. with a tuned
+/// configuration from [`crate::tuning::tune_pipeline`]).
+pub fn set_pipeline_params(p: PipelineParams) {
+    ensure_pipeline_init();
+    PIPE_ENABLED.store(p.enabled, Ordering::Relaxed);
+    PIPE_DISTANCE.store(p.prefetch_distance, Ordering::Relaxed);
+    PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
+}
+
+thread_local! {
+    /// Per-thread survivor buffer reused across every pipelined
+    /// intersection this thread runs — the batch layer gets cross-pair
+    /// reuse for free because a pool worker keeps its thread alive.
+    static PIPELINE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
 }
 
 fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
@@ -27,7 +72,35 @@ fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
 /// segments; phase 2 dispatches each surviving segment pair to a
 /// specialized kernel. Bitmaps of different sizes fold onto one another
 /// (segment `i` of the larger pairs with `i mod N2` of the smaller).
+///
+/// Whether the two phases run interleaved (kernel dispatched the moment a
+/// survivor is found) or pipelined (survivors buffered with software
+/// prefetch, then swept) is governed by the process-wide
+/// [`pipeline_params`] knob: pipelined when enabled *and* the combined
+/// input size reaches `min_elements` (below that the data is
+/// cache-resident and prefetch hints only cost issue slots). Both forms
+/// count identically.
 pub fn intersect_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
+    let p = pipeline_params();
+    if p.enabled && a.len() + b.len() >= p.min_elements {
+        PIPELINE_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            intersect_count_pipelined_with(a, b, table, &mut scratch, p.prefetch_distance)
+        })
+    } else {
+        intersect_count_interleaved_with(a, b, table)
+    }
+}
+
+/// [`intersect_count_with`] in the interleaved form: each surviving
+/// segment's kernel is dispatched the instant phase 1 finds it. This is
+/// the seed's fused loop; its phase-2 loads are dependent loads issued
+/// with no lookahead, which is what the pipelined form overlaps.
+pub fn intersect_count_interleaved_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+) -> usize {
     check_compatible(a, b);
     let level = table.level();
     let lane = a.lane();
@@ -64,6 +137,119 @@ pub fn intersect_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTa
                 } as u64;
             },
         );
+    }
+    count as usize
+}
+
+/// [`intersect_count_with`] in the pipelined form, with an explicit
+/// survivor buffer the caller can reuse across pairs.
+///
+/// Phase 1 scans the bitmaps and pushes each surviving segment index into
+/// `scratch`, prefetching segment data for the first `prefetch_distance`
+/// survivors only — the window phase 2 touches before its own lookahead
+/// takes over. (Prefetching *every* survivor at push time costs two
+/// instructions per side per survivor and the lines are evicted again
+/// before a long sweep reaches them.) Phase 2 then sweeps the buffer with
+/// straight-line kernel dispatch, keeping both sides' segment data
+/// `prefetch_distance` entries ahead in flight, so the kernels' dependent
+/// loads overlap with compute instead of serializing on cache misses.
+///
+/// Counts are always identical to [`intersect_count_interleaved_with`].
+pub fn intersect_count_pipelined_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    scratch: &mut Vec<u32>,
+    prefetch_distance: usize,
+) -> usize {
+    check_compatible(a, b);
+    let level = table.level();
+    let lane = a.lane();
+    scratch.clear();
+    let mut count = 0u64;
+    if a.bitmap_bits() == b.bitmap_bits() {
+        for_each_nonzero_lane(level, lane, a.bitmap_bytes(), b.bitmap_bytes(), |i| {
+            if scratch.len() < prefetch_distance {
+                prefetch_read(a.seg_ptr(i));
+                prefetch_read(b.seg_ptr(i));
+            }
+            scratch.push(i as u32);
+        });
+        // Steady state: the lookahead index is in bounds, so the window
+        // check stays out of the loop. The tail runs with no prefetch —
+        // its lines are already in flight.
+        let steady = if prefetch_distance == 0 {
+            0
+        } else {
+            scratch.len().saturating_sub(prefetch_distance)
+        };
+        for k in 0..steady {
+            let ahead = scratch[k + prefetch_distance] as usize;
+            prefetch_read(a.seg_ptr(ahead));
+            prefetch_read(b.seg_ptr(ahead));
+            let i = scratch[k] as usize;
+            // SAFETY: as in the interleaved form.
+            count += unsafe {
+                table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i))
+            } as u64;
+        }
+        for &si in &scratch[steady..] {
+            let i = si as usize;
+            // SAFETY: as in the interleaved form.
+            count += unsafe {
+                table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i))
+            } as u64;
+        }
+    } else {
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        let seg_mask = small.num_segments() - 1;
+        for_each_nonzero_lane_folded(
+            level,
+            lane,
+            large.bitmap_bytes(),
+            small.bitmap_bytes(),
+            |i| {
+                if scratch.len() < prefetch_distance {
+                    prefetch_read(large.seg_ptr(i));
+                    prefetch_read(small.seg_ptr(i & seg_mask));
+                }
+                scratch.push(i as u32);
+            },
+        );
+        let steady = if prefetch_distance == 0 {
+            0
+        } else {
+            scratch.len().saturating_sub(prefetch_distance)
+        };
+        for k in 0..steady {
+            let ahead = scratch[k + prefetch_distance] as usize;
+            prefetch_read(large.seg_ptr(ahead));
+            prefetch_read(small.seg_ptr(ahead & seg_mask));
+            let i = scratch[k] as usize;
+            let j = i & seg_mask;
+            // SAFETY: as in the interleaved form (folded contract).
+            count += unsafe {
+                table.count_folded(
+                    large.seg_ptr(i),
+                    large.seg_size(i),
+                    small.seg_ptr(j),
+                    small.seg_size(j),
+                )
+            } as u64;
+        }
+        for &si in &scratch[steady..] {
+            let i = si as usize;
+            let j = i & seg_mask;
+            // SAFETY: as in the interleaved form (folded contract).
+            count += unsafe {
+                table.count_folded(
+                    large.seg_ptr(i),
+                    large.seg_size(i),
+                    small.seg_ptr(j),
+                    small.seg_size(j),
+                )
+            } as u64;
+        }
     }
     count as usize
 }
@@ -418,6 +604,70 @@ mod tests {
                 assert_eq!(bd.count, want, "breakdown level={level} stride={stride}");
             }
         }
+    }
+
+    #[test]
+    fn pipelined_equals_interleaved_on_random_folded_and_dense_inputs() {
+        let table = KernelTable::auto();
+        // (params, a, b) triples covering equal bitmaps, folded bitmaps,
+        // and dense collision-heavy segments.
+        let cases: Vec<(FesiaParams, Vec<u32>, Vec<u32>)> = vec![
+            (FesiaParams::auto(), gen_sorted(5_000, 42, 100_000), gen_sorted(5_000, 99, 100_000)),
+            (FesiaParams::auto(), gen_sorted(100, 5, 1_000_000), gen_sorted(50_000, 11, 1_000_000)),
+            (
+                FesiaParams::auto().with_bits_per_element(0.5),
+                gen_sorted(3_000, 51, 30_000),
+                gen_sorted(3_000, 53, 30_000),
+            ),
+            (FesiaParams::auto(), vec![], gen_sorted(500, 3, 10_000)),
+        ];
+        let mut scratch = Vec::new();
+        for (p, av, bv) in &cases {
+            let a = SegmentedSet::build(av, p).unwrap();
+            let b = SegmentedSet::build(bv, p).unwrap();
+            let want = intersect_count_interleaved_with(&a, &b, &table);
+            assert_eq!(want, reference(av, bv).len());
+            for dist in [0usize, 1, 4, 8, 64] {
+                assert_eq!(
+                    intersect_count_pipelined_with(&a, &b, &table, &mut scratch, dist),
+                    want,
+                    "dist={dist}"
+                );
+                assert_eq!(
+                    intersect_count_pipelined_with(&b, &a, &table, &mut scratch, dist),
+                    want,
+                    "dist={dist} swapped"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_knob_round_trips_and_dispatch_is_equivalent() {
+        let p = FesiaParams::auto();
+        let av = gen_sorted(2_000, 61, 40_000);
+        let bv = gen_sorted(2_000, 67, 40_000);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let table = KernelTable::auto();
+        let saved = pipeline_params();
+        let want = intersect_count_interleaved_with(&a, &b, &table);
+        set_pipeline_params(PipelineParams::default().with_enabled(false));
+        assert!(!pipeline_params().enabled);
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_pipeline_params(
+            PipelineParams::default()
+                .with_prefetch_distance(16)
+                .with_min_elements(0),
+        );
+        assert_eq!(pipeline_params().prefetch_distance, 16);
+        assert_eq!(pipeline_params().min_elements, 0);
+        assert!(pipeline_params().enabled);
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        // Above the floor the dispatcher falls back to interleaved.
+        set_pipeline_params(PipelineParams::default().with_min_elements(usize::MAX));
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_pipeline_params(saved);
     }
 
     #[test]

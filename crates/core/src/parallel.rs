@@ -1,21 +1,38 @@
 //! Multicore intersection (paper §VI, "Multicore parallelism").
 //!
 //! The bitmap AND has no cross-iteration dependency, so the segment space
-//! is partitioned across threads: each thread scans its slice of the
+//! is partitioned across threads: each worker scans its slice of the
 //! bitmaps, runs the specialized kernels on its surviving segments, and the
-//! per-thread counts are summed.
+//! per-worker counts are summed. Work runs on the persistent
+//! [`fesia_exec::Executor`] — the unit of claiming is an aligned block
+//! range, so a dense region of the bitmap (many survivors) no longer pins
+//! one thread while the others idle.
 
 use crate::intersect::default_table;
 use crate::kernels::KernelTable;
 use crate::set::SegmentedSet;
+use fesia_exec::Executor;
 use fesia_simd::mask::for_each_nonzero_lane;
 
-/// |A ∩ B| computed on `num_threads` threads with an explicit table.
+/// |A ∩ B| computed on up to `num_threads` pool participants with an
+/// explicit table.
 ///
 /// Partitioning is over the byte range of the (larger) bitmap, aligned to
 /// 64-byte blocks — and, when the bitmaps differ in size, to whole tiles of
 /// the smaller bitmap so each chunk folds independently.
 pub fn par_intersect_count_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    num_threads: usize,
+    table: &KernelTable,
+) -> usize {
+    par_intersect_count_on(Executor::global(), a, b, num_threads, table)
+}
+
+/// [`par_intersect_count_with`] on an explicit executor (tests and
+/// benches use dedicated pools to pin the worker count).
+pub fn par_intersect_count_on(
+    exec: &Executor,
     a: &SegmentedSet,
     b: &SegmentedSet,
     num_threads: usize,
@@ -37,77 +54,68 @@ pub fn par_intersect_count_with(
     let lane = a.lane();
     let level = table.level();
 
-    // Chunk granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
+    // Claim granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
     // when folding (so `local_offset & small_mask` equals the global fold).
     let align = if folded { small_bytes.len().max(64) } else { 64 };
     let total = large_bytes.len();
-    let chunks = (total / align).max(1);
-    let threads = num_threads.min(chunks);
-    let per_thread = fesia_simd::util::div_ceil(chunks, threads);
+    let blocks = (total / align).max(1);
 
     let seg_mask = small.num_segments() - 1;
     let lane_bytes = lane.bytes();
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let lo = (t * per_thread * align).min(total);
-            let hi = (((t + 1) * per_thread * align).min(total)).max(lo);
-            if lo == hi {
-                continue;
-            }
-            let large_chunk = &large_bytes[lo..hi];
-            let base_seg = lo / lane_bytes;
-            handles.push(scope.spawn(move || {
-                let mut count = 0u64;
-                let scan_small = if folded {
-                    small_bytes
-                } else {
-                    &small_bytes[lo..hi]
-                };
-                let visit = |local: usize, count: &mut u64| {
-                    let i = base_seg + local;
-                    let j = if folded { i & seg_mask } else { i };
-                    // SAFETY: as in `intersect_count_with`; chunk alignment
-                    // keeps fold indices consistent with the global scan,
-                    // and the folded dispatch never block-loads the large
-                    // side.
-                    *count += unsafe {
-                        if folded {
-                            table.count_folded(
-                                large.seg_ptr(i),
-                                large.seg_size(i),
-                                small.seg_ptr(j),
-                                small.seg_size(j),
-                            )
-                        } else {
-                            table.count(
-                                large.seg_ptr(i),
-                                large.seg_size(i),
-                                small.seg_ptr(j),
-                                small.seg_size(j),
-                            )
-                        }
-                    } as u64;
-                };
-                if folded {
-                    fesia_simd::mask::for_each_nonzero_lane_folded(
-                        level,
-                        lane,
-                        large_chunk,
-                        scan_small,
-                        |local| visit(local, &mut count),
-                    );
-                } else {
-                    for_each_nonzero_lane(level, lane, large_chunk, scan_small, |local| {
-                        visit(local, &mut count)
-                    });
-                }
-                count
-            }));
+    let scan_blocks = |range: std::ops::Range<usize>| -> u64 {
+        // Block range -> byte range; the final block absorbs the tail.
+        let lo = (range.start * align).min(total);
+        let hi = if range.end >= blocks { total } else { range.end * align };
+        if lo >= hi {
+            return 0;
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum::<u64>() as usize
-    })
+        let large_chunk = &large_bytes[lo..hi];
+        let base_seg = lo / lane_bytes;
+        let mut count = 0u64;
+        let scan_small = if folded { small_bytes } else { &small_bytes[lo..hi] };
+        let visit = |local: usize, count: &mut u64| {
+            let i = base_seg + local;
+            let j = if folded { i & seg_mask } else { i };
+            // SAFETY: as in `intersect_count_with`; block alignment keeps
+            // fold indices consistent with the global scan, and the folded
+            // dispatch never block-loads the large side.
+            *count += unsafe {
+                if folded {
+                    table.count_folded(
+                        large.seg_ptr(i),
+                        large.seg_size(i),
+                        small.seg_ptr(j),
+                        small.seg_size(j),
+                    )
+                } else {
+                    table.count(
+                        large.seg_ptr(i),
+                        large.seg_size(i),
+                        small.seg_ptr(j),
+                        small.seg_size(j),
+                    )
+                }
+            } as u64;
+        };
+        if folded {
+            fesia_simd::mask::for_each_nonzero_lane_folded(
+                level,
+                lane,
+                large_chunk,
+                scan_small,
+                |local| visit(local, &mut count),
+            );
+        } else {
+            for_each_nonzero_lane(level, lane, large_chunk, scan_small, |local| {
+                visit(local, &mut count)
+            });
+        }
+        count
+    };
+
+    exec.map_reduce(blocks, 1, num_threads, scan_blocks, |x, y| x + y)
+        .unwrap_or(0) as usize
 }
 
 /// |A ∩ B| on `num_threads` threads with the process-default table.
@@ -157,6 +165,21 @@ mod tests {
         let want = intersect_count(&a, &b);
         for threads in [2usize, 4, 7] {
             assert_eq!(par_intersect_count(&a, &b, threads), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dedicated_executors_match_serial() {
+        let av = gen_sorted(8_000, 23, 200_000);
+        let bv = gen_sorted(30_000, 29, 200_000);
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let table = KernelTable::auto();
+        let want = crate::intersect::intersect_count_with(&a, &b, &table);
+        for n in [1usize, 2, 8] {
+            let exec = Executor::new(n);
+            assert_eq!(par_intersect_count_on(&exec, &a, &b, n, &table), want, "threads={n}");
         }
     }
 

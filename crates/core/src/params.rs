@@ -71,6 +71,91 @@ impl Default for FesiaParams {
     }
 }
 
+/// Tuning knob for the pipelined two-phase dispatch
+/// ([`crate::intersect_count_with`]).
+///
+/// When enabled, phase 1 collects surviving segment indices into a
+/// reusable buffer — issuing software prefetches for both sides' segment
+/// data as each survivor is found — and phase 2 sweeps the buffer with
+/// straight-line kernel dispatch, prefetching `prefetch_distance`
+/// entries ahead. When disabled, kernels are dispatched inline as each
+/// survivor is discovered (the seed's interleaved form).
+///
+/// The process-wide default is read once from the environment
+/// (`FESIA_PIPELINE=0|1`, `FESIA_PREFETCH_DIST=N`,
+/// `FESIA_PIPELINE_MIN=N`) and can be changed at runtime with
+/// [`crate::set_pipeline_params`]; the auto-tuner
+/// ([`crate::tuning::tune_pipeline`]) measures candidates on a sample
+/// workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineParams {
+    /// Use the two-phase pipelined dispatch in
+    /// [`crate::intersect_count_with`].
+    pub enabled: bool,
+    /// How many survivor entries ahead phase 2 prefetches (0 disables
+    /// the phase-2 prefetch entirely).
+    pub prefetch_distance: usize,
+    /// Smallest combined element count (`|A| + |B|`) for which the
+    /// pipelined form is dispatched. Below this the inputs are
+    /// cache-resident, prefetch hints are pure instruction overhead, and
+    /// the interleaved form runs instead; above it the kernels' dependent
+    /// loads miss cache and the lookahead pays. Set to 0 to pipeline
+    /// unconditionally.
+    pub min_elements: usize,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            enabled: true,
+            prefetch_distance: 8,
+            min_elements: 1 << 22,
+        }
+    }
+}
+
+impl PipelineParams {
+    /// The defaults, with `FESIA_PIPELINE` / `FESIA_PREFETCH_DIST` /
+    /// `FESIA_PIPELINE_MIN` environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut p = PipelineParams::default();
+        if let Ok(v) = std::env::var("FESIA_PIPELINE") {
+            p.enabled = v != "0" && !v.eq_ignore_ascii_case("off");
+        }
+        if let Some(d) = std::env::var("FESIA_PREFETCH_DIST")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            p.prefetch_distance = d;
+        }
+        if let Some(m) = std::env::var("FESIA_PIPELINE_MIN")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            p.min_elements = m;
+        }
+        p
+    }
+
+    /// Override the phase-2 prefetch distance.
+    pub fn with_prefetch_distance(mut self, dist: usize) -> Self {
+        self.prefetch_distance = dist;
+        self
+    }
+
+    /// Enable or disable the pipelined dispatch.
+    pub fn with_enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Override the combined-size floor for pipelined dispatch.
+    pub fn with_min_elements(mut self, min: usize) -> Self {
+        self.min_elements = min;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 
 use crate::hash;
 use crate::set::SegmentedSet;
-use fesia_simd::mask::for_each_nonzero_lane;
+use fesia_simd::mask::{for_each_nonzero_lane, for_each_nonzero_lane_folded};
 
 /// Distribution of segment populations in one set.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +122,35 @@ pub fn filter_stats(a: &SegmentedSet, b: &SegmentedSet) -> FilterStats {
     }
 }
 
+/// Number of segment pairs surviving the phase-1 bitmap AND — the length
+/// of the survivor buffer the pipelined dispatch fills, and therefore the
+/// phase-2 trip count. Unlike [`filter_stats`] this works for folded
+/// (different-bitmap-size) pairs too: with folding, segment `i` of the
+/// larger bitmap pairs with `i mod N2` of the smaller.
+///
+/// # Panics
+/// Panics if the segment widths differ.
+pub fn survivor_segments(a: &SegmentedSet, b: &SegmentedSet) -> usize {
+    assert_eq!(a.lane(), b.lane(), "segment widths must match");
+    let level = fesia_simd::SimdLevel::detect();
+    let mut survivors = 0usize;
+    if a.bitmap_bits() == b.bitmap_bits() {
+        for_each_nonzero_lane(level, a.lane(), a.bitmap_bytes(), b.bitmap_bytes(), |_| {
+            survivors += 1;
+        });
+    } else {
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        for_each_nonzero_lane_folded(
+            level,
+            a.lane(),
+            large.bitmap_bytes(),
+            small.bitmap_bytes(),
+            |_| survivors += 1,
+        );
+    }
+    survivors
+}
+
 /// Measured collision rate of the element hash over a set: fraction of
 /// elements sharing their exact bit position with another element.
 pub fn bit_collision_rate(set: &SegmentedSet) -> f64 {
@@ -218,6 +247,29 @@ mod tests {
         assert_eq!(fs.intersection, 0);
         assert_eq!(fs.true_positive_segments, 0);
         assert_eq!(fs.survivors, fs.false_positive_segments);
+    }
+
+    #[test]
+    fn survivor_segments_matches_filter_stats_and_handles_folding() {
+        let params = FesiaParams::auto();
+        let a = gen_sorted(10_000, 3, 1 << 23);
+        let b = gen_sorted(10_000, 5, 1 << 23);
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        assert_eq!(survivor_segments(&sa, &sb), filter_stats(&sa, &sb).survivors);
+        // Folded pair: just check it runs and is at least the number of
+        // true-positive segments (every true match survives the AND).
+        let c = gen_sorted(500, 7, 1 << 23);
+        let sc = SegmentedSet::build(&c, &params).unwrap();
+        assert_ne!(sa.bitmap_bits(), sc.bitmap_bits());
+        let surv = survivor_segments(&sa, &sc);
+        let surv_rev = survivor_segments(&sc, &sa);
+        assert_eq!(surv, surv_rev, "survivor count must be symmetric");
+        let want = {
+            let cs: std::collections::HashSet<u32> = c.iter().copied().collect();
+            a.iter().filter(|x| cs.contains(x)).count()
+        };
+        assert!(surv >= want.min(1));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! and returns the fastest configuration.
 
 use crate::kernels::KernelTable;
-use crate::params::FesiaParams;
+use crate::params::{FesiaParams, PipelineParams};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::LaneWidth;
 use fesia_simd::timer::CycleTimer;
@@ -96,6 +96,83 @@ pub fn tune(samples: &[(Vec<u32>, Vec<u32>)]) -> FesiaParams {
     tune_grid(samples, &KernelTable::auto(), 3)[0].params
 }
 
+/// The phase-2 prefetch distances [`tune_pipeline`] measures (besides the
+/// interleaved form itself).
+pub const PIPELINE_DISTANCE_GRID: [usize; 4] = [4, 8, 16, 32];
+
+/// Measure the pipelined dispatch against the interleaved form on the
+/// sample workload and return the fastest [`PipelineParams`]: either
+/// `enabled = false` (interleaved won) or the best prefetch distance from
+/// [`PIPELINE_DISTANCE_GRID`]. Counts are cross-checked between every
+/// candidate. Sets are built with the default [`FesiaParams`]; the result
+/// is *not* installed — pass it to [`crate::set_pipeline_params`] to
+/// adopt it.
+///
+/// # Panics
+/// Panics if `samples` is empty or any sample is not sorted/unique.
+pub fn tune_pipeline(
+    samples: &[(Vec<u32>, Vec<u32>)],
+    table: &KernelTable,
+    reps: usize,
+) -> PipelineParams {
+    assert!(!samples.is_empty(), "need at least one sample pair");
+    let params = FesiaParams::auto();
+    let built: Vec<(SegmentedSet, SegmentedSet)> = samples
+        .iter()
+        .map(|(a, b)| {
+            (
+                SegmentedSet::build(a, &params).expect("valid sample"),
+                SegmentedSet::build(b, &params).expect("valid sample"),
+            )
+        })
+        .collect();
+    let reference: Vec<usize> = built
+        .iter()
+        .map(|(a, b)| crate::intersect::intersect_count_interleaved_with(a, b, table))
+        .collect();
+    let measure = |f: &dyn Fn(&SegmentedSet, &SegmentedSet) -> usize| -> u64 {
+        let counts: Vec<usize> = built.iter().map(|(a, b)| f(a, b)).collect();
+        assert_eq!(counts, reference, "pipeline candidate disagreed");
+        let mut best = u64::MAX;
+        for _ in 0..reps.max(1) {
+            let t = CycleTimer::start();
+            let mut acc = 0usize;
+            for (a, b) in &built {
+                acc += f(a, b);
+            }
+            std::hint::black_box(acc);
+            best = best.min(t.elapsed_cycles());
+        }
+        best
+    };
+    let mut best = PipelineParams::default().with_enabled(false);
+    let mut best_cycles =
+        measure(&|a, b| crate::intersect::intersect_count_interleaved_with(a, b, table));
+    let mut scratch = Vec::new();
+    for &dist in &PIPELINE_DISTANCE_GRID {
+        let scratch_cell = std::cell::RefCell::new(std::mem::take(&mut scratch));
+        let cycles = measure(&|a, b| {
+            crate::intersect::intersect_count_pipelined_with(
+                a,
+                b,
+                table,
+                &mut scratch_cell.borrow_mut(),
+                dist,
+            )
+        });
+        scratch = scratch_cell.into_inner();
+        if cycles < best_cycles {
+            best_cycles = cycles;
+            // Tuned on a representative sample, so the size heuristic is
+            // superseded: apply the winning distance unconditionally.
+            best = PipelineParams::default()
+                .with_prefetch_distance(dist)
+                .with_min_elements(0);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +221,21 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn empty_samples_panic() {
         let _ = tune(&[]);
+    }
+
+    #[test]
+    fn pipeline_tuner_returns_a_measured_candidate() {
+        let samples = vec![
+            (gen_sorted(2_000, 9, 60_000), gen_sorted(2_000, 10, 60_000)),
+        ];
+        let p = tune_pipeline(&samples, &KernelTable::auto(), 2);
+        // Either interleaved won, or a grid distance won — nothing else.
+        assert!(!p.enabled || PIPELINE_DISTANCE_GRID.contains(&p.prefetch_distance));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn pipeline_tuner_rejects_empty_samples() {
+        let _ = tune_pipeline(&[], &KernelTable::auto(), 1);
     }
 }

@@ -1,0 +1,512 @@
+//! # fesia-exec
+//!
+//! A persistent, lazily-initialized thread pool for the data-parallel
+//! loops of the FESIA workspace (batched intersection, segment-space
+//! partitioning, triangle counting, query execution).
+//!
+//! ## Why not `std::thread::scope` per call?
+//!
+//! Every parallel entry point of the seed spawned fresh OS threads per
+//! call and carved the work into `threads` equal static chunks. That
+//! taxes each batch with thread creation and, for skewed workloads
+//! (Zipfian pair costs, power-law degree distributions), leaves most
+//! threads idle while one static chunk straggles. This crate keeps one
+//! process-wide pool of parked workers and schedules *many small chunks
+//! dynamically*: idle participants steal the next unclaimed chunk from a
+//! shared per-region cursor, so a straggler chunk delays only the one
+//! thread that claimed it.
+//!
+//! ## Design
+//!
+//! * [`Executor::global`] — the process pool, created on first use with
+//!   `std::thread::available_parallelism()` threads (override with the
+//!   `FESIA_THREADS` environment variable or [`Executor::new`]).
+//! * A parallel region ([`Executor::for_each_chunk`] /
+//!   [`Executor::map_reduce`]) splits `len` items into roughly
+//!   `participants × 8` fixed-boundary chunks (never smaller than the
+//!   caller's `min_chunk`). Chunks are claimed with a single
+//!   `fetch_add` on the region cursor — the lock-free analogue of
+//!   stealing from the bottom of a Chase–Lev deque, specialized to the
+//!   flat loops this workspace runs (no nested task graphs, so
+//!   per-worker deques would only add traffic).
+//! * The submitting thread always participates, so a region never waits
+//!   on a sleeping pool, and `max_threads` caps concurrency per region
+//!   (benchmarks use it to measure 1/2/4/8-thread scaling on one pool).
+//! * Worker panics are caught, forwarded, and re-raised on the
+//!   submitting thread; the pool survives.
+//!
+//! Regions may be submitted from worker threads (nested parallelism):
+//! the inner submitter participates in its own region and blocks only on
+//! chunks already being executed by other threads, so progress is
+//! guaranteed.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Chunks per participating thread that a region is split into; more
+/// gives finer dynamic balancing, fewer gives lower claim overhead.
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// A parallel region: a fixed chunk grid over `0..len`, a claim cursor,
+/// and completion accounting. `body` is a borrowed closure whose
+/// lifetime is enforced dynamically: the submitter blocks until
+/// `remaining == 0`, and no thread dereferences `body` after claiming an
+/// out-of-range chunk, so the pointee outlives every call.
+struct Region {
+    body: *const (dyn Fn(Range<usize>) + Sync + 'static),
+    len: usize,
+    chunk: usize,
+    num_chunks: usize,
+    /// Next unclaimed chunk index.
+    cursor: AtomicUsize,
+    /// Chunks not yet completed (claimed-and-running count toward it).
+    remaining: AtomicUsize,
+    /// Active participants; bounded by `cap`.
+    tickets: AtomicUsize,
+    cap: usize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `body` points at a `Sync` closure; the raw pointer only exists
+// because worker threads are 'static while the closure is not. The
+// submitter's blocking wait (see `Region` docs) guarantees the pointee
+// is alive for every dereference.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    /// Claim and run chunks until the cursor is exhausted or the
+    /// participant cap is reached. Returns whether any chunk was run.
+    fn participate(&self) -> bool {
+        if self.cursor.load(Ordering::Relaxed) >= self.num_chunks {
+            return false;
+        }
+        // Acquire a ticket (bounded participants).
+        loop {
+            let t = self.tickets.load(Ordering::Relaxed);
+            if t >= self.cap {
+                return false;
+            }
+            if self
+                .tickets
+                .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        let mut did_work = false;
+        loop {
+            let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
+            if idx >= self.num_chunks {
+                break;
+            }
+            did_work = true;
+            let lo = idx * self.chunk;
+            let hi = (lo + self.chunk).min(self.len);
+            // SAFETY: idx < num_chunks, so `remaining` has not reached 0
+            // yet and the submitter is still blocked: the closure behind
+            // `body` is alive.
+            let body = unsafe { &*self.body };
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(lo..hi)));
+            if outcome.is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut d = self.done.lock().expect("region lock");
+                *d = true;
+                self.done_cv.notify_all();
+            }
+        }
+        self.tickets.fetch_sub(1, Ordering::Release);
+        did_work
+    }
+
+    fn wait_done(&self) {
+        let mut d = self.done.lock().expect("region lock");
+        while !*d {
+            d = self.done_cv.wait(d).expect("region lock");
+        }
+    }
+}
+
+struct Pool {
+    /// Spawned worker threads; total parallelism is `workers + 1`
+    /// (the submitting thread always participates).
+    workers: usize,
+    /// Regions with potentially unclaimed chunks.
+    regions: Mutex<Vec<Arc<Region>>>,
+    /// Bumped on every submission (and on shutdown) so sleeping workers
+    /// can tell "nothing new" from "scanned before the push".
+    generation: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Pool {
+    fn notify(&self) {
+        let mut g = self.generation.lock().expect("pool lock");
+        *g = g.wrapping_add(1);
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(pool: Arc<Pool>) {
+    loop {
+        if pool.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let seen = *pool.generation.lock().expect("pool lock");
+        let regions: Vec<Arc<Region>> = pool.regions.lock().expect("pool lock").clone();
+        let mut did_work = false;
+        for r in &regions {
+            did_work |= r.participate();
+        }
+        if !did_work {
+            let g = pool.generation.lock().expect("pool lock");
+            if *g == seen && !pool.shutdown.load(Ordering::Acquire) {
+                let _unused = pool.wake.wait(g).expect("pool lock");
+            }
+        }
+    }
+}
+
+/// A persistent pool of worker threads executing parallel regions.
+///
+/// Most callers want [`Executor::global`]; dedicated instances exist so
+/// tests and benchmarks can pin an exact thread count.
+pub struct Executor {
+    pool: Arc<Pool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// A pool with exactly `threads` degrees of parallelism (the caller
+    /// counts as one; `threads - 1` workers are spawned).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Executor {
+        assert!(threads >= 1, "an executor needs at least one thread");
+        let pool = Arc::new(Pool {
+            workers: threads - 1,
+            regions: Mutex::new(Vec::new()),
+            generation: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads - 1)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("fesia-exec-{i}"))
+                    .spawn(move || worker_loop(pool))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Executor { pool, handles }
+    }
+
+    /// The process-wide pool, lazily created on first use.
+    ///
+    /// Sized from `std::thread::available_parallelism()`; set the
+    /// `FESIA_THREADS` environment variable (before first use) to
+    /// override.
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("FESIA_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                });
+            Executor::new(threads)
+        })
+    }
+
+    /// Degrees of parallelism (worker threads + the submitting thread).
+    pub fn parallelism(&self) -> usize {
+        self.pool.workers + 1
+    }
+
+    /// Run `f` over every chunk of `0..len`, in parallel, with dynamic
+    /// chunk claiming.
+    ///
+    /// The range is split into at most `participants × 8` chunks of
+    /// equal size (the last may be short), each at least `min_chunk`
+    /// items; `max_threads` caps the number of concurrently
+    /// participating threads (`0` means "all of the pool"). The call
+    /// returns once every chunk has run. Chunks are disjoint and cover
+    /// `0..len` exactly once, so `f` may write to per-index slots of a
+    /// shared output without synchronization.
+    ///
+    /// # Panics
+    /// Re-raises (as a panic) any panic raised by `f` on a worker.
+    pub fn for_each_chunk<F>(&self, len: usize, min_chunk: usize, max_threads: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let cap = if max_threads == 0 {
+            self.parallelism()
+        } else {
+            max_threads.min(self.parallelism())
+        };
+        let min_chunk = min_chunk.max(1);
+        let chunk = len.div_ceil(cap * CHUNKS_PER_THREAD).max(min_chunk);
+        let num_chunks = len.div_ceil(chunk);
+        if cap <= 1 || num_chunks <= 1 {
+            f(0..len);
+            return;
+        }
+        let body: &(dyn Fn(Range<usize>) + Sync) = &f;
+        // SAFETY: erase the closure's lifetime; `Region` documents the
+        // dynamic guarantee (submitter blocks until remaining == 0).
+        let body: *const (dyn Fn(Range<usize>) + Sync + 'static) =
+            unsafe { std::mem::transmute(body) };
+        let region = Arc::new(Region {
+            body,
+            len,
+            chunk,
+            num_chunks,
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(num_chunks),
+            tickets: AtomicUsize::new(0),
+            cap,
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        self.pool.regions.lock().expect("pool lock").push(Arc::clone(&region));
+        self.pool.notify();
+        region.participate();
+        region.wait_done();
+        self.pool
+            .regions
+            .lock()
+            .expect("pool lock")
+            .retain(|r| !Arc::ptr_eq(r, &region));
+        if region.panicked.load(Ordering::Acquire) {
+            panic!("fesia-exec worker panicked while executing a parallel region");
+        }
+    }
+
+    /// Parallel map over chunks of `0..len` followed by a reduction.
+    ///
+    /// `map` produces one partial result per chunk; `reduce` combines
+    /// partials in an unspecified order (it must be associative and
+    /// commutative — counts and sums are). Returns `None` for an empty
+    /// range. Chunking and capping follow [`Executor::for_each_chunk`].
+    pub fn map_reduce<T, M, R>(
+        &self,
+        len: usize,
+        min_chunk: usize,
+        max_threads: usize,
+        map: M,
+        reduce: R,
+    ) -> Option<T>
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        if len == 0 {
+            return None;
+        }
+        let acc: Mutex<Option<T>> = Mutex::new(None);
+        self.for_each_chunk(len, min_chunk, max_threads, |range| {
+            let part = map(range);
+            let mut guard = acc.lock().expect("reduce lock");
+            *guard = Some(match guard.take() {
+                None => part,
+                Some(prev) => reduce(prev, part),
+            });
+        });
+        acc.into_inner().expect("reduce lock").take()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.pool.shutdown.store(true, Ordering::Release);
+        self.pool.notify();
+        for h in self.handles.drain(..) {
+            h.join().expect("pool worker exited cleanly");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let exec = Executor::new(4);
+        for len in [0usize, 1, 2, 63, 64, 65, 1_000, 4_097] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            exec.for_each_chunk(len, 1, 0, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "len={len}: some index not covered exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_chunking_splits_finer_than_static_partitioning() {
+        // Regression for the static `len / threads` partitioning the
+        // seed used: with adversarial cost skew, equal chunks leave all
+        // but one thread idle. The executor must produce strictly more
+        // chunks than participants so claims can rebalance.
+        let exec = Executor::new(4);
+        let chunks = Mutex::new(Vec::new());
+        exec.for_each_chunk(10_000, 1, 0, |r| {
+            chunks.lock().unwrap().push(r);
+        });
+        let mut chunks = chunks.into_inner().unwrap();
+        assert!(
+            chunks.len() > exec.parallelism(),
+            "only {} chunks for {} threads — static partitioning",
+            chunks.len(),
+            exec.parallelism()
+        );
+        // The chunks are a partition of 0..len.
+        chunks.sort_by_key(|r| r.start);
+        assert_eq!(chunks.first().unwrap().start, 0);
+        assert_eq!(chunks.last().unwrap().end, 10_000);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "gap or overlap between chunks");
+        }
+        // No degenerate tail: every chunk but the last has full size.
+        let full = chunks[0].len();
+        for r in &chunks[..chunks.len() - 1] {
+            assert_eq!(r.len(), full);
+        }
+    }
+
+    #[test]
+    fn min_chunk_is_respected() {
+        let exec = Executor::new(8);
+        let chunks = Mutex::new(Vec::new());
+        exec.for_each_chunk(1_000, 400, 0, |r| {
+            chunks.lock().unwrap().push(r);
+        });
+        let chunks = chunks.into_inner().unwrap();
+        assert!(chunks.len() <= 3, "{} chunks violate min_chunk=400", chunks.len());
+        for r in &chunks {
+            assert!(r.len() >= 200, "tail chunk {r:?} degenerately small");
+        }
+    }
+
+    #[test]
+    fn map_reduce_sums_match_serial() {
+        let exec = Executor::new(8);
+        let want: u64 = (0..100_000u64).map(|x| x * x % 1_000_003).sum();
+        for cap in [1usize, 2, 3, 8, 0] {
+            let got = exec
+                .map_reduce(
+                    100_000,
+                    1,
+                    cap,
+                    |r| r.map(|x| (x as u64) * (x as u64) % 1_000_003).sum::<u64>(),
+                    |a, b| a + b,
+                )
+                .unwrap();
+            assert_eq!(got, want, "cap={cap}");
+        }
+        assert_eq!(exec.map_reduce(0, 1, 0, |_| 1u64, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn adversarial_cost_skew_still_covers_everything() {
+        // One early index is ~10_000x more expensive than the rest; the
+        // remaining work must still be claimed and completed (by other
+        // participants when cores allow, by the same thread otherwise).
+        let exec = Executor::new(8);
+        let total = AtomicU64::new(0);
+        let heavy = |i: usize| if i == 3 { 40_000_000u64 } else { 4_000 };
+        exec.for_each_chunk(256, 1, 0, |r| {
+            let mut acc = 0u64;
+            for i in r {
+                let mut x = i as u64 | 1;
+                for _ in 0..heavy(i) / 4_000 {
+                    x = x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+                }
+                acc += (x & 0xFFFF) | 1;
+            }
+            total.fetch_add(acc, Ordering::Relaxed);
+        });
+        assert!(total.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn single_thread_executor_runs_inline() {
+        let exec = Executor::new(1);
+        assert_eq!(exec.parallelism(), 1);
+        let order = Mutex::new(Vec::new());
+        exec.for_each_chunk(10, 1, 0, |r| order.lock().unwrap().push(r.start));
+        // Inline serial execution: one chunk, in order.
+        assert_eq!(order.into_inner().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn nested_regions_make_progress() {
+        let exec = Executor::new(4);
+        let total = AtomicU64::new(0);
+        exec.for_each_chunk(16, 1, 0, |outer| {
+            for _ in outer {
+                let inner_sum = Executor::global()
+                    .map_reduce(100, 1, 2, |r| r.map(|x| x as u64).sum::<u64>(), |a, b| a + b)
+                    .unwrap();
+                total.fetch_add(inner_sum, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 4950);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let exec = Executor::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.for_each_chunk(1_000, 1, 0, |r| {
+                if r.contains(&500) {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        // The pool is still usable afterwards.
+        let got = exec
+            .map_reduce(1_000, 1, 0, |r| r.len() as u64, |a, b| a + b)
+            .unwrap();
+        assert_eq!(got, 1_000);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Executor::global() as *const Executor;
+        let b = Executor::global() as *const Executor;
+        assert_eq!(a, b);
+        assert!(Executor::global().parallelism() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = Executor::new(0);
+    }
+}

@@ -10,7 +10,14 @@
 use crate::csr::CsrGraph;
 use fesia_baselines::SliceIntersector;
 use fesia_core::{FesiaParams, KernelTable, SegmentedSet};
+use fesia_exec::Executor;
 use std::time::{Duration, Instant};
+
+/// Fewest vertices per executor chunk claim. Power-law degree
+/// distributions make per-vertex cost wildly uneven, so chunks stay small
+/// enough for hub vertices not to strand a claim's worth of work on one
+/// thread.
+const MIN_VERTICES_PER_CHUNK: usize = 16;
 
 /// Reference triangle count (hash-join per edge); the correctness oracle.
 pub fn count_reference(g: &CsrGraph) -> u64 {
@@ -35,36 +42,25 @@ pub fn count_with_method(
 ) -> (u64, Duration) {
     assert!(threads >= 1);
     let start = Instant::now();
-    let n = oriented.num_nodes() as u32;
-    let total = if threads == 1 {
-        let mut acc = 0u64;
-        for u in 0..n {
-            for &v in oriented.neighbors(u) {
-                acc += method.count(oriented.neighbors(u), oriented.neighbors(v)) as u64;
-            }
-        }
-        acc
-    } else {
-        let chunk = fesia_simd::util::div_ceil(n as usize, threads) as u32;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads as u32 {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                handles.push(scope.spawn(move || {
-                    let mut acc = 0u64;
-                    for u in lo..hi {
-                        for &v in oriented.neighbors(u) {
-                            acc += method.count(oriented.neighbors(u), oriented.neighbors(v))
-                                as u64;
-                        }
+    let n = oriented.num_nodes();
+    let total = Executor::global()
+        .map_reduce(
+            n,
+            MIN_VERTICES_PER_CHUNK,
+            threads,
+            |range| {
+                let mut acc = 0u64;
+                for u in range {
+                    let u = u as u32;
+                    for &v in oriented.neighbors(u) {
+                        acc += method.count(oriented.neighbors(u), oriented.neighbors(v)) as u64;
                     }
-                    acc
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-        })
-    };
+                }
+                acc
+            },
+            |x, y| x + y,
+        )
+        .unwrap_or(0);
     (total, start.elapsed())
 }
 
@@ -106,36 +102,32 @@ impl FesiaGraph {
     ) -> (u64, Duration) {
         assert!(threads >= 1);
         let start = Instant::now();
-        let n = oriented.num_nodes() as u32;
+        let n = oriented.num_nodes();
         let sets = &self.sets;
-        let run_range = move |lo: u32, hi: u32| {
-            let mut acc = 0u64;
-            for u in lo..hi {
-                let su = &sets[u as usize];
-                for &v in oriented.neighbors(u) {
-                    // Strategy selection per pair (paper §VI): adjacency
-                    // lists are mostly tiny and often skewed, so the
-                    // adaptive entry point (probe vs merge) is the faithful
-                    // way to run FESIA on a graph workload.
-                    acc += fesia_core::auto_count_with(su, &sets[v as usize], table) as u64;
-                }
-            }
-            acc
-        };
-        let total = if threads == 1 {
-            run_range(0, n)
-        } else {
-            let chunk = fesia_simd::util::div_ceil(n as usize, threads) as u32;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for t in 0..threads as u32 {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    handles.push(scope.spawn(move || run_range(lo, hi)));
-                }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-            })
-        };
+        let total = Executor::global()
+            .map_reduce(
+                n,
+                MIN_VERTICES_PER_CHUNK,
+                threads,
+                |range| {
+                    let mut acc = 0u64;
+                    for u in range {
+                        let su = &sets[u];
+                        for &v in oriented.neighbors(u as u32) {
+                            // Strategy selection per pair (paper §VI):
+                            // adjacency lists are mostly tiny and often
+                            // skewed, so the adaptive entry point (probe vs
+                            // merge) is the faithful way to run FESIA on a
+                            // graph workload.
+                            acc += fesia_core::auto_count_with(su, &sets[v as usize], table)
+                                as u64;
+                        }
+                    }
+                    acc
+                },
+                |x, y| x + y,
+            )
+            .unwrap_or(0);
         (total, start.elapsed())
     }
 }

@@ -9,6 +9,7 @@ use crate::corpus::InvertedIndex;
 use fesia_baselines::Method;
 use fesia_core::{FesiaParams, KernelTable, SegmentedSet};
 use fesia_datagen::SplitMix64;
+use fesia_exec::Executor;
 use std::time::{Duration, Instant};
 
 /// A conjunctive keyword query: the term ids to intersect.
@@ -200,6 +201,39 @@ impl FesiaIndex {
         (total, start.elapsed())
     }
 
+    /// [`FesiaIndex::run_queries`] parallelized across queries on the
+    /// persistent executor, capped at `threads` participants. Queries are
+    /// claimed dynamically, so a run of expensive queries (long posting
+    /// lists) does not serialize on one thread the way a static
+    /// split-by-query-index would.
+    pub fn run_queries_par(
+        &self,
+        queries: &[Query],
+        table: &KernelTable,
+        threads: usize,
+    ) -> (usize, Duration) {
+        assert!(threads >= 1, "need at least one thread");
+        let start = Instant::now();
+        let total = Executor::global()
+            .map_reduce(
+                queries.len(),
+                4,
+                threads,
+                |range| {
+                    let mut acc = 0usize;
+                    for q in &queries[range] {
+                        let sets: Vec<&SegmentedSet> =
+                            q.terms.iter().map(|&t| self.set(t)).collect();
+                        acc += fesia_core::kway_count_with(&sets, table);
+                    }
+                    acc
+                },
+                |x, y| x + y,
+            )
+            .unwrap_or(0);
+        (total, start.elapsed())
+    }
+
     /// Answer one query with the matching *document ids* (ascending) —
     /// what a search engine actually returns, via the materializing k-way
     /// path.
@@ -285,6 +319,26 @@ mod tests {
         assert_eq!(got, want, "FESIA");
         assert!(fidx.construction_time > Duration::ZERO);
         assert!(fidx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn parallel_query_execution_matches_serial() {
+        let idx = test_index();
+        let qs = generate_queries(
+            &idx,
+            &QueryGenParams {
+                k: 2,
+                count: 25,
+                ..Default::default()
+            },
+        );
+        let fidx = FesiaIndex::build(&idx, &FesiaParams::auto());
+        let table = KernelTable::auto();
+        let (want, _) = fidx.run_queries(&qs, &table);
+        for threads in [1usize, 2, 8] {
+            let (got, _) = fidx.run_queries_par(&qs, &table, threads);
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! * [`mask`] — the lane-mask primitives used by FESIA's bitmap-level
 //!   intersection: AND two byte (or 16-bit-lane) streams and report which
 //!   lanes are non-zero as a dense bitmask.
+//! * [`prefetch`] — software prefetch hints (`prefetcht0`/`prefetcht1` on
+//!   x86-64, no-ops elsewhere) used by the pipelined two-phase dispatch.
 //! * [`timer`] — cycle-accurate timing (`rdtsc` on x86-64, monotonic clock
 //!   elsewhere) used by the benchmark harness to report the paper's
 //!   "million cycles" figures.
@@ -19,6 +21,7 @@
 
 pub mod features;
 pub mod mask;
+pub mod prefetch;
 pub mod timer;
 pub mod util;
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI (and the roadmap) require to stay green.
+#
+#   scripts/tier1.sh            # build + full test suite
+#   scripts/tier1.sh --smoke    # additionally run the smoke-scale batch
+#                               # experiment as an end-to-end probe
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== tier1: repro batch --scale smoke =="
+    ./target/release/repro batch --scale smoke
+fi
+
+echo "== tier1: OK =="

@@ -1,0 +1,109 @@
+//! Executor equivalence: every parallel entry point, on dedicated pools
+//! of 1, 2, and 8 threads, must count exactly what the serial two-phase
+//! algorithm counts — on random equal-bitmap inputs, on folded
+//! (different-bitmap-size) inputs, and under both dispatch forms of the
+//! pipelined knob.
+//!
+//! Dedicated `Executor::new(n)` pools are used instead of the global one
+//! so the worker count under test is pinned regardless of the host's
+//! core count.
+
+use fesia_core::{
+    batch_count_pairs_on, intersect_count_with, par_intersect_count_on, pipeline_params,
+    set_pipeline_params, FesiaParams, KernelTable, PipelineParams, SegmentedSet,
+};
+use fesia_datagen::SplitMix64;
+use fesia_exec::Executor;
+
+fn build(n: usize, universe: u32, seed: u64, params: &FesiaParams) -> (Vec<u32>, SegmentedSet) {
+    let mut rng = SplitMix64::new(seed);
+    let v = fesia_datagen::sorted_distinct(n, universe, &mut rng);
+    let s = SegmentedSet::build(&v, params).unwrap();
+    (v, s)
+}
+
+/// Random equal-size pair + a folded pair (sizes differ by ~50x, which
+/// forces different bitmap sizes under the default density).
+fn fixture(params: &FesiaParams) -> Vec<(SegmentedSet, SegmentedSet)> {
+    let (_, a) = build(20_000, 400_000, 1, params);
+    let (_, b) = build(20_000, 400_000, 2, params);
+    let (_, small) = build(700, 400_000, 3, params);
+    let (_, large) = build(45_000, 400_000, 4, params);
+    assert_ne!(small.bitmap_bits(), large.bitmap_bits(), "need a folded pair");
+    vec![(a, b), (small, large)]
+}
+
+#[test]
+fn par_intersect_matches_serial_on_1_2_8_threads() {
+    let params = FesiaParams::auto();
+    let table = KernelTable::auto();
+    for (i, (a, b)) in fixture(&params).iter().enumerate() {
+        let want = intersect_count_with(a, b, &table);
+        for n in [1usize, 2, 8] {
+            let exec = Executor::new(n);
+            assert_eq!(
+                par_intersect_count_on(&exec, a, b, n, &table),
+                want,
+                "pair={i} threads={n}"
+            );
+            // Executor wider than the requested cap.
+            assert_eq!(
+                par_intersect_count_on(&exec, b, a, 2.min(n), &table),
+                want,
+                "pair={i} threads={n} capped"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_matches_serial_on_1_2_8_threads() {
+    let params = FesiaParams::auto();
+    let table = KernelTable::auto();
+    let mut sets = Vec::new();
+    for (a, b) in fixture(&params) {
+        sets.push(a);
+        sets.push(b);
+    }
+    let k = sets.len() as u32;
+    let pairs: Vec<(u32, u32)> =
+        (0..k).flat_map(|i| (0..k).map(move |j| (i, j))).collect();
+    let want: Vec<usize> = pairs
+        .iter()
+        .map(|&(i, j)| {
+            fesia_core::auto_count_with(&sets[i as usize], &sets[j as usize], &table)
+        })
+        .collect();
+    for n in [1usize, 2, 8] {
+        let exec = Executor::new(n);
+        let got = batch_count_pairs_on(&exec, &sets, &pairs, &table, n);
+        assert_eq!(got, want, "threads={n}");
+    }
+}
+
+#[test]
+fn parallel_paths_agree_under_both_pipeline_forms() {
+    let params = FesiaParams::auto();
+    let table = KernelTable::auto();
+    let saved = pipeline_params();
+    let fx = fixture(&params);
+    let mut counts_per_form = Vec::new();
+    for enabled in [true, false] {
+        // min_elements = 0 so the enabled form really dispatches pipelined
+        // (the fixture sets are far below the default size floor).
+        set_pipeline_params(
+            PipelineParams::default()
+                .with_enabled(enabled)
+                .with_min_elements(0),
+        );
+        let mut counts = Vec::new();
+        for (a, b) in &fx {
+            counts.push(intersect_count_with(a, b, &table));
+            let exec = Executor::new(8);
+            counts.push(par_intersect_count_on(&exec, a, b, 8, &table));
+        }
+        counts_per_form.push(counts);
+    }
+    set_pipeline_params(saved);
+    assert_eq!(counts_per_form[0], counts_per_form[1], "pipelined vs interleaved");
+}

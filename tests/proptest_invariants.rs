@@ -1,33 +1,43 @@
-//! Property-based invariants over arbitrary inputs (proptest).
+//! Property-based invariants over pseudo-random inputs.
 //!
-//! Strategy: generate arbitrary duplicate-free sorted sets (as value sets,
-//! then sort), and assert that every method computes exactly the reference
-//! intersection, that the segmented encoding round-trips, and that the
-//! algebraic identities of intersection hold.
+//! Strategy: generate arbitrary duplicate-free sorted sets from a seeded
+//! [`SplitMix64`] stream (self-contained — no external property-testing
+//! dependency), and assert that every method computes exactly the
+//! reference intersection, that the segmented encoding round-trips, and
+//! that the algebraic identities of intersection hold. Each property runs
+//! `CASES` deterministic cases; a failing case reports its seed so it can
+//! be replayed directly.
 
 use fesia_baselines::Method;
 use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SimdLevel};
-use proptest::collection::btree_set;
-use proptest::prelude::*;
+use fesia_datagen::SplitMix64;
 
 const DOMAIN: u32 = u32::MAX - 16;
+const CASES: u64 = 64;
 
-fn sorted_set(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    btree_set(0..DOMAIN, 0..max_len).prop_map(|s| s.into_iter().collect())
+/// Sorted duplicate-free set with a random length in `0..max_len`.
+fn sorted_set(rng: &mut SplitMix64, max_len: usize) -> Vec<u32> {
+    let n = rng.below(max_len as u64) as usize;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert((rng.below(DOMAIN as u64)) as u32);
+    }
+    set.into_iter().collect()
 }
 
 /// A pair with forced overlap: some elements of `a` are spliced into `b`.
-fn overlapping_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
-    (sorted_set(300), sorted_set(300), any::<u64>()).prop_map(|(a, mut b, sel)| {
-        for (i, &x) in a.iter().enumerate() {
-            if (sel >> (i % 64)) & 1 == 1 {
-                if let Err(pos) = b.binary_search(&x) {
-                    b.insert(pos, x);
-                }
+fn overlapping_pair(rng: &mut SplitMix64) -> (Vec<u32>, Vec<u32>) {
+    let a = sorted_set(rng, 300);
+    let mut b = sorted_set(rng, 300);
+    let sel = rng.next_u64();
+    for (i, &x) in a.iter().enumerate() {
+        if (sel >> (i % 64)) & 1 == 1 {
+            if let Err(pos) = b.binary_search(&x) {
+                b.insert(pos, x);
             }
         }
-        (a, b)
-    })
+    }
+    (a, b)
 }
 
 fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
@@ -35,82 +45,130 @@ fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
     a.iter().copied().filter(|x| bs.contains(x)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_baseline_counts_the_reference((a, b) in overlapping_pair()) {
+#[test]
+fn every_baseline_counts_the_reference() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x1000 + seed);
+        let (a, b) = overlapping_pair(&mut rng);
         let want = reference(&a, &b).len();
         for m in Method::all() {
-            prop_assert_eq!(m.count(&a, &b), want, "method {}", m.name());
+            assert_eq!(m.count(&a, &b), want, "seed={seed} method={}", m.name());
         }
     }
+}
 
-    #[test]
-    fn fesia_counts_the_reference((a, b) in overlapping_pair()) {
+#[test]
+fn fesia_counts_the_reference() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x2000 + seed);
+        let (a, b) = overlapping_pair(&mut rng);
         let want = reference(&a, &b).len();
         let params = FesiaParams::auto();
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
-        prop_assert_eq!(fesia_core::intersect_count(&sa, &sb), want);
-        prop_assert_eq!(fesia_core::intersect(&sa, &sb), reference(&a, &b));
-        prop_assert_eq!(fesia_core::auto_count(&sa, &sb), want);
-        prop_assert_eq!(fesia_core::hash_probe_count(&a, &sb), want);
+        assert_eq!(fesia_core::intersect_count(&sa, &sb), want, "seed={seed}");
+        assert_eq!(fesia_core::intersect(&sa, &sb), reference(&a, &b), "seed={seed}");
+        assert_eq!(fesia_core::auto_count(&sa, &sb), want, "seed={seed}");
+        assert_eq!(fesia_core::hash_probe_count(&a, &sb), want, "seed={seed}");
     }
+}
 
-    #[test]
-    fn intersection_is_commutative_and_bounded((a, b) in overlapping_pair()) {
+/// Both dispatch forms of the two-phase algorithm agree on every input,
+/// at every prefetch distance (the pipelined path is the default, so this
+/// is the load-bearing equivalence for the whole suite).
+#[test]
+fn pipelined_and_interleaved_forms_agree() {
+    let table = KernelTable::auto();
+    let mut scratch = Vec::new();
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x2500 + seed);
+        let (a, b) = overlapping_pair(&mut rng);
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&a, &params).unwrap();
+        let sb = SegmentedSet::build(&b, &params).unwrap();
+        let want = fesia_core::intersect_count_interleaved_with(&sa, &sb, &table);
+        for dist in [0usize, 2, 8, 32] {
+            assert_eq!(
+                fesia_core::intersect_count_pipelined_with(&sa, &sb, &table, &mut scratch, dist),
+                want,
+                "seed={seed} dist={dist}"
+            );
+        }
+    }
+}
+
+#[test]
+fn intersection_is_commutative_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x3000 + seed);
+        let (a, b) = overlapping_pair(&mut rng);
         let params = FesiaParams::auto();
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
         let ab = fesia_core::intersect_count(&sa, &sb);
         let ba = fesia_core::intersect_count(&sb, &sa);
-        prop_assert_eq!(ab, ba);
-        prop_assert!(ab <= a.len().min(b.len()));
+        assert_eq!(ab, ba, "seed={seed}");
+        assert!(ab <= a.len().min(b.len()), "seed={seed}");
         // Self-intersection is identity.
-        prop_assert_eq!(fesia_core::intersect_count(&sa, &sa), a.len());
+        assert_eq!(fesia_core::intersect_count(&sa, &sa), a.len(), "seed={seed}");
     }
+}
 
-    #[test]
-    fn encoding_round_trips(a in sorted_set(500)) {
+#[test]
+fn encoding_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x4000 + seed);
+        let a = sorted_set(&mut rng, 500);
         let params = FesiaParams::auto();
         let s = SegmentedSet::build(&a, &params).unwrap();
-        prop_assert!(s.validate());
-        prop_assert_eq!(s.len(), a.len());
+        assert!(s.validate(), "seed={seed}");
+        assert_eq!(s.len(), a.len(), "seed={seed}");
         // The reordered array is a permutation of the input.
         let mut elems = s.reordered_elements().to_vec();
         elems.sort_unstable();
-        prop_assert_eq!(elems, a.clone());
+        assert_eq!(elems, a, "seed={seed}");
         // Membership is exact.
         for &x in a.iter().take(64) {
-            prop_assert!(s.contains(x));
+            assert!(s.contains(x), "seed={seed} x={x}");
         }
     }
+}
 
-    #[test]
-    fn kway_equals_iterated_pairwise(
-        a in sorted_set(200),
-        b in sorted_set(200),
-        c in sorted_set(200),
-    ) {
+#[test]
+fn kway_equals_iterated_pairwise() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x5000 + seed);
+        let a = sorted_set(&mut rng, 200);
+        let b = sorted_set(&mut rng, 200);
+        let c = sorted_set(&mut rng, 200);
         let ab = reference(&a, &b);
         let want = reference(&ab, &c).len();
         let params = FesiaParams::auto();
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
         let sc = SegmentedSet::build(&c, &params).unwrap();
-        prop_assert_eq!(fesia_core::kway_count(&[&sa, &sb, &sc]), want);
+        assert_eq!(fesia_core::kway_count(&[&sa, &sb, &sc]), want, "seed={seed}");
         for m in Method::all() {
-            prop_assert_eq!(m.kway_count(&[&a, &b, &c]), want, "method {}", m.name());
+            assert_eq!(m.kway_count(&[&a, &b, &c]), want, "seed={seed} method={}", m.name());
         }
     }
+}
 
-    #[test]
-    fn kernel_tables_agree_across_levels_on_tiny_runs(
-        a in btree_set(0u32..10_000, 0..30),
-        b in btree_set(0u32..10_000, 0..30),
-    ) {
-        use fesia_core::kernels::PaddedOperand;
+#[test]
+fn kernel_tables_agree_across_levels_on_tiny_runs() {
+    use fesia_core::kernels::PaddedOperand;
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x6000 + seed);
+        let n_a = rng.below(30) as usize;
+        let n_b = rng.below(30) as usize;
+        let mut a = std::collections::BTreeSet::new();
+        while a.len() < n_a {
+            a.insert(rng.below(10_000) as u32);
+        }
+        let mut b = std::collections::BTreeSet::new();
+        while b.len() < n_b {
+            b.insert(rng.below(10_000) as u32);
+        }
         let av: Vec<u32> = a.into_iter().collect();
         let bv: Vec<u32> = b.into_iter().collect();
         let want = reference(&av, &bv).len() as u32;
@@ -119,72 +177,96 @@ proptest! {
         for level in SimdLevel::available_levels() {
             for stride in [1usize, 2, 8] {
                 let t = KernelTable::new(level, stride);
-                prop_assert_eq!(
-                    t.count_operands(&pa, &pb), want,
-                    "level={} stride={}", level, stride
+                assert_eq!(
+                    t.count_operands(&pa, &pb),
+                    want,
+                    "seed={seed} level={level} stride={stride}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn serialization_round_trips(a in sorted_set(400)) {
+#[test]
+fn serialization_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x7000 + seed);
+        let a = sorted_set(&mut rng, 400);
         let params = FesiaParams::auto();
         let s = SegmentedSet::build(&a, &params).unwrap();
         let bytes = s.serialize();
-        prop_assert_eq!(bytes.len(), s.serialized_len());
+        assert_eq!(bytes.len(), s.serialized_len(), "seed={seed}");
         let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
-        prop_assert_eq!(used, bytes.len());
-        prop_assert!(back.validate());
-        prop_assert_eq!(back.reordered_elements(), s.reordered_elements());
-        prop_assert_eq!(back.bitmap_bytes(), s.bitmap_bytes());
+        assert_eq!(used, bytes.len(), "seed={seed}");
+        assert!(back.validate(), "seed={seed}");
+        assert_eq!(back.reordered_elements(), s.reordered_elements(), "seed={seed}");
+        assert_eq!(back.bitmap_bytes(), s.bitmap_bytes(), "seed={seed}");
     }
+}
 
-    #[test]
-    fn u64_sets_count_the_reference(
-        a in btree_set(0u64..5_000_000, 0..200),
-        b in btree_set(0u64..5_000_000, 0..200),
-        shift in 0u32..33,
-    ) {
-        use fesia_core::{intersect_count64, Fesia64Set};
-        // Spread values across high-32 groups by shifting.
-        let av: Vec<u64> = a.iter().map(|&x| x << shift).collect();
-        let bv: Vec<u64> = b.iter().map(|&x| x << shift).collect();
+#[test]
+fn u64_sets_count_the_reference() {
+    use fesia_core::{intersect_count64, Fesia64Set};
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x8000 + seed);
+        let shift = rng.below(33) as u32;
+        let mut gen_u64 = |max_len: u64| -> Vec<u64> {
+            let n = rng.below(max_len) as usize;
+            let mut s = std::collections::BTreeSet::new();
+            while s.len() < n {
+                s.insert(rng.below(5_000_000) << shift);
+            }
+            s.into_iter().collect()
+        };
+        let av = gen_u64(200);
+        let bv = gen_u64(200);
         let bs: std::collections::HashSet<u64> = bv.iter().copied().collect();
         let want = av.iter().filter(|x| bs.contains(x)).count();
         let params = FesiaParams::auto();
         let sa = Fesia64Set::build(&av, &params).unwrap();
         let sb = Fesia64Set::build(&bv, &params).unwrap();
-        prop_assert_eq!(intersect_count64(&sa, &sb), want);
+        assert_eq!(intersect_count64(&sa, &sb), want, "seed={seed} shift={shift}");
     }
+}
 
-    #[test]
-    fn extraction_matches_reference_on_all_levels(
-        a in btree_set(0u32..50_000, 0..120),
-        b in btree_set(0u32..50_000, 0..120),
-    ) {
-        use fesia_core::kernels::extract::extract_into;
-        let av: Vec<u32> = a.into_iter().collect();
-        let bv: Vec<u32> = b.into_iter().collect();
+#[test]
+fn extraction_matches_reference_on_all_levels() {
+    use fesia_core::kernels::extract::extract_into;
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x9000 + seed);
+        let mut gen_small = |max_len: u64| -> Vec<u32> {
+            let n = rng.below(max_len) as usize;
+            let mut s = std::collections::BTreeSet::new();
+            while s.len() < n {
+                s.insert(rng.below(50_000) as u32);
+            }
+            s.into_iter().collect()
+        };
+        let av = gen_small(120);
+        let bv = gen_small(120);
         let mut want = reference(&av, &bv);
         want.sort_unstable();
         for level in SimdLevel::available_levels() {
             let mut got = Vec::new();
             extract_into(level, &av, &bv, &mut got);
             got.sort_unstable();
-            prop_assert_eq!(&got, &want, "level={}", level);
+            assert_eq!(got, want, "seed={seed} level={level}");
         }
     }
+}
 
-    #[test]
-    fn breakdown_count_matches_fused((a, b) in overlapping_pair()) {
+#[test]
+fn breakdown_count_matches_fused() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0xA000 + seed);
+        let (a, b) = overlapping_pair(&mut rng);
         let params = FesiaParams::auto();
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
         let table = KernelTable::auto();
         let bd = fesia_core::intersect_count_breakdown(&sa, &sb, &table);
-        prop_assert_eq!(bd.count, fesia_core::intersect_count_with(&sa, &sb, &table));
+        assert_eq!(bd.count, fesia_core::intersect_count_with(&sa, &sb, &table), "seed={seed}");
         // Every true match lives in a surviving segment.
-        prop_assert!(bd.count == 0 || bd.matched_segments > 0);
+        assert!(bd.count == 0 || bd.matched_segments > 0, "seed={seed}");
     }
 }
