@@ -111,7 +111,11 @@ pub fn count_prebuilt(probe: &[u32], table: &U32HashSet) -> usize {
 pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let table = U32HashSet::build(small);
-    let mut out: Vec<u32> = large.iter().copied().filter(|&x| table.contains(x)).collect();
+    let mut out: Vec<u32> = large
+        .iter()
+        .copied()
+        .filter(|&x| table.contains(x))
+        .collect();
     out.sort_unstable();
     out
 }

@@ -24,8 +24,8 @@
 
 pub mod bmiss;
 pub mod galloping;
-pub mod hiera;
 pub mod hashset;
+pub mod hiera;
 pub mod merge;
 pub mod roaring;
 pub mod shuffling;
@@ -239,7 +239,11 @@ mod tests {
         let b = gen(2_000, 57, 30_000);
         let want = merge::scalar_count(&a, &b);
         for l in SimdLevel::available_levels() {
-            for m in [Method::SimdGalloping(l), Method::Shuffling(l), Method::BMiss(l)] {
+            for m in [
+                Method::SimdGalloping(l),
+                Method::Shuffling(l),
+                Method::BMiss(l),
+            ] {
                 assert_eq!(m.count(&a, &b), want, "method={}", m.name());
             }
         }

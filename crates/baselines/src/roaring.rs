@@ -162,7 +162,11 @@ impl RoaringSet {
 
     /// Largest container cardinality — exposed for tests/inspection.
     pub fn max_container_cardinality(&self) -> usize {
-        self.containers.iter().map(Container::cardinality).max().unwrap_or(0)
+        self.containers
+            .iter()
+            .map(Container::cardinality)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -103,7 +103,11 @@ impl WordBitmapSet {
 /// buckets of non-zero words. Smaller bitmaps tile larger ones (both are
 /// powers of two), mirroring FESIA's folding rule.
 pub fn count(a: &WordBitmapSet, b: &WordBitmapSet) -> usize {
-    let (large, small) = if a.words.len() >= b.words.len() { (a, b) } else { (b, a) };
+    let (large, small) = if a.words.len() >= b.words.len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let mask = small.words.len() - 1;
     let mut r = 0usize;
     for (i, &wl) in large.words.iter().enumerate() {

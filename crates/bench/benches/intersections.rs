@@ -71,13 +71,19 @@ fn bench_kway() {
     let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
     let level = SimdLevel::detect();
     let params = FesiaParams::for_level(level);
-    let sets: Vec<SegmentedSet> =
-        lists.iter().map(|l| SegmentedSet::build(l, &params).unwrap()).collect();
+    let sets: Vec<SegmentedSet> = lists
+        .iter()
+        .map(|l| SegmentedSet::build(l, &params).unwrap())
+        .collect();
     let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
     let table = KernelTable::new(level, 1);
 
     let mut rows = Vec::new();
-    for m in [Method::Scalar, Method::ScalarGalloping, Method::Shuffling(level)] {
+    for m in [
+        Method::Scalar,
+        Method::ScalarGalloping,
+        Method::Shuffling(level),
+    ] {
         let (c, _) = measure_cycles(REPS, || m.kway_count(black_box(&refs)));
         rows.push((m.name().to_string(), c));
     }
@@ -98,7 +104,11 @@ fn bench_skew() {
     let table = KernelTable::new(level, 1);
 
     let mut rows = Vec::new();
-    for m in [Method::ScalarGalloping, Method::SimdGalloping(level), Method::Shuffling(level)] {
+    for m in [
+        Method::ScalarGalloping,
+        Method::SimdGalloping(level),
+        Method::Shuffling(level),
+    ] {
         let (c, _) = measure_cycles(REPS, || m.count(black_box(&small), black_box(&large)));
         rows.push((m.name().to_string(), c));
     }
@@ -117,7 +127,9 @@ fn bench_build() {
     let mut rng = SplitMix64::new(13);
     let (a, _) = pair_with_intersection(100_000, 100_000, 0, &mut rng);
     let params = FesiaParams::auto();
-    let (c, set) = measure_cycles(REPS, || SegmentedSet::build(black_box(&a), &params).unwrap());
+    let (c, set) = measure_cycles(REPS, || {
+        SegmentedSet::build(black_box(&a), &params).unwrap()
+    });
     assert_eq!(set.len(), a.len());
     report("build/n=100k", vec![("SegmentedSet::build".into(), c)]);
 }

@@ -22,7 +22,13 @@ fn operand_pool(sa: usize, sb: usize, seed: u64) -> Vec<(PaddedOperand, PaddedOp
 }
 
 fn main() {
-    let mut table_out = Table::new(vec!["level", "sizes", "specialized (cyc)", "general (cyc)", "speedup"]);
+    let mut table_out = Table::new(vec![
+        "level",
+        "sizes",
+        "specialized (cyc)",
+        "general (cyc)",
+        "speedup",
+    ]);
     for level in SimdLevel::available_levels() {
         if level == SimdLevel::Scalar {
             continue;
@@ -44,7 +50,10 @@ fn main() {
                 }
                 acc
             });
-            assert_eq!(spec_acc, gen_acc, "kernel disagreement at {level} {sa}x{sb}");
+            assert_eq!(
+                spec_acc, gen_acc,
+                "kernel disagreement at {level} {sa}x{sb}"
+            );
             table_out.row(vec![
                 level.to_string(),
                 format!("{sa}x{sb}"),

@@ -21,7 +21,10 @@ pub fn run(scale: Scale) -> String {
     let b = SegmentedSet::build(&bv, &params).unwrap();
 
     let variants: Vec<(String, KernelTable)> = vec![
-        (format!("full ({widest} scan + {widest} kernels)"), KernelTable::new(widest, 1)),
+        (
+            format!("full ({widest} scan + {widest} kernels)"),
+            KernelTable::new(widest, 1),
+        ),
         (
             format!("scalar scan + {widest} kernels"),
             KernelTable::hybrid(SimdLevel::Scalar, widest, 1),
@@ -44,8 +47,9 @@ pub fn run(scale: Scale) -> String {
     let mut full_cycles = 0u64;
     let mut want = None;
     for (name, table) in &variants {
-        let (c, got) =
-            measure_cycles(scale.reps(), || fesia_core::intersect_count_with(&a, &b, table));
+        let (c, got) = measure_cycles(scale.reps(), || {
+            fesia_core::intersect_count_with(&a, &b, table)
+        });
         match want {
             None => want = Some(got),
             Some(w) => assert_eq!(got, w, "variant `{name}` diverged"),

@@ -17,9 +17,18 @@ use fesia_core::{
 };
 use fesia_datagen::{sorted_distinct, SplitMix64};
 use fesia_exec::Executor;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+static EMBED_METRICS: AtomicBool = AtomicBool::new(false);
+
+/// When enabled (the `repro --metrics` flag), the batch experiment embeds
+/// the fesia-obs metrics delta of its own run into `BENCH_batch.json`.
+pub fn set_embed_metrics(on: bool) {
+    EMBED_METRICS.store(on, Ordering::Relaxed);
+}
 
 /// The seed's `batch_count_pairs`: fresh scoped threads per call, one
 /// static chunk per thread. Kept verbatim as the baseline the executor
@@ -101,6 +110,9 @@ pub fn run(scale: Scale) -> String {
     let table = KernelTable::auto();
     let reps = scale.reps();
 
+    let metrics_before = EMBED_METRICS
+        .load(Ordering::Relaxed)
+        .then(|| fesia_obs::metrics().snapshot());
     let saved = pipeline_params();
     let want = {
         set_pipeline_params(PipelineParams::default().with_enabled(false));
@@ -129,12 +141,7 @@ pub fn run(scale: Scale) -> String {
         let legacy = pairs_per_sec(pairs.len(), reps, || {
             legacy_scoped_batch(&sets, &pairs, &table, threads)
         });
-        t.row(vec![
-            threads.to_string(),
-            f2(piped),
-            f2(inter),
-            f2(legacy),
-        ]);
+        t.row(vec![threads.to_string(), f2(piped), f2(inter), f2(legacy)]);
         json_rows.push(format!(
             "    {{\"threads\": {threads}, \"pipelined_pairs_per_sec\": {piped:.2}, \
              \"interleaved_pairs_per_sec\": {inter:.2}, \"legacy_scoped_pairs_per_sec\": {legacy:.2}}}"
@@ -151,8 +158,9 @@ pub fn run(scale: Scale) -> String {
     let b = SegmentedSet::build(&sorted_distinct(n, universe, &mut rng), &params).unwrap();
     let dist = PipelineParams::default().prefetch_distance;
     let mut scratch = Vec::new();
-    let (inter_c, want1) =
-        measure_cycles(reps * 5, || intersect_count_interleaved_with(&a, &b, &table));
+    let (inter_c, want1) = measure_cycles(reps * 5, || {
+        intersect_count_interleaved_with(&a, &b, &table)
+    });
     let (pipe_c, got1) = measure_cycles(reps * 5, || {
         intersect_count_pipelined_with(&a, &b, &table, &mut scratch, dist)
     });
@@ -164,15 +172,26 @@ pub fn run(scale: Scale) -> String {
         SegmentedSet::build(&sorted_distinct(n_big, universe_big, &mut rng), &params).unwrap();
     let big_b =
         SegmentedSet::build(&sorted_distinct(n_big, universe_big, &mut rng), &params).unwrap();
-    let big_reps = reps.min(3).max(1);
-    let (big_inter_c, big_want) =
-        measure_cycles(big_reps, || intersect_count_interleaved_with(&big_a, &big_b, &table));
+    let big_reps = reps.clamp(1, 3);
+    let (big_inter_c, big_want) = measure_cycles(big_reps, || {
+        intersect_count_interleaved_with(&big_a, &big_b, &table)
+    });
     let (big_pipe_c, big_got) = measure_cycles(big_reps, || {
         intersect_count_pipelined_with(&big_a, &big_b, &table, &mut scratch, dist)
     });
-    assert_eq!(big_got, big_want, "memory-bound single-pair forms disagreed");
+    assert_eq!(
+        big_got, big_want,
+        "memory-bound single-pair forms disagreed"
+    );
     set_pipeline_params(saved);
 
+    let metrics_field = match metrics_before {
+        Some(before) => {
+            let delta = fesia_obs::metrics().snapshot().delta(&before);
+            format!(",\n  \"metrics\": {}", delta.to_json())
+        }
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"experiment\": \"batch\",\n  \"pairs\": {},\n  \"set_elements\": {n},\n  \
          \"threads\": [\n{}\n  ],\n  \"single_pair_small\": {{\"elements\": {n}, \
@@ -180,7 +199,7 @@ pub fn run(scale: Scale) -> String {
          \"prefetch_distance\": {dist}, \"default_dispatch\": \"interleaved\"}},\n  \
          \"single_pair_memory_bound\": {{\"elements\": {n_big}, \
          \"pipelined_cycles\": {big_pipe_c}, \"interleaved_cycles\": {big_inter_c}, \
-         \"prefetch_distance\": {dist}, \"default_dispatch\": \"pipelined\"}}\n}}\n",
+         \"prefetch_distance\": {dist}, \"default_dispatch\": \"pipelined\"}}{metrics_field}\n}}\n",
         pairs.len(),
         json_rows.join(",\n"),
     );

@@ -49,16 +49,24 @@ pub fn run(scale: Scale) -> String {
             if *m == Method::Scalar {
                 scalar_cycles[di] = c;
             }
-            rows[mi].push(format!("{:.2}x", scalar_cycles[di] as f64 / c.max(1) as f64));
+            rows[mi].push(format!(
+                "{:.2}x",
+                scalar_cycles[di] as f64 / c.max(1) as f64
+            ));
         }
         // FESIA 3-way.
-        let encoded: Vec<SegmentedSet> =
-            sets.iter().map(|s| SegmentedSet::build(s, &params).unwrap()).collect();
+        let encoded: Vec<SegmentedSet> = sets
+            .iter()
+            .map(|s| SegmentedSet::build(s, &params).unwrap())
+            .collect();
         let enc_refs: Vec<&SegmentedSet> = encoded.iter().collect();
         let (c, got) = measure_cycles(reps, || fesia_core::kway_count_with(&enc_refs, &table));
         assert_eq!(got, want, "FESIA density={density}");
         let last = rows.len() - 1;
-        rows[last].push(format!("{:.2}x", scalar_cycles[di] as f64 / c.max(1) as f64));
+        rows[last].push(format!(
+            "{:.2}x",
+            scalar_cycles[di] as f64 / c.max(1) as f64
+        ));
     }
 
     let mut t = Table::new(header);

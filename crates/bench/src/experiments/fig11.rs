@@ -37,7 +37,10 @@ pub fn run(scale: Scale) -> String {
     let mut rows: Vec<Vec<String>> = baselines
         .iter()
         .map(|m| vec![m.name()])
-        .chain([vec!["FESIAmerge".to_string()], vec!["FESIAhash".to_string()]])
+        .chain([
+            vec!["FESIAmerge".to_string()],
+            vec!["FESIAhash".to_string()],
+        ])
         .collect();
 
     for (col, &shift) in shifts.iter().enumerate() {

@@ -81,18 +81,50 @@ pub fn run(scale: Scale) -> String {
         min_doc_freq: 64,
         ..Default::default()
     };
-    let q2 = generate_queries(&index, &QueryGenParams { k: 2, seed: 1, ..base });
-    let q3 = generate_queries(&index, &QueryGenParams { k: 3, seed: 2, ..base });
+    let q2 = generate_queries(
+        &index,
+        &QueryGenParams {
+            k: 2,
+            seed: 1,
+            ..base
+        },
+    );
+    let q3 = generate_queries(
+        &index,
+        &QueryGenParams {
+            k: 3,
+            seed: 2,
+            ..base
+        },
+    );
     let qs01 = generate_queries(
         &index,
-        &QueryGenParams { k: 2, max_skew: 0.1, selectivity_cap: 0.5, seed: 3, ..base },
+        &QueryGenParams {
+            k: 2,
+            max_skew: 0.1,
+            selectivity_cap: 0.5,
+            seed: 3,
+            ..base
+        },
     );
     let qs005 = generate_queries(
         &index,
-        &QueryGenParams { k: 2, max_skew: 0.05, selectivity_cap: 0.5, seed: 4, ..base },
+        &QueryGenParams {
+            k: 2,
+            max_skew: 0.05,
+            selectivity_cap: 0.5,
+            seed: 4,
+            ..base
+        },
     );
 
-    let mut t = Table::new(vec!["workload", "Shuffling", "BMiss", "SIMDGalloping", "FESIA"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "Shuffling",
+        "BMiss",
+        "SIMDGalloping",
+        "FESIA",
+    ]);
     for (name, queries) in [
         ("2 sets", &q2),
         ("3 sets", &q3),

@@ -83,7 +83,8 @@ pub fn run(scale: Scale) -> String {
         assert_eq!(got, want, "Shuffling on {}", preset.name());
         let mut fesia_cells = Vec::new();
         for threads in [1usize, 4, 8] {
-            let (c, got) = measure_cycles(reps, || fg.count_triangles(&oriented, &table, threads).0);
+            let (c, got) =
+                measure_cycles(reps, || fg.count_triangles(&oriented, &table, threads).0);
             assert_eq!(got, want, "FESIA({threads}) on {}", preset.name());
             fesia_cells.push(format!("{:.2}x", scalar_c as f64 / c.max(1) as f64));
         }
@@ -96,7 +97,9 @@ pub fn run(scale: Scale) -> String {
             fesia_cells[2].clone(),
         ]);
     }
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     format!(
         "## Fig. 13 — triangle counting, speedup vs Scalar (single-thread baseline)\n\n\
          Host exposes {cores} core(s); the multicore columns can only show\n\

@@ -58,7 +58,8 @@ pub fn run_methods_over(workloads: &[Workload], reps: usize) -> Vec<MethodSeries
         for (a, b, r) in workloads {
             let sa = SegmentedSet::build(a, &params).unwrap();
             let sb = SegmentedSet::build(b, &params).unwrap();
-            let (c, got) = measure_cycles(reps, || fesia_core::intersect_count_with(&sa, &sb, &table));
+            let (c, got) =
+                measure_cycles(reps, || fesia_core::intersect_count_with(&sa, &sb, &table));
             assert_eq!(got, *r, "FESIA{level} wrong answer");
             cycles.push(c);
         }
@@ -75,7 +76,16 @@ pub type Workload = (Vec<u32>, Vec<u32>, usize);
 
 /// Generate the Fig. 7 workloads: equal sizes, 1% selectivity.
 pub fn workloads(scale: Scale) -> (Vec<usize>, Vec<Workload>) {
-    let nominal = [400_000usize, 800_000, 1_200_000, 1_600_000, 2_000_000, 2_400_000, 2_800_000, 3_200_000];
+    let nominal = [
+        400_000usize,
+        800_000,
+        1_200_000,
+        1_600_000,
+        2_000_000,
+        2_400_000,
+        2_800_000,
+        3_200_000,
+    ];
     let sizes: Vec<usize> = nominal.iter().map(|&n| scale.size(n)).collect();
     let mut rng = SplitMix64::new(0x716);
     let workloads = sizes

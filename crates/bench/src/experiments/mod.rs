@@ -4,7 +4,6 @@
 pub mod ablation;
 pub mod batch;
 pub mod fig10;
-pub mod memory;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -12,6 +11,8 @@ pub mod fig14;
 pub mod fig4_6;
 pub mod fig7;
 pub mod fig8_9;
+pub mod memory;
+pub mod obs;
 pub mod table2;
 
 use crate::harness::Scale;
@@ -44,6 +45,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "fig14" => fig14::run(scale),
         "ablation" => ablation::run(scale),
         "batch" => batch::run(scale),
+        "obs" => obs::run(scale),
         "memory" => memory::run(scale),
         _ => return None,
     })
@@ -54,7 +56,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 pub fn run_all(scale: Scale) -> String {
     let ids = [
         "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory", "batch",
+        "fig13", "fig14", "ablation", "memory", "batch", "obs",
     ];
     let mut out = String::new();
     for id in ids {

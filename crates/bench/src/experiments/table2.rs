@@ -36,8 +36,9 @@ pub fn run(scale: Scale) -> String {
     let mut want = None;
     for stride in [1usize, 4, 8] {
         let table = KernelTable::new(level, stride);
-        let (cycles, got) =
-            measure_cycles(scale.reps(), || fesia_core::intersect_count_with(&a, &b, &table));
+        let (cycles, got) = measure_cycles(scale.reps(), || {
+            fesia_core::intersect_count_with(&a, &b, &table)
+        });
         match want {
             None => want = Some(got),
             Some(w) => assert_eq!(got, w, "stride {stride} diverged"),

@@ -13,6 +13,8 @@ usage:
   fesia info SET.fsia
   fesia count A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
                             [--threads N]
+  fesia stats A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
+                            [--threads N] [--json]
   fesia intersect A.fsia B.fsia
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
 
@@ -89,7 +91,9 @@ fn cmd_build(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     .next()
                     .and_then(|s| s.parse::<f64>().ok())
                     .filter(|&v| v > 0.0)
-                    .ok_or_else(|| CliError::Usage("--bits-per-element needs a positive number".into()))?;
+                    .ok_or_else(|| {
+                        CliError::Usage("--bits-per-element needs a positive number".into())
+                    })?;
                 params = params.with_bits_per_element(v);
             }
             "--segment" => {
@@ -134,16 +138,34 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "segment bits:    {}", set.lane().bits())?;
     writeln!(out, "segments:        {}", set.num_segments())?;
     writeln!(out, "memory bytes:    {}", set.memory_bytes())?;
-    let populated = (0..set.num_segments()).filter(|&i| set.seg_size(i) > 0).count();
-    let max_pop = (0..set.num_segments()).map(|i| set.seg_size(i)).max().unwrap_or(0);
-    writeln!(out, "populated segs:  {populated} (max population {max_pop})")?;
+    let populated = (0..set.num_segments())
+        .filter(|&i| set.seg_size(i) > 0)
+        .count();
+    let max_pop = (0..set.num_segments())
+        .map(|i| set.seg_size(i))
+        .max()
+        .unwrap_or(0);
+    writeln!(
+        out,
+        "populated segs:  {populated} (max population {max_pop})"
+    )?;
     Ok(())
 }
 
-fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+/// Parsed `count`/`stats` argument shape: two set paths plus knobs.
+struct CountArgs {
+    pa: String,
+    pb: String,
+    method: String,
+    threads: usize,
+    json: bool,
+}
+
+fn parse_count_args(cmd: &str, args: &[String], allow_json: bool) -> Result<CountArgs, CliError> {
     let mut paths = Vec::new();
     let mut method = "fesia".to_string();
     let mut threads = 1usize;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -160,23 +182,42 @@ fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError::Usage("--threads needs a positive integer".into()))?;
             }
+            "--json" if allow_json => json = true,
             other => paths.push(other.to_string()),
         }
     }
     let [pa, pb] = paths.as_slice() else {
-        return Err(CliError::Usage("count needs exactly two .fsia files".into()));
+        return Err(CliError::Usage(format!(
+            "{cmd} needs exactly two .fsia files"
+        )));
     };
     if threads > 1 && method != "fesia" {
-        return Err(CliError::Usage("--threads only applies to --method fesia".into()));
+        return Err(CliError::Usage(
+            "--threads only applies to --method fesia".into(),
+        ));
     }
-    let a = load_set(pa)?;
-    let b = load_set(pb)?;
-    let count = match method.as_str() {
-        "fesia" if threads > 1 => fesia_core::par_intersect_count(&a, &b, threads),
-        "fesia" => fesia_core::intersect_count(&a, &b),
-        "auto" => fesia_core::auto_count(&a, &b),
+    Ok(CountArgs {
+        pa: pa.clone(),
+        pb: pb.clone(),
+        method,
+        threads,
+        json,
+    })
+}
+
+/// The counting core shared by `count` and `stats`.
+fn count_by_method(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    method: &str,
+    threads: usize,
+) -> Result<usize, CliError> {
+    let count = match method {
+        "fesia" if threads > 1 => fesia_core::par_intersect_count(a, b, threads),
+        "fesia" => fesia_core::intersect_count(a, b),
+        "auto" => fesia_core::auto_count(a, b),
         "hash" => {
-            let (small, large) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
             fesia_core::hash_probe_count(small.reordered_elements(), large)
         }
         "scalar" | "shuffling" | "galloping" => {
@@ -185,7 +226,7 @@ fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let mut bv = b.reordered_elements().to_vec();
             av.sort_unstable();
             bv.sort_unstable();
-            let m = match method.as_str() {
+            let m = match method {
                 "scalar" => fesia_baselines::Method::Scalar,
                 "shuffling" => fesia_baselines::Method::Shuffling(fesia_simd::SimdLevel::detect()),
                 _ => fesia_baselines::Method::ScalarGalloping,
@@ -198,13 +239,45 @@ fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             )))
         }
     };
+    Ok(count)
+}
+
+fn cmd_count(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let p = parse_count_args("count", args, false)?;
+    let a = load_set(&p.pa)?;
+    let b = load_set(&p.pb)?;
+    let count = count_by_method(&a, &b, &p.method, p.threads)?;
     writeln!(out, "{count}")?;
+    Ok(())
+}
+
+/// `fesia stats`: run a count workload and report the runtime-metrics
+/// delta it produced (the always-on `fesia-obs` counters and histograms).
+fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let p = parse_count_args("stats", args, true)?;
+    let a = load_set(&p.pa)?;
+    let b = load_set(&p.pb)?;
+    let before = fesia_obs::metrics().snapshot();
+    let count = count_by_method(&a, &b, &p.method, p.threads)?;
+    let delta = fesia_obs::metrics().snapshot().delta(&before);
+    if p.json {
+        writeln!(
+            out,
+            "{{\"count\": {count}, \"metrics\": {}}}",
+            delta.to_json()
+        )?;
+    } else {
+        writeln!(out, "count: {count}")?;
+        write!(out, "{}", delta.report())?;
+    }
     Ok(())
 }
 
 fn cmd_intersect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let [pa, pb] = args else {
-        return Err(CliError::Usage("intersect needs exactly two .fsia files".into()));
+        return Err(CliError::Usage(
+            "intersect needs exactly two .fsia files".into(),
+        ));
     };
     let a = load_set(pa)?;
     let b = load_set(pb)?;
@@ -216,7 +289,9 @@ fn cmd_intersect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_kway(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if args.len() < 2 {
-        return Err(CliError::Usage("kway needs at least two .fsia files".into()));
+        return Err(CliError::Usage(
+            "kway needs at least two .fsia files".into(),
+        ));
     }
     let sets: Vec<SegmentedSet> = args.iter().map(|p| load_set(p)).collect::<Result<_, _>>()?;
     let refs: Vec<&SegmentedSet> = sets.iter().collect();
@@ -231,6 +306,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("build") => cmd_build(&args[1..], out),
         Some("info") => cmd_info(&args[1..], out),
         Some("count") => cmd_count(&args[1..], out),
+        Some("stats") => cmd_stats(&args[1..], out),
         Some("intersect") => cmd_intersect(&args[1..], out),
         Some("kway") => cmd_kway(&args[1..], out),
         Some("--help") | Some("-h") => {
@@ -301,7 +377,10 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            run(&s(&["count", &fa, &fb, "--method", "scalar", "--threads", "2"]), &mut out),
+            run(
+                &s(&["count", &fa, &fb, "--method", "scalar", "--threads", "2"]),
+                &mut out
+            ),
             Err(CliError::Usage(_))
         ));
 
@@ -313,6 +392,25 @@ mod tests {
         run(&s(&["kway", &fa, &fb, &fa]), &mut out).unwrap();
         assert_eq!(String::from_utf8_lossy(&out).trim(), "1");
 
+        // stats: same count, plus a metrics-delta report.
+        let mut out = Vec::new();
+        run(&s(&["stats", &fa, &fb, "--method", "auto"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("count: 1"), "{text}");
+        // Equal-sized inputs take the merge strategy, and the delta
+        // isolates exactly this one adaptive intersection.
+        assert!(text.contains("strategy_merge"), "{text}");
+
+        let mut out = Vec::new();
+        run(&s(&["stats", &fa, &fb, "--json"]), &mut out).unwrap();
+        let json = String::from_utf8_lossy(&out);
+        assert!(
+            json.trim().starts_with('{') && json.trim().ends_with('}'),
+            "{json}"
+        );
+        assert!(json.contains("\"count\": 1"), "{json}");
+        assert!(json.contains("\"metrics\""), "{json}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -320,12 +418,26 @@ mod tests {
     fn build_flags_are_respected() {
         let dir = tmpdir();
         let t = dir.join("v.txt");
-        std::fs::write(&t, (0..1000).map(|i| (i * 3).to_string()).collect::<Vec<_>>().join("\n"))
-            .unwrap();
+        std::fs::write(
+            &t,
+            (0..1000)
+                .map(|i| (i * 3).to_string())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .unwrap();
         let f = dir.join("v16.fsia").to_string_lossy().to_string();
         let mut out = Vec::new();
         run(
-            &s(&["build", t.to_str().unwrap(), &f, "--segment", "16", "--bits-per-element", "4"]),
+            &s(&[
+                "build",
+                t.to_str().unwrap(),
+                &f,
+                "--segment",
+                "16",
+                "--bits-per-element",
+                "4",
+            ]),
             &mut out,
         )
         .unwrap();
@@ -339,8 +451,14 @@ mod tests {
     fn bad_usage_is_reported() {
         let mut out = Vec::new();
         assert!(matches!(run(&s(&[]), &mut out), Err(CliError::Usage(_))));
-        assert!(matches!(run(&s(&["frobnicate"]), &mut out), Err(CliError::Usage(_))));
-        assert!(matches!(run(&s(&["info"]), &mut out), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&s(&["frobnicate"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["info"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             run(&s(&["count", "only-one.fsia"]), &mut out),
             Err(CliError::Usage(_))

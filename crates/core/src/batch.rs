@@ -60,6 +60,9 @@ pub fn batch_count_pairs_on(
     threads: usize,
 ) -> Vec<usize> {
     assert!(threads >= 1, "need at least one thread");
+    let m = fesia_obs::metrics();
+    m.batch_calls.inc();
+    m.batch_pairs.add(pairs.len() as u64);
     let mut results = vec![0usize; pairs.len()];
     let out = DisjointOut(results.as_mut_ptr());
     exec.for_each_chunk(pairs.len(), MIN_PAIRS_PER_CHUNK, threads, |range| {
@@ -103,8 +106,10 @@ mod tests {
         let lists: Vec<Vec<u32>> = (0..6u64)
             .map(|s| gen_sorted(500 + 300 * s as usize, s + 1, 20_000))
             .collect();
-        let sets: Vec<SegmentedSet> =
-            lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).unwrap())
+            .collect();
         let pairs: Vec<(u32, u32)> = (0..6u32)
             .flat_map(|i| (0..6u32).map(move |j| (i, j)))
             .collect();
@@ -131,8 +136,9 @@ mod tests {
         let a = SegmentedSet::build(&(0..100).collect::<Vec<_>>(), &p).unwrap();
         let b = SegmentedSet::build(&(50..150).collect::<Vec<_>>(), &p).unwrap();
         let sets = vec![a, b];
-        let pairs: Vec<(u32, u32)> =
-            (0..7).map(|i| ((i % 2) as u32, ((i + 1) % 2) as u32)).collect();
+        let pairs: Vec<(u32, u32)> = (0..7)
+            .map(|i| ((i % 2) as u32, ((i + 1) % 2) as u32))
+            .collect();
         let got = batch_count_pairs(&sets, &pairs, &KernelTable::auto(), 3);
         assert_eq!(got, vec![50; 7]);
     }
@@ -149,8 +155,9 @@ mod tests {
         let p = FesiaParams::auto();
         let heavy_a = gen_sorted(30_000, 101, 600_000);
         let heavy_b = gen_sorted(30_000, 102, 600_000);
-        let light: Vec<Vec<u32>> =
-            (0..4u64).map(|s| gen_sorted(80, s + 201, 600_000)).collect();
+        let light: Vec<Vec<u32>> = (0..4u64)
+            .map(|s| gen_sorted(80, s + 201, 600_000))
+            .collect();
         let mut sets = vec![
             SegmentedSet::build(&heavy_a, &p).unwrap(),
             SegmentedSet::build(&heavy_b, &p).unwrap(),
@@ -177,10 +184,11 @@ mod tests {
     #[test]
     fn dedicated_executor_matches_global_path() {
         let p = FesiaParams::auto();
-        let lists: Vec<Vec<u32>> =
-            (0..4u64).map(|s| gen_sorted(400, s + 11, 9_000)).collect();
-        let sets: Vec<SegmentedSet> =
-            lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+        let lists: Vec<Vec<u32>> = (0..4u64).map(|s| gen_sorted(400, s + 11, 9_000)).collect();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).unwrap())
+            .collect();
         let pairs: Vec<(u32, u32)> = (0..4u32)
             .flat_map(|i| (0..4u32).map(move |j| (i, j)))
             .collect();

@@ -129,8 +129,7 @@ impl DynamicSet {
         // Merge base (sorted) with added (sorted, disjoint).
         let (mut i, mut j) = (0usize, 0usize);
         while i < base.len() || j < self.added.len() {
-            let take_base = j >= self.added.len()
-                || (i < base.len() && base[i] < self.added[j]);
+            let take_base = j >= self.added.len() || (i < base.len() && base[i] < self.added[j]);
             if take_base {
                 out.push(base[i]);
                 i += 1;
@@ -218,7 +217,10 @@ mod tests {
             }
             assert_eq!(dyn_set.len(), reference.len(), "step {step}");
         }
-        assert_eq!(dyn_set.to_sorted_vec(), reference.into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            dyn_set.to_sorted_vec(),
+            reference.into_iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::NotSorted { index } => {
-                write!(f, "input must be sorted ascending (violated at index {index})")
+                write!(
+                    f,
+                    "input must be sorted ascending (violated at index {index})"
+                )
             }
             BuildError::Duplicate { index } => {
                 write!(f, "input must not contain duplicates (at index {index})")

@@ -82,13 +82,30 @@ fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
 /// count identically.
 pub fn intersect_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
     let p = pipeline_params();
+    let m = fesia_obs::metrics();
     if p.enabled && a.len() + b.len() >= p.min_elements {
         PIPELINE_SCRATCH.with(|s| {
             let mut scratch = s.borrow_mut();
-            intersect_count_pipelined_with(a, b, table, &mut scratch, p.prefetch_distance)
+            if scratch.capacity() != 0 {
+                m.scratch_reused.inc();
+            }
+            let sampled = m.intersect_pipelined.inc() & fesia_obs::SAMPLE_MASK == 0;
+            let timer = sampled.then(CycleTimer::start);
+            let n = intersect_count_pipelined_with(a, b, table, &mut scratch, p.prefetch_distance);
+            m.survivor_segments.add(scratch.len() as u64);
+            if let Some(t) = timer {
+                m.intersect_cycles.record(t.elapsed_cycles());
+            }
+            n
         })
     } else {
-        intersect_count_interleaved_with(a, b, table)
+        let sampled = m.intersect_interleaved.inc() & fesia_obs::SAMPLE_MASK == 0;
+        let timer = sampled.then(CycleTimer::start);
+        let n = intersect_count_interleaved_with(a, b, table);
+        if let Some(t) = timer {
+            m.intersect_cycles.record(t.elapsed_cycles());
+        }
+        n
     }
 }
 
@@ -109,12 +126,16 @@ pub fn intersect_count_interleaved_with(
         for_each_nonzero_lane(level, lane, a.bitmap_bytes(), b.bitmap_bytes(), |i| {
             // SAFETY: segment pointers carry PAD_LEN over-read slack and the
             // segmented layout upholds the kernel over-read contract.
-            count += unsafe {
-                table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i))
-            } as u64;
+            count +=
+                unsafe { table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i)) }
+                    as u64;
         });
     } else {
-        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let seg_mask = small.num_segments() - 1;
         for_each_nonzero_lane_folded(
             level,
@@ -189,19 +210,23 @@ pub fn intersect_count_pipelined_with(
             prefetch_read(b.seg_ptr(ahead));
             let i = scratch[k] as usize;
             // SAFETY: as in the interleaved form.
-            count += unsafe {
-                table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i))
-            } as u64;
+            count +=
+                unsafe { table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i)) }
+                    as u64;
         }
         for &si in &scratch[steady..] {
             let i = si as usize;
             // SAFETY: as in the interleaved form.
-            count += unsafe {
-                table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i))
-            } as u64;
+            count +=
+                unsafe { table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i)) }
+                    as u64;
         }
     } else {
-        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let seg_mask = small.num_segments() - 1;
         for_each_nonzero_lane_folded(
             level,
@@ -288,7 +313,11 @@ pub fn intersect(a: &SegmentedSet, b: &SegmentedSet) -> Vec<u32> {
             emit(a.segment(i), b.segment(i));
         });
     } else {
-        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let seg_mask = small.num_segments() - 1;
         for_each_nonzero_lane_folded(
             level,
@@ -335,12 +364,19 @@ pub fn auto_count(a: &SegmentedSet, b: &SegmentedSet) -> usize {
 /// the switch follows the paper's size-*ratio* rule only.
 pub fn auto_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let m = fesia_obs::metrics();
     if large.is_empty() {
+        // Trivially-empty inputs ride the hash-strategy counter (they
+        // probe zero elements), keeping strategy counts summing to calls.
+        m.strategy_hash.inc();
         return 0;
     }
     if (small.len() as f64) < SKEW_HASH_THRESHOLD * large.len() as f64 {
+        m.strategy_hash.inc();
+        m.hash_probe_elements.add(small.len() as u64);
         hash_probe_count(small.reordered_elements(), large)
     } else {
+        m.strategy_merge.inc();
         intersect_count_with(a, b, table)
     }
 }
@@ -371,7 +407,11 @@ pub fn intersect_count_breakdown(
     let level = table.level();
     let lane = a.lane();
     let folded = a.bitmap_bits() != b.bitmap_bits();
-    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
+        (a, b)
+    } else {
+        (b, a)
+    };
 
     let t1 = CycleTimer::start();
     let mut pairs: Vec<u32> = Vec::new();
@@ -572,7 +612,9 @@ mod tests {
     /// that produced `got = 3, want = 2` before the fix.
     #[test]
     fn folded_overread_cannot_double_count() {
-        let nu: Vec<u32> = vec![258, 288, 546, 568, 656, 672, 832, 1024, 1032, 1296, 4132, 6144];
+        let nu: Vec<u32> = vec![
+            258, 288, 546, 568, 656, 672, 832, 1024, 1032, 1296, 4132, 6144,
+        ];
         let nv: Vec<u32> = vec![
             0, 1, 2, 4, 8, 10, 16, 17, 24, 25, 32, 40, 48, 64, 65, 82, 104, 130, 264, 272, 290,
             386, 512, 515, 548, 576, 896, 1024, 1025, 1026, 1032, 1040, 1184, 1282, 2052, 2065,
@@ -587,7 +629,11 @@ mod tests {
             let params = FesiaParams::for_level(SimdLevel::Avx512);
             let a = SegmentedSet::build(&nu, &params).unwrap();
             let b = SegmentedSet::build(&nv, &params).unwrap();
-            assert_ne!(a.bitmap_bits(), b.bitmap_bits(), "must exercise the folded path");
+            assert_ne!(
+                a.bitmap_bits(),
+                b.bitmap_bits(),
+                "must exercise the folded path"
+            );
             for stride in [1usize, 2, 4, 8] {
                 let table = KernelTable::new(level, stride);
                 assert_eq!(
@@ -612,8 +658,16 @@ mod tests {
         // (params, a, b) triples covering equal bitmaps, folded bitmaps,
         // and dense collision-heavy segments.
         let cases: Vec<(FesiaParams, Vec<u32>, Vec<u32>)> = vec![
-            (FesiaParams::auto(), gen_sorted(5_000, 42, 100_000), gen_sorted(5_000, 99, 100_000)),
-            (FesiaParams::auto(), gen_sorted(100, 5, 1_000_000), gen_sorted(50_000, 11, 1_000_000)),
+            (
+                FesiaParams::auto(),
+                gen_sorted(5_000, 42, 100_000),
+                gen_sorted(5_000, 99, 100_000),
+            ),
+            (
+                FesiaParams::auto(),
+                gen_sorted(100, 5, 1_000_000),
+                gen_sorted(50_000, 11, 1_000_000),
+            ),
             (
                 FesiaParams::auto().with_bits_per_element(0.5),
                 gen_sorted(3_000, 51, 30_000),
@@ -675,11 +729,8 @@ mod tests {
     fn mixed_lane_widths_panic() {
         use fesia_simd::mask::LaneWidth;
         let a = SegmentedSet::build(&[1, 2], &FesiaParams::auto()).unwrap();
-        let b = SegmentedSet::build(
-            &[1, 2],
-            &FesiaParams::auto().with_segment(LaneWidth::U16),
-        )
-        .unwrap();
+        let b = SegmentedSet::build(&[1, 2], &FesiaParams::auto().with_segment(LaneWidth::U16))
+            .unwrap();
         let _ = intersect_count(&a, &b);
     }
 }

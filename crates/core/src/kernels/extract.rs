@@ -98,7 +98,8 @@ mod x86 {
             if !found && tail_len > 0 {
                 // Masked load: lanes beyond the tail read as zero and the
                 // compare is masked, so no out-of-bounds access occurs.
-                let vb = _mm512_maskz_loadu_epi32(tail_mask, b.as_ptr().add(blocks * V) as *const i32);
+                let vb =
+                    _mm512_maskz_loadu_epi32(tail_mask, b.as_ptr().add(blocks * V) as *const i32);
                 found = _mm512_mask_cmpeq_epi32_mask(tail_mask, vx, vb) != 0;
             }
             if found {
@@ -147,11 +148,17 @@ mod tests {
             (vec![], vec![]),
             (vec![1], vec![]),
             (vec![1, 2, 3], vec![2, 3, 4]),
-            ((0..40).map(|i| i * 2).collect(), (0..40).map(|i| i * 3).collect()),
+            (
+                (0..40).map(|i| i * 2).collect(),
+                (0..40).map(|i| i * 3).collect(),
+            ),
             // Lengths exercising every tail width.
             ((0..17).collect(), (0..33).collect()),
             ((0..15).collect(), (0..16).collect()),
-            ((0..31).map(|i| i * 7).collect(), (0..129).map(|i| i * 5).collect()),
+            (
+                (0..31).map(|i| i * 7).collect(),
+                (0..129).map(|i| i * 5).collect(),
+            ),
         ];
         for (a, b) in cases {
             let mut want = reference(&a, &b);

@@ -360,7 +360,11 @@ impl KernelTable {
         let mut total = 0usize;
         for sa in 0..=self.tmax {
             for col in 0..self.ncols {
-                let sb = if self.stride == 1 { col } else { (col + 1) * self.stride };
+                let sb = if self.stride == 1 {
+                    col
+                } else {
+                    (col + 1) * self.stride
+                };
                 total += estimate_kernel_bytes(self.kernel_level, sa, sb);
             }
         }
@@ -669,7 +673,11 @@ mod tests {
                 let v: Vec<u32> = (0..n as u32).map(|i| i * 5 + 2).collect();
                 let a = PaddedOperand::side_a(&v);
                 let b = PaddedOperand::side_b(&v);
-                assert_eq!(table.count_operands(&a, &b), n as u32, "level={level} n={n}");
+                assert_eq!(
+                    table.count_operands(&a, &b),
+                    n as u32,
+                    "level={level} n={n}"
+                );
             }
         }
     }

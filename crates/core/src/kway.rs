@@ -26,6 +26,7 @@ use fesia_simd::mask::for_each_nonzero_lane;
 /// Panics if `sets` is empty or the segment widths differ.
 pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
     assert!(!sets.is_empty(), "k-way intersection of zero sets");
+    fesia_obs::metrics().kway_calls.inc();
     let lane = sets[0].lane();
     assert!(
         sets.iter().all(|s| s.lane() == lane),
@@ -141,6 +142,7 @@ pub fn kway_count(sets: &[&SegmentedSet]) -> usize {
 /// As [`kway_count_with`].
 pub fn kway_intersect_with(sets: &[&SegmentedSet], table: &KernelTable) -> Vec<u32> {
     assert!(!sets.is_empty(), "k-way intersection of zero sets");
+    fesia_obs::metrics().kway_calls.inc();
     let lane = sets[0].lane();
     assert!(
         sets.iter().all(|s| s.lane() == lane),
@@ -247,8 +249,10 @@ mod tests {
         let want = reference_kway(&lists);
         assert!(want > 0, "workload should have a non-trivial answer");
         let p = FesiaParams::auto();
-        let sets: Vec<SegmentedSet> =
-            lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).unwrap())
+            .collect();
         let refs: Vec<&SegmentedSet> = sets.iter().collect();
         for level in SimdLevel::available_levels() {
             let table = KernelTable::new(level, 1);
@@ -263,8 +267,10 @@ mod tests {
             .collect();
         let want = reference_kway(&lists);
         let p = FesiaParams::auto();
-        let sets: Vec<SegmentedSet> =
-            lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).unwrap())
+            .collect();
         let refs: Vec<&SegmentedSet> = sets.iter().collect();
         assert_eq!(kway_count(&refs), want);
     }
@@ -291,8 +297,9 @@ mod tests {
     fn kway_identical_sets() {
         let v = gen_sorted(1_000, 3, 50_000);
         let p = FesiaParams::auto();
-        let sets: Vec<SegmentedSet> =
-            (0..4).map(|_| SegmentedSet::build(&v, &p).unwrap()).collect();
+        let sets: Vec<SegmentedSet> = (0..4)
+            .map(|_| SegmentedSet::build(&v, &p).unwrap())
+            .collect();
         let refs: Vec<&SegmentedSet> = sets.iter().collect();
         assert_eq!(kway_count(&refs), v.len());
     }
@@ -307,15 +314,18 @@ mod tests {
     fn kway_materialize_matches_count_and_reference() {
         let p = FesiaParams::auto();
         for k in [1usize, 2, 3, 5] {
-            let lists: Vec<Vec<u32>> =
-                (0..k as u64).map(|s| gen_sorted(1_200, 41 + s, 9_000)).collect();
+            let lists: Vec<Vec<u32>> = (0..k as u64)
+                .map(|s| gen_sorted(1_200, 41 + s, 9_000))
+                .collect();
             let refs_sorted: Vec<u32> = lists[0]
                 .iter()
                 .copied()
                 .filter(|x| lists[1..].iter().all(|l| l.binary_search(x).is_ok()))
                 .collect();
-            let sets: Vec<SegmentedSet> =
-                lists.iter().map(|l| SegmentedSet::build(l, &p).unwrap()).collect();
+            let sets: Vec<SegmentedSet> = lists
+                .iter()
+                .map(|l| SegmentedSet::build(l, &p).unwrap())
+                .collect();
             let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
             let got = kway_intersect(&set_refs);
             assert_eq!(got, refs_sorted, "k={k}");

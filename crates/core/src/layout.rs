@@ -35,8 +35,15 @@ pub fn build_layout<H: Fn(u32) -> usize>(
     s_bits: usize,
     hash: H,
 ) -> Layout {
-    assert!(s_bits == 4 || s_bits == 8 || s_bits == 16, "unsupported segment width");
-    assert_eq!(m % s_bits, 0, "bitmap size must be a multiple of the segment width");
+    assert!(
+        s_bits == 4 || s_bits == 8 || s_bits == 16,
+        "unsupported segment width"
+    );
+    assert_eq!(
+        m % s_bits,
+        0,
+        "bitmap size must be a multiple of the segment width"
+    );
     let num_segments = m / s_bits;
 
     let mut bitmap = vec![0u8; m.div_ceil(8)];
@@ -153,7 +160,12 @@ mod tests {
     fn paper_example_bitmap_and() {
         let la = build_layout(&[1, 4, 15, 21, 32, 34], 12, 4, |x| (x % 12) as usize);
         let lb = build_layout(&[2, 6, 12, 16, 21, 23], 12, 4, |x| (x % 12) as usize);
-        let and: Vec<u8> = la.bitmap.iter().zip(&lb.bitmap).map(|(a, b)| a & b).collect();
+        let and: Vec<u8> = la
+            .bitmap
+            .iter()
+            .zip(&lb.bitmap)
+            .map(|(a, b)| a & b)
+            .collect();
         // Bits 4 and 9 survive (the paper's figure shows bit 8 due to the
         // BitmapB typo; see `paper_example_set_b`) -> segments 1 and 2
         // non-zero, exactly as the paper's narrative states.
@@ -177,7 +189,9 @@ mod tests {
     #[test]
     fn segments_partition_the_input() {
         let elements: Vec<u32> = (0..500).map(|i| i * 37 + 11).collect();
-        let l = build_layout(&elements, 1024, 8, |x| (((x as u64 * 2654435761) >> 16) % 1024) as usize);
+        let l = build_layout(&elements, 1024, 8, |x| {
+            (((x as u64 * 2654435761) >> 16) % 1024) as usize
+        });
         assert!(l.validate(elements.len()));
         let mut all: Vec<u32> = l.reordered.clone();
         all.sort_unstable();

@@ -53,9 +53,8 @@ pub use dynamic::{dynamic_intersect_count, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
     auto_count, auto_count_with, hash_probe_count, intersect, intersect_count,
-    intersect_count_breakdown, intersect_count_interleaved_with,
-    intersect_count_pipelined_with, intersect_count_with, pipeline_params,
-    set_pipeline_params, Breakdown,
+    intersect_count_breakdown, intersect_count_interleaved_with, intersect_count_pipelined_with,
+    intersect_count_with, pipeline_params, set_pipeline_params, Breakdown,
 };
 pub use kernels::KernelTable;
 pub use kway::{kway_count, kway_count_with, kway_intersect, kway_intersect_with};

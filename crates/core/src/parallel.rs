@@ -39,6 +39,7 @@ pub fn par_intersect_count_on(
     table: &KernelTable,
 ) -> usize {
     assert!(num_threads >= 1, "need at least one thread");
+    fesia_obs::metrics().par_intersect_calls.inc();
     assert_eq!(
         a.lane(),
         b.lane(),
@@ -47,7 +48,11 @@ pub fn par_intersect_count_on(
     if num_threads == 1 {
         return crate::intersect::intersect_count_with(a, b, table);
     }
-    let (large, small) = if a.bitmap_bits() >= b.bitmap_bits() { (a, b) } else { (b, a) };
+    let (large, small) = if a.bitmap_bits() >= b.bitmap_bits() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let folded = large.bitmap_bits() != small.bitmap_bits();
     let large_bytes = large.bitmap_bytes();
     let small_bytes = small.bitmap_bytes();
@@ -56,7 +61,11 @@ pub fn par_intersect_count_on(
 
     // Claim granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
     // when folding (so `local_offset & small_mask` equals the global fold).
-    let align = if folded { small_bytes.len().max(64) } else { 64 };
+    let align = if folded {
+        small_bytes.len().max(64)
+    } else {
+        64
+    };
     let total = large_bytes.len();
     let blocks = (total / align).max(1);
 
@@ -66,14 +75,22 @@ pub fn par_intersect_count_on(
     let scan_blocks = |range: std::ops::Range<usize>| -> u64 {
         // Block range -> byte range; the final block absorbs the tail.
         let lo = (range.start * align).min(total);
-        let hi = if range.end >= blocks { total } else { range.end * align };
+        let hi = if range.end >= blocks {
+            total
+        } else {
+            range.end * align
+        };
         if lo >= hi {
             return 0;
         }
         let large_chunk = &large_bytes[lo..hi];
         let base_seg = lo / lane_bytes;
         let mut count = 0u64;
-        let scan_small = if folded { small_bytes } else { &small_bytes[lo..hi] };
+        let scan_small = if folded {
+            small_bytes
+        } else {
+            &small_bytes[lo..hi]
+        };
         let visit = |local: usize, count: &mut u64| {
             let i = base_seg + local;
             let j = if folded { i & seg_mask } else { i };
@@ -150,7 +167,11 @@ mod tests {
         let b = SegmentedSet::build(&bv, &p).unwrap();
         let want = intersect_count(&a, &b);
         for threads in [1usize, 2, 3, 4, 8] {
-            assert_eq!(par_intersect_count(&a, &b, threads), want, "threads={threads}");
+            assert_eq!(
+                par_intersect_count(&a, &b, threads),
+                want,
+                "threads={threads}"
+            );
         }
     }
 
@@ -164,7 +185,11 @@ mod tests {
         assert_ne!(a.bitmap_bits(), b.bitmap_bits());
         let want = intersect_count(&a, &b);
         for threads in [2usize, 4, 7] {
-            assert_eq!(par_intersect_count(&a, &b, threads), want, "threads={threads}");
+            assert_eq!(
+                par_intersect_count(&a, &b, threads),
+                want,
+                "threads={threads}"
+            );
         }
     }
 
@@ -179,7 +204,11 @@ mod tests {
         let want = crate::intersect::intersect_count_with(&a, &b, &table);
         for n in [1usize, 2, 8] {
             let exec = Executor::new(n);
-            assert_eq!(par_intersect_count_on(&exec, &a, &b, n, &table), want, "threads={n}");
+            assert_eq!(
+                par_intersect_count_on(&exec, &a, &b, n, &table),
+                want,
+                "threads={n}"
+            );
         }
     }
 

@@ -133,7 +133,13 @@ impl SegmentedSet {
         at += m_bytes;
         need(segs * 4, at)?;
         let sizes: Vec<u32> = (0..segs)
-            .map(|i| u32::from_le_bytes(bytes[at + i * 4..at + i * 4 + 4].try_into().expect("checked")))
+            .map(|i| {
+                u32::from_le_bytes(
+                    bytes[at + i * 4..at + i * 4 + 4]
+                        .try_into()
+                        .expect("checked"),
+                )
+            })
             .collect();
         at += segs * 4;
         if sizes.iter().map(|&s| s as u64).sum::<u64>() != n as u64 {
@@ -141,7 +147,13 @@ impl SegmentedSet {
         }
         need(n * 4, at)?;
         let reordered: Vec<u32> = (0..n)
-            .map(|i| u32::from_le_bytes(bytes[at + i * 4..at + i * 4 + 4].try_into().expect("checked")))
+            .map(|i| {
+                u32::from_le_bytes(
+                    bytes[at + i * 4..at + i * 4 + 4]
+                        .try_into()
+                        .expect("checked"),
+                )
+            })
             .collect();
         at += n * 4;
 
@@ -168,7 +180,17 @@ pub fn deserialize_many(bytes: &[u8]) -> Result<Vec<SegmentedSet>, DecodeError> 
     if bytes.len() < 8 {
         return Err(DecodeError::Truncated);
     }
-    let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked")) as usize;
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked"));
+    // The count field is untrusted input: cap it by what the remaining
+    // bytes could possibly hold (every encoded set takes at least a
+    // 15-byte header) before sizing any allocation from it. A hostile
+    // 8-byte count would otherwise drive `Vec::with_capacity` to abort
+    // or overcommit.
+    const MIN_SET_ENCODING: usize = 15;
+    if count > ((bytes.len() - 8) / MIN_SET_ENCODING) as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = count as usize;
     let mut at = 8;
     let mut sets = Vec::with_capacity(count);
     for _ in 0..count {

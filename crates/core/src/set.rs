@@ -98,12 +98,15 @@ impl SegmentedSet {
         let s_bits = params.segment.bits();
         let layout = build_layout(sorted, m, s_bits, |x| hash::position(x, log2_m));
         debug_assert!(layout.validate(sorted.len()));
-        debug_assert_eq!(layout.bitmap.len() % 64, 0, "bitmap floor guarantees 64B blocks");
+        debug_assert_eq!(
+            layout.bitmap.len() % 64,
+            0,
+            "bitmap floor guarantees 64B blocks"
+        );
 
         let mut reordered = layout.reordered;
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
-        let compact_ok = sorted.len() < (1 << 24)
-            && layout.seg_sizes.iter().all(|&s| s < 256);
+        let compact_ok = sorted.len() < (1 << 24) && layout.seg_sizes.iter().all(|&s| s < 256);
         let seg_meta = if compact_ok {
             SegMeta::Compact(
                 layout
@@ -159,9 +162,17 @@ impl SegmentedSet {
             (off, size)
         });
         let seg_meta = if compact_ok {
-            SegMeta::Compact(entries.map(|(off, size)| ((off as u32) << 8) | size).collect())
+            SegMeta::Compact(
+                entries
+                    .map(|(off, size)| ((off as u32) << 8) | size)
+                    .collect(),
+            )
         } else {
-            SegMeta::Wide(entries.map(|(off, size)| (off << 32) | size as u64).collect())
+            SegMeta::Wide(
+                entries
+                    .map(|(off, size)| (off << 32) | size as u64)
+                    .collect(),
+            )
         };
         let set = SegmentedSet {
             bitmap,
@@ -345,7 +356,9 @@ mod tests {
 
     #[test]
     fn reordered_is_permutation() {
-        let elements: Vec<u32> = (0..777u32).map(|i| i * 7919 % 1_000_003).collect::<Vec<_>>();
+        let elements: Vec<u32> = (0..777u32)
+            .map(|i| i * 7919 % 1_000_003)
+            .collect::<Vec<_>>();
         let set = SegmentedSet::from_unsorted(elements.clone(), &params()).unwrap();
         let mut sorted = elements;
         sorted.sort_unstable();

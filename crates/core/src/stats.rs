@@ -1,4 +1,6 @@
-//! Observability: segment-population and filter-effectiveness statistics.
+//! Offline filter diagnostics: segment-population and filter-effectiveness
+//! statistics computed on demand for a given structure or intersection.
+//! (For the always-on runtime counters, see the `fesia-obs` crate.)
 //!
 //! The paper's analysis (§III-D) predicts `E[false positives] ≤ n²/(2m)`
 //! surviving segments beyond the `r` true matches; these helpers measure
@@ -139,7 +141,11 @@ pub fn survivor_segments(a: &SegmentedSet, b: &SegmentedSet) -> usize {
             survivors += 1;
         });
     } else {
-        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() { (a, b) } else { (b, a) };
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         for_each_nonzero_lane_folded(
             level,
             a.lane(),
@@ -166,7 +172,10 @@ pub fn bit_collision_rate(set: &SegmentedSet) -> f64 {
     let mut colliding = 0usize;
     let mut i = 0usize;
     while i < positions.len() {
-        let j = positions[i..].iter().take_while(|&&p| p == positions[i]).count();
+        let j = positions[i..]
+            .iter()
+            .take_while(|&&p| p == positions[i])
+            .count();
         if j > 1 {
             colliding += j;
         }
@@ -224,7 +233,10 @@ mod tests {
         };
         let fs = filter_stats(&sa, &sb);
         assert_eq!(fs.intersection, want);
-        assert_eq!(fs.survivors, fs.true_positive_segments + fs.false_positive_segments);
+        assert_eq!(
+            fs.survivors,
+            fs.true_positive_segments + fs.false_positive_segments
+        );
         assert!(fs.true_positive_segments <= want.max(1));
         // §III-D: expected FP segments <= n1*n2/m; allow 3x slack for a
         // single random draw.
@@ -256,7 +268,10 @@ mod tests {
         let b = gen_sorted(10_000, 5, 1 << 23);
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
-        assert_eq!(survivor_segments(&sa, &sb), filter_stats(&sa, &sb).survivors);
+        assert_eq!(
+            survivor_segments(&sa, &sb),
+            filter_stats(&sa, &sb).survivors
+        );
         // Folded pair: just check it runs and is at least the number of
         // true-positive segments (every true match survives the AND).
         let c = gen_sorted(500, 7, 1 << 23);
@@ -275,12 +290,17 @@ mod tests {
     #[test]
     fn collision_rate_reflects_bitmap_density() {
         let v = gen_sorted(10_000, 7, 1 << 26);
-        let sparse = SegmentedSet::build(&v, &FesiaParams::auto().with_bits_per_element(32.0)).unwrap();
-        let dense = SegmentedSet::build(&v, &FesiaParams::auto().with_bits_per_element(0.5)).unwrap();
+        let sparse =
+            SegmentedSet::build(&v, &FesiaParams::auto().with_bits_per_element(32.0)).unwrap();
+        let dense =
+            SegmentedSet::build(&v, &FesiaParams::auto().with_bits_per_element(0.5)).unwrap();
         let r_sparse = bit_collision_rate(&sparse);
         let r_dense = bit_collision_rate(&dense);
         assert!(r_sparse < 0.05, "sparse collision rate {r_sparse}");
         assert!(r_dense > 0.5, "dense collision rate {r_dense}");
-        assert_eq!(bit_collision_rate(&SegmentedSet::build(&[], &FesiaParams::auto()).unwrap()), 0.0);
+        assert_eq!(
+            bit_collision_rate(&SegmentedSet::build(&[], &FesiaParams::auto()).unwrap()),
+            0.0
+        );
     }
 }

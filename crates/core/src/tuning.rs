@@ -199,8 +199,14 @@ mod tests {
         assert_eq!(results.len(), 2 * DEFAULT_GRID.len());
         assert!(results.windows(2).all(|w| w[0].cycles <= w[1].cycles));
         // Memory grows with bits_per_element for a fixed lane.
-        let small = results.iter().find(|r| r.params.bits_per_element == 2.0).unwrap();
-        let big = results.iter().find(|r| r.params.bits_per_element == 32.0).unwrap();
+        let small = results
+            .iter()
+            .find(|r| r.params.bits_per_element == 2.0)
+            .unwrap();
+        let big = results
+            .iter()
+            .find(|r| r.params.bits_per_element == 32.0)
+            .unwrap();
         assert!(big.memory_bytes > small.memory_bytes);
     }
 
@@ -225,9 +231,7 @@ mod tests {
 
     #[test]
     fn pipeline_tuner_returns_a_measured_candidate() {
-        let samples = vec![
-            (gen_sorted(2_000, 9, 60_000), gen_sorted(2_000, 10, 60_000)),
-        ];
+        let samples = vec![(gen_sorted(2_000, 9, 60_000), gen_sorted(2_000, 10, 60_000))];
         let p = tune_pipeline(&samples, &KernelTable::auto(), 2);
         // Either interleaved won, or a grid distance won — nothing else.
         assert!(!p.enabled || PIPELINE_DISTANCE_GRID.contains(&p.prefetch_distance));

@@ -51,9 +51,9 @@ impl Fesia64Set {
         let mut exceptions: Vec<u32> = Vec::new();
         let mut current: Option<u32> = None;
         let flush = |key: Option<u32>,
-                         lows: &mut Vec<u32>,
-                         exceptions: &mut Vec<u32>,
-                         groups: &mut Vec<Group>|
+                     lows: &mut Vec<u32>,
+                     exceptions: &mut Vec<u32>,
+                     groups: &mut Vec<Group>|
          -> Result<(), BuildError> {
             if let Some(key) = key {
                 groups.push(Group {

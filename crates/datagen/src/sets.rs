@@ -13,7 +13,10 @@ pub const MAX_VALUE: u32 = u32::MAX - 16;
 /// # Panics
 /// Panics if `universe < n` or `universe > MAX_VALUE`.
 pub fn sorted_distinct(n: usize, universe: u32, rng: &mut SplitMix64) -> Vec<u32> {
-    assert!(universe as usize >= n, "universe too small for n distinct values");
+    assert!(
+        universe as usize >= n,
+        "universe too small for n distinct values"
+    );
     assert!(universe <= MAX_VALUE, "universe exceeds the element domain");
     let mut out: Vec<u32>;
     if n * 2 >= universe as usize {
@@ -162,7 +165,12 @@ mod tests {
     #[test]
     fn pair_has_exact_intersection() {
         let mut rng = SplitMix64::new(3);
-        for (n1, n2, r) in [(100usize, 100usize, 0usize), (100, 100, 10), (50, 500, 50), (1000, 1000, 1000)] {
+        for (n1, n2, r) in [
+            (100usize, 100usize, 0usize),
+            (100, 100, 10),
+            (50, 500, 50),
+            (1000, 1000, 1000),
+        ] {
             let (a, b) = pair_with_intersection(n1, n2, r, &mut rng);
             assert_eq!(a.len(), n1);
             assert_eq!(b.len(), n2);
@@ -197,7 +205,10 @@ mod tests {
         let dense = ksets_with_density(2, 2000, 0.9, &mut rng);
         let r_sparse = reference_count(&sparse[0], &sparse[1]);
         let r_dense = reference_count(&dense[0], &dense[1]);
-        assert!(r_dense > 50 * (r_sparse + 1), "sparse={r_sparse} dense={r_dense}");
+        assert!(
+            r_dense > 50 * (r_sparse + 1),
+            "sparse={r_sparse} dense={r_dense}"
+        );
     }
 
     #[test]

@@ -51,9 +51,7 @@ impl Zipf {
             let u = self.h_n + rng.f64() * (self.h_x1 - self.h_n);
             let x = h_integral_inverse(u, self.s);
             let k = x.round().clamp(1.0, self.n as f64);
-            if (k - x).abs() <= self.dense_ok
-                || u >= h_integral(k + 0.5, self.s) - h(k, self.s)
-            {
+            if (k - x).abs() <= self.dense_ok || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
                 return k as u64;
             }
         }
@@ -134,7 +132,10 @@ mod tests {
         let steep = histogram(100, 2.0, 100_000, 3);
         let head_flat = flat[1] as f64 / 100_000.0;
         let head_steep = steep[1] as f64 / 100_000.0;
-        assert!(head_steep > 3.0 * head_flat, "flat={head_flat} steep={head_steep}");
+        assert!(
+            head_steep > 3.0 * head_flat,
+            "flat={head_flat} steep={head_steep}"
+        );
     }
 
     #[test]

@@ -40,6 +40,8 @@
 //! chunks already being executed by other threads, so progress is
 //! guaranteed.
 
+use fesia_obs::metrics;
+use std::any::Any;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -66,6 +68,9 @@ struct Region {
     tickets: AtomicUsize,
     cap: usize,
     panicked: AtomicBool,
+    /// First panic payload raised by a chunk body, re-raised verbatim on
+    /// the submitter so the real failure is what callers see.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -88,6 +93,7 @@ impl Region {
         loop {
             let t = self.tickets.load(Ordering::Relaxed);
             if t >= self.cap {
+                metrics().exec_ticket_rejections.inc();
                 return false;
             }
             if self
@@ -98,22 +104,30 @@ impl Region {
                 break;
             }
         }
-        let mut did_work = false;
+        let mut claimed = 0u64;
         loop {
             let idx = self.cursor.fetch_add(1, Ordering::AcqRel);
             if idx >= self.num_chunks {
                 break;
             }
-            did_work = true;
+            claimed += 1;
             let lo = idx * self.chunk;
-            let hi = (lo + self.chunk).min(self.len);
+            // The last chunk absorbs the tail (which may make it up to
+            // `chunk + min_chunk - 1` long — see `for_each_chunk`).
+            let hi = if idx + 1 == self.num_chunks {
+                self.len
+            } else {
+                lo + self.chunk
+            };
             // SAFETY: idx < num_chunks, so `remaining` has not reached 0
             // yet and the submitter is still blocked: the closure behind
             // `body` is alive.
             let body = unsafe { &*self.body };
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(lo..hi)));
-            if outcome.is_err() {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(lo..hi)));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+                drop(slot);
                 self.panicked.store(true, Ordering::Release);
             }
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -123,7 +137,12 @@ impl Region {
             }
         }
         self.tickets.fetch_sub(1, Ordering::Release);
-        did_work
+        if claimed > 0 {
+            let m = metrics();
+            m.exec_chunks_claimed.add(claimed);
+            m.exec_chunks_per_claim.record(claimed);
+        }
+        claimed > 0
     }
 
     fn wait_done(&self) {
@@ -169,7 +188,9 @@ fn worker_loop(pool: Arc<Pool>) {
         if !did_work {
             let g = pool.generation.lock().expect("pool lock");
             if *g == seen && !pool.shutdown.load(Ordering::Acquire) {
+                metrics().exec_worker_parks.inc();
                 let _unused = pool.wake.wait(g).expect("pool lock");
+                metrics().exec_worker_wakes.inc();
             }
         }
     }
@@ -224,7 +245,9 @@ impl Executor {
                 .and_then(|s| s.parse::<usize>().ok())
                 .filter(|&n| n >= 1)
                 .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
                 });
             Executor::new(threads)
         })
@@ -239,8 +262,11 @@ impl Executor {
     /// chunk claiming.
     ///
     /// The range is split into at most `participants × 8` chunks of
-    /// equal size (the last may be short), each at least `min_chunk`
-    /// items; `max_threads` caps the number of concurrently
+    /// equal size, each at least `min_chunk` items; a tail shorter than
+    /// `min_chunk` is folded into the previous chunk, so the last chunk
+    /// may be up to `chunk + min_chunk - 1` items long and no chunk is
+    /// ever shorter than `min_chunk` (when `len >= min_chunk`).
+    /// `max_threads` caps the number of concurrently
     /// participating threads (`0` means "all of the pool"). The call
     /// returns once every chunk has run. Chunks are disjoint and cover
     /// `0..len` exactly once, so `f` may write to per-index slots of a
@@ -262,11 +288,18 @@ impl Executor {
         };
         let min_chunk = min_chunk.max(1);
         let chunk = len.div_ceil(cap * CHUNKS_PER_THREAD).max(min_chunk);
-        let num_chunks = len.div_ceil(chunk);
+        let mut num_chunks = len.div_ceil(chunk);
+        // Fold a short tail (< min_chunk items) into the previous chunk
+        // rather than scheduling a degenerate final chunk.
+        if num_chunks > 1 && len - (num_chunks - 1) * chunk < min_chunk {
+            num_chunks -= 1;
+        }
         if cap <= 1 || num_chunks <= 1 {
+            metrics().exec_regions_inline.inc();
             f(0..len);
             return;
         }
+        metrics().exec_regions.inc();
         let body: &(dyn Fn(Range<usize>) + Sync) = &f;
         // SAFETY: erase the closure's lifetime; `Region` documents the
         // dynamic guarantee (submitter blocks until remaining == 0).
@@ -282,20 +315,37 @@ impl Executor {
             tickets: AtomicUsize::new(0),
             cap,
             panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        self.pool.regions.lock().expect("pool lock").push(Arc::clone(&region));
+        self.pool
+            .regions
+            .lock()
+            .expect("pool lock")
+            .push(Arc::clone(&region));
         self.pool.notify();
         region.participate();
+        let wait_start = fesia_obs::now_cycles();
         region.wait_done();
+        metrics()
+            .exec_submit_wait_cycles
+            .record(fesia_obs::now_cycles().saturating_sub(wait_start));
         self.pool
             .regions
             .lock()
             .expect("pool lock")
             .retain(|r| !Arc::ptr_eq(r, &region));
         if region.panicked.load(Ordering::Acquire) {
-            panic!("fesia-exec worker panicked while executing a parallel region");
+            let payload = region
+                .panic_payload
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            match payload {
+                Some(p) => std::panic::resume_unwind(p),
+                None => panic!("fesia-exec worker panicked while executing a parallel region"),
+            }
         }
     }
 
@@ -324,13 +374,16 @@ impl Executor {
         let acc: Mutex<Option<T>> = Mutex::new(None);
         self.for_each_chunk(len, min_chunk, max_threads, |range| {
             let part = map(range);
-            let mut guard = acc.lock().expect("reduce lock");
+            // Tolerate poisoning: if `reduce` panicked on another chunk,
+            // that original panic is what must propagate — dying here on
+            // `expect` would mask it with a "reduce lock" message.
+            let mut guard = acc.lock().unwrap_or_else(|e| e.into_inner());
             *guard = Some(match guard.take() {
                 None => part,
                 Some(prev) => reduce(prev, part),
             });
         });
-        acc.into_inner().expect("reduce lock").take()
+        acc.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -401,14 +454,28 @@ mod tests {
     #[test]
     fn min_chunk_is_respected() {
         let exec = Executor::new(8);
-        let chunks = Mutex::new(Vec::new());
-        exec.for_each_chunk(1_000, 400, 0, |r| {
-            chunks.lock().unwrap().push(r);
-        });
-        let chunks = chunks.into_inner().unwrap();
-        assert!(chunks.len() <= 3, "{} chunks violate min_chunk=400", chunks.len());
-        for r in &chunks {
-            assert!(r.len() >= 200, "tail chunk {r:?} degenerately small");
+        // Every chunk — including the tail — must be at least min_chunk
+        // long whenever len >= min_chunk. len=801 is the regression
+        // case: naive div_ceil chunking yields 400/400/1, leaving a
+        // degenerate 1-element tail chunk.
+        for (len, min_chunk) in [(1_000usize, 400usize), (801, 400), (800, 400), (399, 400)] {
+            let chunks = Mutex::new(Vec::new());
+            exec.for_each_chunk(len, min_chunk, 0, |r| {
+                chunks.lock().unwrap().push(r);
+            });
+            let mut chunks = chunks.into_inner().unwrap();
+            chunks.sort_by_key(|r| r.start);
+            assert_eq!(chunks.first().unwrap().start, 0, "len={len}");
+            assert_eq!(chunks.last().unwrap().end, len, "len={len}");
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "len={len}: gap or overlap");
+            }
+            for r in &chunks {
+                assert!(
+                    r.len() >= min_chunk.min(len),
+                    "len={len}: chunk {r:?} shorter than min_chunk={min_chunk}"
+                );
+            }
         }
     }
 
@@ -470,7 +537,13 @@ mod tests {
         exec.for_each_chunk(16, 1, 0, |outer| {
             for _ in outer {
                 let inner_sum = Executor::global()
-                    .map_reduce(100, 1, 2, |r| r.map(|x| x as u64).sum::<u64>(), |a, b| a + b)
+                    .map_reduce(
+                        100,
+                        1,
+                        2,
+                        |r| r.map(|x| x as u64).sum::<u64>(),
+                        |a, b| a + b,
+                    )
                     .unwrap();
                 total.fetch_add(inner_sum, Ordering::Relaxed);
             }
@@ -488,12 +561,48 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err(), "panic must propagate to the submitter");
+        let payload = result.expect_err("panic must propagate to the submitter");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom", "original payload must be re-raised verbatim");
         // The pool is still usable afterwards.
         let got = exec
             .map_reduce(1_000, 1, 0, |r| r.len() as u64, |a, b| a + b)
             .unwrap();
         assert_eq!(got, 1_000);
+    }
+
+    #[test]
+    fn reduce_panic_is_not_masked_by_poisoned_accumulator() {
+        // Regression: a panic inside the reduce closure poisons the
+        // accumulator mutex; other workers then died on a "reduce lock"
+        // expect, masking the original panic. The submitter must see the
+        // original payload and the pool must survive.
+        let exec = Executor::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            exec.map_reduce(
+                10_000,
+                1,
+                0,
+                |r| r.len() as u64,
+                |a, b| {
+                    if a + b > 100 {
+                        panic!("reduce boom");
+                    }
+                    a + b
+                },
+            )
+        }));
+        let payload = result.expect_err("reduce panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(
+            msg, "reduce boom",
+            "the reduce panic itself must surface, not a lock error"
+        );
+        // The pool is still usable afterwards.
+        let got = exec
+            .map_reduce(10_000, 1, 0, |r| r.len() as u64, |a, b| a + b)
+            .unwrap();
+        assert_eq!(got, 10_000);
     }
 
     #[test]

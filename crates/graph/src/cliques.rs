@@ -215,7 +215,9 @@ mod tests {
     fn matches_brute_force_on_small_random_graphs() {
         fn is_clique(g: &CsrGraph, verts: &[u32]) -> bool {
             verts.iter().enumerate().all(|(i, &u)| {
-                verts[i + 1..].iter().all(|&v| g.neighbors(u).binary_search(&v).is_ok())
+                verts[i + 1..]
+                    .iter()
+                    .all(|&v| g.neighbors(u).binary_search(&v).is_ok())
             })
         }
         let g = crate::generate::erdos_renyi(18, 60, 42);
@@ -230,7 +232,9 @@ mod tests {
             // Maximal? No vertex outside adjacent to all inside.
             let maximal = (0..n).all(|w| {
                 verts.contains(&w)
-                    || !verts.iter().all(|&v| g.neighbors(w).binary_search(&v).is_ok())
+                    || !verts
+                        .iter()
+                        .all(|&v| g.neighbors(w).binary_search(&v).is_ok())
             });
             if maximal {
                 brute.push(verts);
@@ -246,6 +250,9 @@ mod tests {
         let cliques = maximal_cliques(&g);
         let hist = clique_size_histogram(&g);
         assert_eq!(hist.iter().sum::<usize>(), cliques.len());
-        assert!(hist[3..].iter().sum::<usize>() > 0, "BA graphs have triangles");
+        assert!(
+            hist[3..].iter().sum::<usize>() > 0,
+            "BA graphs have triangles"
+        );
     }
 }

@@ -65,7 +65,10 @@ pub fn barabasi_albert(n: usize, m_per_node: usize, seed: u64) -> CsrGraph {
 pub fn rmat(scale: u32, num_edges: usize, a: f64, b: f64, c: f64, seed: u64) -> CsrGraph {
     let n = 1usize << scale;
     let d = 1.0 - a - b - c;
-    assert!(a > 0.0 && b >= 0.0 && c >= 0.0 && d > 0.0, "bad R-MAT parameters");
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && d > 0.0,
+        "bad R-MAT parameters"
+    );
     let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::with_capacity(num_edges);
     while edges.len() < num_edges {
@@ -107,8 +110,11 @@ pub enum GraphPreset {
 
 impl GraphPreset {
     /// All presets, in Table III order.
-    pub const ALL: [GraphPreset; 3] =
-        [GraphPreset::Patents, GraphPreset::HepPh, GraphPreset::LiveJournal];
+    pub const ALL: [GraphPreset; 3] = [
+        GraphPreset::Patents,
+        GraphPreset::HepPh,
+        GraphPreset::LiveJournal,
+    ];
 
     /// The dataset name as printed in the paper.
     pub fn name(&self) -> &'static str {

@@ -21,8 +21,8 @@ pub mod similarity;
 pub mod triangles;
 
 pub use cliques::{clique_size_histogram, maximal_cliques};
+pub use clustering::{average_clustering, local_clustering, per_vertex_triangles, transitivity};
 pub use csr::CsrGraph;
 pub use generate::{barabasi_albert, erdos_renyi, rmat, GraphPreset};
-pub use clustering::{average_clustering, local_clustering, per_vertex_triangles, transitivity};
 pub use similarity::{cosine, jaccard, recommend, Candidate};
 pub use triangles::{common_neighbors, count_reference, count_with_method, FesiaGraph};

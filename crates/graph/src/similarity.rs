@@ -46,12 +46,7 @@ pub struct Candidate {
 ///
 /// Distance-two candidates are exactly the vertices whose recommendation
 /// score can be non-zero, so the candidate set is `∪_{w ∈ N(u)} N(w)`.
-pub fn recommend(
-    g: &CsrGraph,
-    u: u32,
-    k: usize,
-    method: &dyn SliceIntersector,
-) -> Vec<Candidate> {
+pub fn recommend(g: &CsrGraph, u: u32, k: usize, method: &dyn SliceIntersector) -> Vec<Candidate> {
     let mut candidates: Vec<u32> = g
         .neighbors(u)
         .iter()
@@ -72,7 +67,11 @@ pub fn recommend(
                 common,
                 jaccard: {
                     let union = g.degree(u) + g.degree(v) - common;
-                    if union == 0 { 0.0 } else { common as f64 / union as f64 }
+                    if union == 0 {
+                        0.0
+                    } else {
+                        common as f64 / union as f64
+                    }
                 },
             }
         })
@@ -81,7 +80,11 @@ pub fn recommend(
     scored.sort_by(|a, b| {
         b.common
             .cmp(&a.common)
-            .then(b.jaccard.partial_cmp(&a.jaccard).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.jaccard
+                    .partial_cmp(&a.jaccard)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.vertex.cmp(&b.vertex))
     });
     scored.truncate(k);

@@ -101,6 +101,7 @@ impl FesiaGraph {
         threads: usize,
     ) -> (u64, Duration) {
         assert!(threads >= 1);
+        fesia_obs::metrics().graph_triangle_runs.inc();
         let start = Instant::now();
         let n = oriented.num_nodes();
         let sets = &self.sets;
@@ -111,6 +112,7 @@ impl FesiaGraph {
                 threads,
                 |range| {
                     let mut acc = 0u64;
+                    let mut edges = 0u64;
                     for u in range {
                         let su = &sets[u];
                         for &v in oriented.neighbors(u as u32) {
@@ -119,10 +121,11 @@ impl FesiaGraph {
                             // skewed, so the adaptive entry point (probe vs
                             // merge) is the faithful way to run FESIA on a
                             // graph workload.
-                            acc += fesia_core::auto_count_with(su, &sets[v as usize], table)
-                                as u64;
+                            acc += fesia_core::auto_count_with(su, &sets[v as usize], table) as u64;
+                            edges += 1;
                         }
                     }
+                    fesia_obs::metrics().graph_edge_intersections.add(edges);
                     acc
                 },
                 |x, y| x + y,

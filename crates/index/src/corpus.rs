@@ -59,8 +59,7 @@ impl InvertedIndex {
         let mut doc_terms: HashSet<u32> = HashSet::new();
         for doc in 0..params.num_docs as u32 {
             // Doc length jitter: uniform in [avg/2, 3*avg/2).
-            let len = params.avg_doc_len / 2
-                + rng.below(params.avg_doc_len.max(1) as u64) as usize;
+            let len = params.avg_doc_len / 2 + rng.below(params.avg_doc_len.max(1) as u64) as usize;
             doc_terms.clear();
             // Cap the retry budget: very short vocabularies may not have
             // `len` distinct terms reachable in reasonable time.

@@ -54,7 +54,10 @@ impl Default for QueryGenParams {
 
 /// Sample a query workload satisfying the paper's selectivity protocol.
 pub fn generate_queries(index: &InvertedIndex, params: &QueryGenParams) -> Vec<Query> {
-    assert!(params.k >= 2, "a conjunctive query needs at least two terms");
+    assert!(
+        params.k >= 2,
+        "a conjunctive query needs at least two terms"
+    );
     let mut rng = SplitMix64::new(params.seed);
     let eligible: Vec<u32> = (0..index.num_terms() as u32)
         .filter(|&t| index.doc_freq(t) >= params.min_doc_freq)
@@ -192,6 +195,7 @@ impl FesiaIndex {
     /// Execute a query workload with FESIA; returns the total result count
     /// and the elapsed (online-phase) wall time.
     pub fn run_queries(&self, queries: &[Query], table: &KernelTable) -> (usize, Duration) {
+        fesia_obs::metrics().index_queries.add(queries.len() as u64);
         let start = Instant::now();
         let mut total = 0usize;
         for q in queries {
@@ -213,6 +217,7 @@ impl FesiaIndex {
         threads: usize,
     ) -> (usize, Duration) {
         assert!(threads >= 1, "need at least one thread");
+        fesia_obs::metrics().index_queries.add(queries.len() as u64);
         let start = Instant::now();
         let total = Executor::global()
             .map_reduce(

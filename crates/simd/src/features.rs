@@ -101,7 +101,11 @@ impl SimdLevel {
     /// All levels available on this machine, narrowest first.
     pub fn available_levels() -> Vec<SimdLevel> {
         let max = SimdLevel::detect();
-        SimdLevel::ALL.iter().copied().filter(|&l| l <= max).collect()
+        SimdLevel::ALL
+            .iter()
+            .copied()
+            .filter(|&l| l <= max)
+            .collect()
     }
 }
 

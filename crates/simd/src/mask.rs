@@ -236,7 +236,11 @@ fn dispatch<F: FnMut(usize)>(
     small_mask: usize,
     mut f: F,
 ) {
-    assert_eq!(a.len() % 64, 0, "bitmap length must be a multiple of 64 bytes");
+    assert_eq!(
+        a.len() % 64,
+        0,
+        "bitmap length must be a multiple of 64 bytes"
+    );
     assert!(
         level.is_available(),
         "SIMD level {level} not available on this CPU"
@@ -290,7 +294,10 @@ pub fn for_each_nonzero_lane_folded<F: FnMut(usize)>(
         small.len().is_power_of_two() && small.len() >= 64,
         "small bitmap must be a power of two of at least 64 bytes"
     );
-    assert!(large.len() >= small.len(), "large bitmap shorter than small");
+    assert!(
+        large.len() >= small.len(),
+        "large bitmap shorter than small"
+    );
     dispatch(level, lane, large, small, small.len() - 1, f);
 }
 
@@ -338,7 +345,14 @@ mod tests {
 
     #[test]
     fn nonzero_byte_flags_matches_bytes() {
-        for w in [0u64, 1, 0x100, 0xff00ff00ff00ff00, u64::MAX, 0x0102030405060708] {
+        for w in [
+            0u64,
+            1,
+            0x100,
+            0xff00ff00ff00ff00,
+            u64::MAX,
+            0x0102030405060708,
+        ] {
             let flags = nonzero_byte_flags(w);
             for i in 0..8 {
                 let byte = (w >> (8 * i)) & 0xff;

@@ -41,7 +41,7 @@ mod tests {
 
     #[test]
     fn prefetch_is_harmless_on_any_address() {
-        let v = vec![1u32, 2, 3];
+        let v = [1u32, 2, 3];
         prefetch_read(v.as_ptr());
         prefetch_read_l2(v.as_ptr());
         // Past-the-end and null: still just hints.

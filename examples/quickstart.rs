@@ -13,7 +13,10 @@ fn main() {
     let a = SegmentedSet::build(&[1, 4, 15, 21, 32, 34], &params).unwrap();
     let b = SegmentedSet::build(&[2, 6, 12, 16, 21, 23], &params).unwrap();
     println!("Example 1: A ∩ B = {:?}", fesia_core::intersect(&a, &b));
-    println!("           |A ∩ B| = {}", fesia_core::intersect_count(&a, &b));
+    println!(
+        "           |A ∩ B| = {}",
+        fesia_core::intersect_count(&a, &b)
+    );
 
     // --- A larger workload ----------------------------------------------
     let mut rng = SplitMix64::new(42);

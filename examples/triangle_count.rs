@@ -11,13 +11,19 @@ use fesia_graph::{barabasi_albert, count_with_method, FesiaGraph};
 
 fn main() {
     let (n, m_per_node) = (100_000, 8);
-    println!("Generating Barabási–Albert graph: {n} nodes, ~{} edges ...", n * m_per_node);
+    println!(
+        "Generating Barabási–Albert graph: {n} nodes, ~{} edges ...",
+        n * m_per_node
+    );
     let g = barabasi_albert(n, m_per_node, 1337);
     println!(
         "Graph: {} nodes, {} edges, max degree {}",
         g.num_nodes(),
         g.num_edges(),
-        (0..g.num_nodes() as u32).map(|v| g.degree(v)).max().unwrap()
+        (0..g.num_nodes() as u32)
+            .map(|v| g.degree(v))
+            .max()
+            .unwrap()
     );
 
     let oriented = g.orient_by_degree();
@@ -37,6 +43,11 @@ fn main() {
     }
     for threads in [1usize, 2, 4, 8] {
         let (tri, t) = fesia.count_triangles(&oriented, &table, threads);
-        println!("{:<28} {:>14} {:>12.2?}", format!("FESIA ({threads} threads)"), tri, t);
+        println!(
+            "{:<28} {:>14} {:>12.2?}",
+            format!("FESIA ({threads} threads)"),
+            tri,
+            t
+        );
     }
 }

@@ -9,6 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier1: cargo fmt --check =="
+cargo fmt --check
+
+echo "== tier1: cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tier1: cargo build --release =="
 cargo build --release
 

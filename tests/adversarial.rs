@@ -28,7 +28,11 @@ fn check_everyone(name: &str, a: &[u32], b: &[u32]) {
                 "{name}: FESIA {level}/s{stride}"
             );
         }
-        assert_eq!(fesia_core::auto_count(&sa, &sb), want, "{name}: auto {level}");
+        assert_eq!(
+            fesia_core::auto_count(&sa, &sb),
+            want,
+            "{name}: auto {level}"
+        );
         let got = fesia_core::intersect(&sa, &sb);
         assert_eq!(got.len(), want, "{name}: materialize {level}");
     }
@@ -73,7 +77,11 @@ fn hash_pileup_single_segment() {
     assert_eq!(sa.bitmap_bits(), 512, "floor bitmap expected");
     for level in SimdLevel::available_levels() {
         let t = KernelTable::new(level, 1);
-        assert_eq!(fesia_core::intersect_count_with(&sa, &sb, &t), want, "level={level}");
+        assert_eq!(
+            fesia_core::intersect_count_with(&sa, &sb, &t),
+            want,
+            "level={level}"
+        );
     }
 }
 

@@ -15,13 +15,13 @@ fn workload_grid() -> Vec<(usize, usize, usize)> {
         (0, 0, 0),
         (1, 1, 1),
         (1, 1, 0),
-        (100, 100, 0),          // selectivity 0
-        (1_000, 1_000, 10),     // selectivity 1%
-        (1_000, 1_000, 500),    // selectivity 50%
-        (1_000, 1_000, 1_000),  // identical sets
-        (1_000, 32_000, 100),   // skew 1/32
-        (7, 50_000, 3),         // extreme skew
-        (10_000, 10_000, 100),  // paper's headline regime
+        (100, 100, 0),         // selectivity 0
+        (1_000, 1_000, 10),    // selectivity 1%
+        (1_000, 1_000, 500),   // selectivity 50%
+        (1_000, 1_000, 1_000), // identical sets
+        (1_000, 32_000, 100),  // skew 1/32
+        (7, 50_000, 3),        // extreme skew
+        (10_000, 10_000, 100), // paper's headline regime
     ]
 }
 
@@ -33,7 +33,12 @@ fn all_baselines_agree_on_the_grid() {
         assert_eq!(reference_count(&a, &b), r);
         for m in Method::all() {
             assert_eq!(m.count(&a, &b), r, "{} on ({n1},{n2},{r})", m.name());
-            assert_eq!(m.count(&b, &a), r, "{} swapped on ({n1},{n2},{r})", m.name());
+            assert_eq!(
+                m.count(&b, &a),
+                r,
+                "{} swapped on ({n1},{n2},{r})",
+                m.name()
+            );
         }
     }
 }
@@ -81,11 +86,20 @@ fn density_workloads_agree() {
         let sets = ksets_with_density(2, 4_000, density, &mut rng);
         let want = reference_count(&sets[0], &sets[1]);
         for m in Method::all() {
-            assert_eq!(m.count(&sets[0], &sets[1]), want, "{} d={density}", m.name());
+            assert_eq!(
+                m.count(&sets[0], &sets[1]),
+                want,
+                "{} d={density}",
+                m.name()
+            );
         }
         let a = SegmentedSet::build(&sets[0], &params).unwrap();
         let b = SegmentedSet::build(&sets[1], &params).unwrap();
-        assert_eq!(fesia_core::intersect_count(&a, &b), want, "FESIA d={density}");
+        assert_eq!(
+            fesia_core::intersect_count(&a, &b),
+            want,
+            "FESIA d={density}"
+        );
     }
 }
 
@@ -101,8 +115,10 @@ fn kway_agreement_across_arities_and_methods() {
         for m in Method::all() {
             assert_eq!(m.kway_count(&refs), 37, "{} k={k}", m.name());
         }
-        let sets: Vec<SegmentedSet> =
-            lists.iter().map(|l| SegmentedSet::build(l, &params).unwrap()).collect();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &params).unwrap())
+            .collect();
         let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
         assert_eq!(fesia_core::kway_count(&set_refs), 37, "FESIA k={k}");
     }
@@ -119,16 +135,32 @@ fn skew_sweep_strategies_agree() {
         let want = reference_count(&small, &large);
         let a = SegmentedSet::build(&small, &params).unwrap();
         let b = SegmentedSet::build(&large, &params).unwrap();
-        assert_eq!(fesia_core::intersect_count(&a, &b), want, "merge skew 1/{}", 1 << shift);
+        assert_eq!(
+            fesia_core::intersect_count(&a, &b),
+            want,
+            "merge skew 1/{}",
+            1 << shift
+        );
         assert_eq!(
             fesia_core::hash_probe_count(&small, &b),
             want,
             "hash skew 1/{}",
             1 << shift
         );
-        assert_eq!(fesia_core::auto_count(&a, &b), want, "auto skew 1/{}", 1 << shift);
+        assert_eq!(
+            fesia_core::auto_count(&a, &b),
+            want,
+            "auto skew 1/{}",
+            1 << shift
+        );
         for m in Method::all() {
-            assert_eq!(m.count(&small, &large), want, "{} skew 1/{}", m.name(), 1 << shift);
+            assert_eq!(
+                m.count(&small, &large),
+                want,
+                "{} skew 1/{}",
+                m.name(),
+                1 << shift
+            );
         }
     }
 }

@@ -29,7 +29,11 @@ fn fixture(params: &FesiaParams) -> Vec<(SegmentedSet, SegmentedSet)> {
     let (_, b) = build(20_000, 400_000, 2, params);
     let (_, small) = build(700, 400_000, 3, params);
     let (_, large) = build(45_000, 400_000, 4, params);
-    assert_ne!(small.bitmap_bits(), large.bitmap_bits(), "need a folded pair");
+    assert_ne!(
+        small.bitmap_bits(),
+        large.bitmap_bits(),
+        "need a folded pair"
+    );
     vec![(a, b), (small, large)]
 }
 
@@ -66,13 +70,10 @@ fn batch_matches_serial_on_1_2_8_threads() {
         sets.push(b);
     }
     let k = sets.len() as u32;
-    let pairs: Vec<(u32, u32)> =
-        (0..k).flat_map(|i| (0..k).map(move |j| (i, j))).collect();
+    let pairs: Vec<(u32, u32)> = (0..k).flat_map(|i| (0..k).map(move |j| (i, j))).collect();
     let want: Vec<usize> = pairs
         .iter()
-        .map(|&(i, j)| {
-            fesia_core::auto_count_with(&sets[i as usize], &sets[j as usize], &table)
-        })
+        .map(|&(i, j)| fesia_core::auto_count_with(&sets[i as usize], &sets[j as usize], &table))
         .collect();
     for n in [1usize, 2, 8] {
         let exec = Executor::new(n);
@@ -105,5 +106,8 @@ fn parallel_paths_agree_under_both_pipeline_forms() {
         counts_per_form.push(counts);
     }
     set_pipeline_params(saved);
-    assert_eq!(counts_per_form[0], counts_per_form[1], "pipelined vs interleaved");
+    assert_eq!(
+        counts_per_form[0], counts_per_form[1],
+        "pipelined vs interleaved"
+    );
 }

@@ -3,13 +3,27 @@
 //! read out of bounds, and never produce a structurally invalid set —
 //! the decoder either returns `Err` or a set that passes `validate()`.
 
-use fesia_core::{FesiaParams, SegmentedSet};
+use fesia_core::{deserialize_many, serialize_many, FesiaParams, SegmentedSet};
 use fesia_datagen::{sorted_distinct, SplitMix64};
 
 fn sample(n: usize, seed: u64) -> Vec<u8> {
     let mut rng = SplitMix64::new(seed);
     let v = sorted_distinct(n, 1 << 22, &mut rng);
-    SegmentedSet::build(&v, &FesiaParams::auto()).unwrap().serialize()
+    SegmentedSet::build(&v, &FesiaParams::auto())
+        .unwrap()
+        .serialize()
+}
+
+fn sample_many(sizes: &[usize], seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let sets: Vec<SegmentedSet> = sizes
+        .iter()
+        .map(|&n| {
+            let v = sorted_distinct(n, 1 << 22, &mut rng);
+            SegmentedSet::build(&v, &FesiaParams::auto()).unwrap()
+        })
+        .collect();
+    serialize_many(&sets)
 }
 
 #[test]
@@ -27,7 +41,10 @@ fn single_byte_flips_never_panic() {
             match SegmentedSet::deserialize(&m) {
                 Err(_) => {}
                 Ok((set, used)) => {
-                    assert!(set.validate(), "pos={pos} flip={flip:#x} decoded invalid set");
+                    assert!(
+                        set.validate(),
+                        "pos={pos} flip={flip:#x} decoded invalid set"
+                    );
                     assert!(used <= m.len());
                 }
             }
@@ -79,7 +96,14 @@ fn garbage_with_valid_magic_never_panics() {
 fn length_field_attacks_are_contained() {
     // Declare absurd n / log2_m values and ensure bounds hold.
     let bytes = sample(100, 13);
-    for (pos, val) in [(6usize, 40u8), (6, 0), (7, 0xFF), (14, 0xFF), (5, 12), (5, 0)] {
+    for (pos, val) in [
+        (6usize, 40u8),
+        (6, 0),
+        (7, 0xFF),
+        (14, 0xFF),
+        (5, 12),
+        (5, 0),
+    ] {
         let mut m = bytes.clone();
         m[pos] = val;
         match SegmentedSet::deserialize(&m) {
@@ -87,6 +111,103 @@ fn length_field_attacks_are_contained() {
             Ok((set, _)) => assert!(set.validate(), "pos={pos} val={val}"),
         }
     }
+}
+
+/// The 8-byte count field of a `serialize_many` buffer is attacker
+/// controlled: any value — including ones that would ask
+/// `Vec::with_capacity` for petabytes — must yield `Err` or a short,
+/// valid prefix of sets, never a panic or an abort-sized allocation.
+#[test]
+fn many_header_count_attacks_are_contained() {
+    let bytes = sample_many(&[200, 300], 19);
+    let attacks: [u64; 9] = [
+        0,
+        1,
+        2,
+        3,
+        1_000,
+        u32::MAX as u64,
+        u64::MAX / 15,
+        u64::MAX / 2,
+        u64::MAX,
+    ];
+    for count in attacks {
+        let mut m = bytes.clone();
+        m[..8].copy_from_slice(&count.to_le_bytes());
+        match deserialize_many(&m) {
+            Err(_) => {}
+            Ok(sets) => {
+                assert!(
+                    sets.len() <= 2,
+                    "count={count}: more sets than the buffer holds"
+                );
+                assert_eq!(sets.len() as u64, count, "count={count}");
+                for s in &sets {
+                    assert!(s.validate(), "count={count}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn many_truncations_never_panic() {
+    let bytes = sample_many(&[120, 80, 250], 23);
+    // Every prefix, including cuts through the count field, the headers,
+    // and mid-set bodies.
+    for cut in 0..bytes.len() {
+        match deserialize_many(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(sets) => {
+                for s in &sets {
+                    assert!(s.validate(), "cut={cut}");
+                }
+            }
+        }
+    }
+    // The untruncated buffer round-trips.
+    assert_eq!(deserialize_many(&bytes).unwrap().len(), 3);
+}
+
+#[test]
+fn many_byte_flips_never_panic() {
+    let bytes = sample_many(&[150, 150], 29);
+    let mut rng = SplitMix64::new(31);
+    // Exhaustive over the count field and both per-set header regions'
+    // first bytes, sampled over the rest of the concatenated buffer.
+    let positions: Vec<usize> = (0..32.min(bytes.len()))
+        .chain((0..600).map(|_| rng.below(bytes.len() as u64) as usize))
+        .collect();
+    for pos in positions {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut m = bytes.clone();
+            m[pos] ^= flip;
+            match deserialize_many(&m) {
+                Err(_) => {}
+                Ok(sets) => {
+                    for s in &sets {
+                        assert!(s.validate(), "pos={pos} flip={flip:#x}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn many_round_trips_including_empty() {
+    // Zero sets, one empty set, and a mix — all must round-trip exactly.
+    assert!(deserialize_many(&serialize_many(&[])).unwrap().is_empty());
+    let p = FesiaParams::auto();
+    let sets = vec![
+        SegmentedSet::build(&[], &p).unwrap(),
+        SegmentedSet::build(&[1, 2, 3], &p).unwrap(),
+    ];
+    let back = deserialize_many(&serialize_many(&sets)).unwrap();
+    assert_eq!(back.len(), 2);
+    assert_eq!(back[0].len(), 0);
+    assert_eq!(back[1].len(), 3);
+    assert!(back[1].contains(2));
 }
 
 #[test]
@@ -105,8 +226,14 @@ fn decoded_sets_behave_identically_to_originals() {
         fesia_core::intersect_count(&a, &b),
         fesia_core::intersect_count(&a0, &b0)
     );
-    assert_eq!(fesia_core::intersect(&a, &b), fesia_core::intersect(&a0, &b0));
-    assert_eq!(fesia_core::auto_count(&a, &b), fesia_core::auto_count(&a0, &b0));
+    assert_eq!(
+        fesia_core::intersect(&a, &b),
+        fesia_core::intersect(&a0, &b0)
+    );
+    assert_eq!(
+        fesia_core::auto_count(&a, &b),
+        fesia_core::auto_count(&a0, &b0)
+    );
     assert_eq!(
         fesia_core::kway_count(&[&a, &b, &a0]),
         fesia_core::kway_count(&[&a0, &b0, &a0])

@@ -67,7 +67,11 @@ fn fesia_counts_the_reference() {
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
         assert_eq!(fesia_core::intersect_count(&sa, &sb), want, "seed={seed}");
-        assert_eq!(fesia_core::intersect(&sa, &sb), reference(&a, &b), "seed={seed}");
+        assert_eq!(
+            fesia_core::intersect(&sa, &sb),
+            reference(&a, &b),
+            "seed={seed}"
+        );
         assert_eq!(fesia_core::auto_count(&sa, &sb), want, "seed={seed}");
         assert_eq!(fesia_core::hash_probe_count(&a, &sb), want, "seed={seed}");
     }
@@ -110,7 +114,11 @@ fn intersection_is_commutative_and_bounded() {
         assert_eq!(ab, ba, "seed={seed}");
         assert!(ab <= a.len().min(b.len()), "seed={seed}");
         // Self-intersection is identity.
-        assert_eq!(fesia_core::intersect_count(&sa, &sa), a.len(), "seed={seed}");
+        assert_eq!(
+            fesia_core::intersect_count(&sa, &sa),
+            a.len(),
+            "seed={seed}"
+        );
     }
 }
 
@@ -147,9 +155,18 @@ fn kway_equals_iterated_pairwise() {
         let sa = SegmentedSet::build(&a, &params).unwrap();
         let sb = SegmentedSet::build(&b, &params).unwrap();
         let sc = SegmentedSet::build(&c, &params).unwrap();
-        assert_eq!(fesia_core::kway_count(&[&sa, &sb, &sc]), want, "seed={seed}");
+        assert_eq!(
+            fesia_core::kway_count(&[&sa, &sb, &sc]),
+            want,
+            "seed={seed}"
+        );
         for m in Method::all() {
-            assert_eq!(m.kway_count(&[&a, &b, &c]), want, "seed={seed} method={}", m.name());
+            assert_eq!(
+                m.kway_count(&[&a, &b, &c]),
+                want,
+                "seed={seed} method={}",
+                m.name()
+            );
         }
     }
 }
@@ -199,7 +216,11 @@ fn serialization_round_trips() {
         let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
         assert_eq!(used, bytes.len(), "seed={seed}");
         assert!(back.validate(), "seed={seed}");
-        assert_eq!(back.reordered_elements(), s.reordered_elements(), "seed={seed}");
+        assert_eq!(
+            back.reordered_elements(),
+            s.reordered_elements(),
+            "seed={seed}"
+        );
         assert_eq!(back.bitmap_bytes(), s.bitmap_bytes(), "seed={seed}");
     }
 }
@@ -225,7 +246,11 @@ fn u64_sets_count_the_reference() {
         let params = FesiaParams::auto();
         let sa = Fesia64Set::build(&av, &params).unwrap();
         let sb = Fesia64Set::build(&bv, &params).unwrap();
-        assert_eq!(intersect_count64(&sa, &sb), want, "seed={seed} shift={shift}");
+        assert_eq!(
+            intersect_count64(&sa, &sb),
+            want,
+            "seed={seed} shift={shift}"
+        );
     }
 }
 
@@ -265,7 +290,11 @@ fn breakdown_count_matches_fused() {
         let sb = SegmentedSet::build(&b, &params).unwrap();
         let table = KernelTable::auto();
         let bd = fesia_core::intersect_count_breakdown(&sa, &sb, &table);
-        assert_eq!(bd.count, fesia_core::intersect_count_with(&sa, &sb, &table), "seed={seed}");
+        assert_eq!(
+            bd.count,
+            fesia_core::intersect_count_with(&sa, &sb, &table),
+            "seed={seed}"
+        );
         // Every true match lives in a surviving segment.
         assert!(bd.count == 0 || bd.matched_segments > 0, "seed={seed}");
     }

@@ -11,7 +11,12 @@ fn regimes() -> Vec<(Vec<u32>, Vec<u32>)> {
     let mut rng = SplitMix64::new(0x51D);
     let mut out = Vec::new();
     // Controlled-overlap pairs across sizes.
-    for (n, r) in [(64usize, 8usize), (1_000, 10), (10_000, 100), (10_000, 5_000)] {
+    for (n, r) in [
+        (64usize, 8usize),
+        (1_000, 10),
+        (10_000, 100),
+        (10_000, 5_000),
+    ] {
         out.push(pair_with_intersection(n, n, r, &mut rng));
     }
     // Dense universes (heavy per-segment collisions).
