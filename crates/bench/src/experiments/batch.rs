@@ -166,7 +166,7 @@ pub fn run(scale: Scale) -> String {
     });
     assert_eq!(got1, want1, "single-pair forms disagreed");
 
-    let n_big = PipelineParams::default().min_elements / 2;
+    let n_big = 1usize << 21; // fixed memory-bound size, decoupled from the knob
     let universe_big = (n_big as u32).saturating_mul(8);
     let big_a =
         SegmentedSet::build(&sorted_distinct(n_big, universe_big, &mut rng), &params).unwrap();
@@ -183,6 +183,58 @@ pub fn run(scale: Scale) -> String {
         big_got, big_want,
         "memory-bound single-pair forms disagreed"
     );
+
+    // Crossover sweep: the smallest per-side size where the pipelined
+    // form stops losing to the interleaved scan. This is the measurement
+    // behind `PipelineParams::min_elements`; the dispatcher's default
+    // should sit at or above the observed crossover.
+    let sweep_sizes: &[usize] = match scale {
+        Scale::Smoke => &[2_048, 8_192, 32_768],
+        _ => &[2_048, 8_192, 32_768, 131_072, 524_288],
+    };
+    let mut sweep_rows = Vec::new();
+    let mut sweep_md = Table::new(vec![
+        "elements/side",
+        "interleaved (cycles)",
+        "pipelined (cycles)",
+        "pipelined/interleaved",
+    ]);
+    let mut crossover: Option<usize> = None;
+    for &sz in sweep_sizes {
+        let u = (sz as u32).saturating_mul(8);
+        let ca = SegmentedSet::build(&sorted_distinct(sz, u, &mut rng), &params).unwrap();
+        let cb = SegmentedSet::build(&sorted_distinct(sz, u, &mut rng), &params).unwrap();
+        let sweep_reps = if sz >= 1 << 17 {
+            reps.clamp(1, 3)
+        } else {
+            reps * 3
+        };
+        let (ic, iw) = measure_cycles(sweep_reps, || {
+            intersect_count_interleaved_with(&ca, &cb, &table)
+        });
+        let (pc, pw) = measure_cycles(sweep_reps, || {
+            intersect_count_pipelined_with(&ca, &cb, &table, &mut scratch, dist)
+        });
+        assert_eq!(pw, iw, "crossover sweep forms disagreed at {sz}");
+        let ratio = pc as f64 / ic.max(1) as f64;
+        if crossover.is_none() && ratio <= 1.0 {
+            crossover = Some(sz);
+        }
+        sweep_md.row(vec![
+            sz.to_string(),
+            ic.to_string(),
+            pc.to_string(),
+            f2(ratio),
+        ]);
+        sweep_rows.push(format!(
+            "    {{\"elements\": {sz}, \"interleaved_cycles\": {ic}, \"pipelined_cycles\": {pc}}}"
+        ));
+    }
+    let crossover_json = match crossover {
+        Some(sz) => sz.to_string(),
+        None => "null".to_string(),
+    };
+    let min_elements_default = PipelineParams::default().min_elements;
     set_pipeline_params(saved);
 
     let metrics_field = match metrics_before {
@@ -199,9 +251,12 @@ pub fn run(scale: Scale) -> String {
          \"prefetch_distance\": {dist}, \"default_dispatch\": \"interleaved\"}},\n  \
          \"single_pair_memory_bound\": {{\"elements\": {n_big}, \
          \"pipelined_cycles\": {big_pipe_c}, \"interleaved_cycles\": {big_inter_c}, \
-         \"prefetch_distance\": {dist}, \"default_dispatch\": \"pipelined\"}}{metrics_field}\n}}\n",
+         \"prefetch_distance\": {dist}, \"default_dispatch\": \"pipelined\"}},\n  \
+         \"crossover\": {{\"observed_elements\": {crossover_json}, \
+         \"default_min_elements\": {min_elements_default}, \"rows\": [\n{}\n  ]}}{metrics_field}\n}}\n",
         pairs.len(),
         json_rows.join(",\n"),
+        sweep_rows.join(",\n"),
     );
     let json_path = "BENCH_batch.json";
     if let Err(e) = std::fs::write(json_path, &json) {
@@ -215,8 +270,14 @@ pub fn run(scale: Scale) -> String {
          Single pair, cache-resident ({n} x {n}; default dispatch is interleaved at this\n\
          size): pipelined {pipe_c} cycles vs interleaved {inter_c} cycles (distance {dist}).\n\
          Single pair, memory-bound ({n_big} x {n_big}; default dispatch is pipelined):\n\
-         pipelined {big_pipe_c} cycles vs interleaved {big_inter_c} cycles.\n",
+         pipelined {big_pipe_c} cycles vs interleaved {big_inter_c} cycles.\n\n\
+         Pipelined/interleaved crossover sweep (dispatcher floor is\n\
+         min_elements = {min_elements_default}; observed crossover: {}):\n\n{}",
         pairs.len(),
-        t.render()
+        t.render(),
+        crossover
+            .map(|sz| format!("{sz} elements/side"))
+            .unwrap_or_else(|| "not reached in sweep".to_string()),
+        sweep_md.render()
     )
 }

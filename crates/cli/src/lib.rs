@@ -149,6 +149,20 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         out,
         "populated segs:  {populated} (max population {max_pop})"
     )?;
+    writeln!(
+        out,
+        "summary blocks:  {} ({:.1}% populated)",
+        set.summary_blocks(),
+        set.summary_density() * 100.0
+    )?;
+    // What the auto-selector would do for this set intersected with an
+    // equally-shaped partner under the process-wide prune knobs.
+    let decision = if fesia_core::should_prune(&set, &set, &fesia_core::prune_params()) {
+        "pruned (summary AND first)"
+    } else {
+        "plain scan (too small or too dense to prune)"
+    };
+    writeln!(out, "step-1 vs self:  {decision}")?;
     Ok(())
 }
 
@@ -359,6 +373,9 @@ mod tests {
         run(&s(&["info", &fa]), &mut out).unwrap();
         let info = String::from_utf8_lossy(&out);
         assert!(info.contains("elements:        6"), "{info}");
+        assert!(info.contains("summary blocks:  1"), "{info}");
+        // A 512-bit bitmap is far below the prune floor.
+        assert!(info.contains("plain scan"), "{info}");
 
         for method in ["fesia", "auto", "hash", "scalar", "shuffling", "galloping"] {
             let mut out = Vec::new();

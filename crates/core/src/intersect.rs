@@ -2,9 +2,12 @@
 //! strategy selection for skewed inputs (§VI).
 
 use crate::kernels::KernelTable;
-use crate::params::PipelineParams;
+use crate::params::{PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
-use fesia_simd::mask::{for_each_nonzero_lane, for_each_nonzero_lane_folded};
+use fesia_simd::mask::{
+    for_each_nonzero_lane, for_each_nonzero_lane_folded, for_each_nonzero_lane_folded_pruned,
+    for_each_nonzero_lane_pruned, PruneStats,
+};
 use fesia_simd::prefetch::prefetch_read;
 use fesia_simd::timer::CycleTimer;
 use std::cell::RefCell;
@@ -19,7 +22,7 @@ pub(crate) fn default_table() -> &'static KernelTable {
 
 static PIPE_ENABLED: AtomicBool = AtomicBool::new(true);
 static PIPE_DISTANCE: AtomicUsize = AtomicUsize::new(8);
-static PIPE_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 22);
+static PIPE_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 16);
 static PIPE_INIT: OnceLock<()> = OnceLock::new();
 
 fn ensure_pipeline_init() {
@@ -51,8 +54,55 @@ pub fn set_pipeline_params(p: PipelineParams) {
     PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
 }
 
+/// `PruneParams::forced` packed into one atomic: 0 = auto (`None`),
+/// 1 = forced on, 2 = forced off.
+static PRUNE_MODE: AtomicUsize = AtomicUsize::new(0);
+static PRUNE_MIN_BYTES: AtomicUsize = AtomicUsize::new(1 << 22);
+static PRUNE_MAX_SURVIVOR: AtomicUsize = AtomicUsize::new(60);
+static PRUNE_INIT: OnceLock<()> = OnceLock::new();
+
+fn prune_mode_encode(forced: Option<bool>) -> usize {
+    match forced {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    }
+}
+
+fn ensure_prune_init() {
+    PRUNE_INIT.get_or_init(|| {
+        let p = PruneParams::from_env();
+        PRUNE_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
+        PRUNE_MIN_BYTES.store(p.min_bitmap_bytes, Ordering::Relaxed);
+        PRUNE_MAX_SURVIVOR.store(p.max_survivor_pct as usize, Ordering::Relaxed);
+    });
+}
+
+/// The process-wide [`PruneParams`] governing [`intersect_count_with`]'s
+/// choice between the plain and summary-pruned step-1 scans.
+pub fn prune_params() -> PruneParams {
+    ensure_prune_init();
+    PruneParams {
+        forced: match PRUNE_MODE.load(Ordering::Relaxed) {
+            1 => Some(true),
+            2 => Some(false),
+            _ => None,
+        },
+        min_bitmap_bytes: PRUNE_MIN_BYTES.load(Ordering::Relaxed),
+        max_survivor_pct: PRUNE_MAX_SURVIVOR.load(Ordering::Relaxed) as u32,
+    }
+}
+
+/// Replace the process-wide [`PruneParams`].
+pub fn set_prune_params(p: PruneParams) {
+    ensure_prune_init();
+    PRUNE_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
+    PRUNE_MIN_BYTES.store(p.min_bitmap_bytes, Ordering::Relaxed);
+    PRUNE_MAX_SURVIVOR.store(p.max_survivor_pct as usize, Ordering::Relaxed);
+}
+
 thread_local! {
-    /// Per-thread survivor buffer reused across every pipelined
+    /// Per-thread survivor buffer reused across every pipelined or pruned
     /// intersection this thread runs — the batch layer gets cross-pair
     /// reuse for free because a pool worker keeps its thread alive.
     static PIPELINE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
@@ -78,11 +128,33 @@ fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
 /// prefetch, then swept) is governed by the process-wide
 /// [`pipeline_params`] knob: pipelined when enabled *and* the combined
 /// input size reaches `min_elements` (below that the data is
-/// cache-resident and prefetch hints only cost issue slots). Both forms
-/// count identically.
+/// cache-resident and prefetch hints only cost issue slots). When the
+/// pair is large and sparse enough for [`crate::tuning::should_prune`]
+/// (under the process-wide [`prune_params`]), phase 1 instead runs the
+/// summary-pruned scan ([`intersect_count_pruned_with`]), skipping
+/// full-bitmap blocks whose summary bits do not overlap. All forms count
+/// identically.
 pub fn intersect_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
     let p = pipeline_params();
     let m = fesia_obs::metrics();
+    if crate::tuning::should_prune(a, b, &prune_params()) {
+        return PIPELINE_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            if scratch.capacity() != 0 {
+                m.scratch_reused.inc();
+            }
+            let sampled = m.intersect_pruned.inc() & fesia_obs::SAMPLE_MASK == 0;
+            let timer = sampled.then(CycleTimer::start);
+            let (n, stats) =
+                intersect_count_pruned_with(a, b, table, &mut scratch, p.prefetch_distance);
+            m.survivor_segments.add(scratch.len() as u64);
+            m.summary_blocks_skipped.add(stats.skipped() as u64);
+            if let Some(t) = timer {
+                m.intersect_cycles.record(t.elapsed_cycles());
+            }
+            n
+        });
+    }
     if p.enabled && a.len() + b.len() >= p.min_elements {
         PIPELINE_SCRATCH.with(|s| {
             let mut scratch = s.borrow_mut();
@@ -279,6 +351,132 @@ pub fn intersect_count_pipelined_with(
     count as usize
 }
 
+/// [`intersect_count_with`] in the summary-pruned form, with an explicit
+/// survivor buffer; returns the count and the block-level
+/// [`PruneStats`] (how many 512-bit bitmap blocks the summary AND let
+/// the scan skip).
+///
+/// Phase 1 first ANDs the one-bit-per-block summaries and only scans the
+/// full-bitmap blocks whose summary bits overlap (prefetching upcoming
+/// survivor blocks, see `fesia_simd::mask`), pushing surviving segment
+/// indices into `scratch`; phase 2 is the same prefetched sweep as
+/// [`intersect_count_pipelined_with`]. On sparse pairs this never
+/// streams the dead majority of either bitmap; on dense pairs it
+/// degenerates to the plain scan plus the summary pass, which is why
+/// the dispatcher gates it behind [`crate::tuning::should_prune`].
+///
+/// Counts are always identical to [`intersect_count_interleaved_with`].
+pub fn intersect_count_pruned_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    scratch: &mut Vec<u32>,
+    prefetch_distance: usize,
+) -> (usize, PruneStats) {
+    check_compatible(a, b);
+    let level = table.level();
+    let lane = a.lane();
+    scratch.clear();
+    let mut count = 0u64;
+    let stats;
+    if a.bitmap_bits() == b.bitmap_bits() {
+        stats = for_each_nonzero_lane_pruned(
+            level,
+            lane,
+            a.bitmap_bytes(),
+            b.bitmap_bytes(),
+            a.summary_words(),
+            b.summary_words(),
+            |i| {
+                if scratch.len() < prefetch_distance {
+                    prefetch_read(a.seg_ptr(i));
+                    prefetch_read(b.seg_ptr(i));
+                }
+                scratch.push(i as u32);
+            },
+        );
+        let steady = if prefetch_distance == 0 {
+            0
+        } else {
+            scratch.len().saturating_sub(prefetch_distance)
+        };
+        for k in 0..steady {
+            let ahead = scratch[k + prefetch_distance] as usize;
+            prefetch_read(a.seg_ptr(ahead));
+            prefetch_read(b.seg_ptr(ahead));
+            let i = scratch[k] as usize;
+            // SAFETY: as in the interleaved form.
+            count +=
+                unsafe { table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i)) }
+                    as u64;
+        }
+        for &si in &scratch[steady..] {
+            let i = si as usize;
+            // SAFETY: as in the interleaved form.
+            count +=
+                unsafe { table.count(a.seg_ptr(i), a.seg_size(i), b.seg_ptr(i), b.seg_size(i)) }
+                    as u64;
+        }
+    } else {
+        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let seg_mask = small.num_segments() - 1;
+        stats = for_each_nonzero_lane_folded_pruned(
+            level,
+            lane,
+            large.bitmap_bytes(),
+            small.bitmap_bytes(),
+            large.summary_words(),
+            small.summary_words(),
+            |i| {
+                if scratch.len() < prefetch_distance {
+                    prefetch_read(large.seg_ptr(i));
+                    prefetch_read(small.seg_ptr(i & seg_mask));
+                }
+                scratch.push(i as u32);
+            },
+        );
+        let steady = if prefetch_distance == 0 {
+            0
+        } else {
+            scratch.len().saturating_sub(prefetch_distance)
+        };
+        for k in 0..steady {
+            let ahead = scratch[k + prefetch_distance] as usize;
+            prefetch_read(large.seg_ptr(ahead));
+            prefetch_read(small.seg_ptr(ahead & seg_mask));
+            let i = scratch[k] as usize;
+            let j = i & seg_mask;
+            // SAFETY: as in the interleaved form (folded contract).
+            count += unsafe {
+                table.count_folded(
+                    large.seg_ptr(i),
+                    large.seg_size(i),
+                    small.seg_ptr(j),
+                    small.seg_size(j),
+                )
+            } as u64;
+        }
+        for &si in &scratch[steady..] {
+            let i = si as usize;
+            let j = i & seg_mask;
+            // SAFETY: as in the interleaved form (folded contract).
+            count += unsafe {
+                table.count_folded(
+                    large.seg_ptr(i),
+                    large.seg_size(i),
+                    small.seg_ptr(j),
+                    small.seg_size(j),
+                )
+            } as u64;
+        }
+    }
+    (count as usize, stats)
+}
+
 /// |A ∩ B| with the process-default kernel table (widest available ISA).
 ///
 /// ```
@@ -449,6 +647,77 @@ pub fn intersect_count_breakdown(
         matched_segments: pairs.len(),
         count: count as usize,
     }
+}
+
+/// [`intersect_count_breakdown`] with the summary-pruned phase 1; also
+/// returns the block-level [`PruneStats`]. Used by the `repro prune`
+/// experiment to time step 1 with and without pruning on the same pair.
+pub fn intersect_count_breakdown_pruned(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+) -> (Breakdown, PruneStats) {
+    check_compatible(a, b);
+    let level = table.level();
+    let lane = a.lane();
+    let folded = a.bitmap_bits() != b.bitmap_bits();
+    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+
+    let t1 = CycleTimer::start();
+    let mut pairs: Vec<u32> = Vec::new();
+    let stats = if folded {
+        for_each_nonzero_lane_folded_pruned(
+            level,
+            lane,
+            x.bitmap_bytes(),
+            y.bitmap_bytes(),
+            x.summary_words(),
+            y.summary_words(),
+            |i| pairs.push(i as u32),
+        )
+    } else {
+        for_each_nonzero_lane_pruned(
+            level,
+            lane,
+            x.bitmap_bytes(),
+            y.bitmap_bytes(),
+            x.summary_words(),
+            y.summary_words(),
+            |i| pairs.push(i as u32),
+        )
+    };
+    let step1_cycles = t1.elapsed_cycles();
+
+    let seg_mask = y.num_segments() - 1;
+    let t2 = CycleTimer::start();
+    let mut count = 0u64;
+    for &i in &pairs {
+        let i = i as usize;
+        let j = if folded { i & seg_mask } else { i };
+        // SAFETY: as in `intersect_count_with`.
+        count += unsafe {
+            if folded {
+                table.count_folded(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
+            } else {
+                table.count(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
+            }
+        } as u64;
+    }
+    let step2_cycles = t2.elapsed_cycles();
+
+    (
+        Breakdown {
+            step1_cycles,
+            step2_cycles,
+            matched_segments: pairs.len(),
+            count: count as usize,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -732,5 +1001,116 @@ mod tests {
         let b = SegmentedSet::build(&[1, 2], &FesiaParams::auto().with_segment(LaneWidth::U16))
             .unwrap();
         let _ = intersect_count(&a, &b);
+    }
+
+    /// Satellite 3: the pruned step 1 must count identically to the
+    /// unpruned scan on random, folded, dense-collision, disjoint, and
+    /// identical inputs — across every available SIMD level, both
+    /// segment widths, and all kernel strides.
+    #[test]
+    fn pruned_equals_unpruned_across_levels_and_strides() {
+        use fesia_simd::mask::LaneWidth;
+        let random_a = gen_sorted(5_000, 42, 100_000);
+        let random_b = gen_sorted(5_000, 99, 100_000);
+        let identical = gen_sorted(2_000, 7, 50_000);
+        let disjoint_a: Vec<u32> = (0..2_000u32).map(|i| i * 2).collect();
+        let disjoint_b: Vec<u32> = (0..2_000u32).map(|i| i * 2 + 1).collect();
+        // (bits_per_element override, a, b) — None keeps the level default.
+        let cases: Vec<(Option<f64>, &[u32], &[u32])> = vec![
+            (None, &random_a, &random_b),
+            // Folded: very different sizes -> different bitmap sizes.
+            (None, &identical, &random_a),
+            // Dense collisions: coarse bitmap packs many elements per lane.
+            (Some(0.5), &random_a, &random_b),
+            // Sparse: oversized bitmaps, where pruning actually skips.
+            (Some(64.0), &random_a, &random_b),
+            (None, &disjoint_a, &disjoint_b),
+            (None, &identical, &identical),
+            (None, &[], &random_a),
+        ];
+        let mut scratch = Vec::new();
+        for level in SimdLevel::available_levels() {
+            for lane in [LaneWidth::U8, LaneWidth::U16] {
+                for (bits, av, bv) in &cases {
+                    let mut p = FesiaParams::for_level(level).with_segment(lane);
+                    if let Some(bits) = bits {
+                        p = p.with_bits_per_element(*bits);
+                    }
+                    let a = SegmentedSet::build(av, &p).unwrap();
+                    let b = SegmentedSet::build(bv, &p).unwrap();
+                    for stride in [1usize, 2, 4, 8] {
+                        let table = KernelTable::new(level, stride);
+                        let want = intersect_count_interleaved_with(&a, &b, &table);
+                        assert_eq!(want, reference(av, bv).len());
+                        for dist in [0usize, 8] {
+                            let (got, stats) =
+                                intersect_count_pruned_with(&a, &b, &table, &mut scratch, dist);
+                            assert_eq!(
+                                got, want,
+                                "level={level} lane={lane:?} stride={stride} dist={dist}"
+                            );
+                            assert!(stats.visited <= stats.blocks);
+                            let (swapped, _) =
+                                intersect_count_pruned_with(&b, &a, &table, &mut scratch, dist);
+                            assert_eq!(swapped, want);
+                        }
+                        let (bd, stats) = intersect_count_breakdown_pruned(&a, &b, &table);
+                        assert_eq!(bd.count, want);
+                        assert_eq!(bd.matched_segments, scratch.len());
+                        assert_eq!(stats.skipped(), stats.blocks - stats.visited);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_scan_skips_blocks_on_sparse_disjoint_inputs() {
+        // 512 bits/element spreads ~2k elements over a 2^20-bit bitmap:
+        // most summary bits are clear, so disjoint halves of the hash
+        // space must leave blocks unvisited.
+        let av = gen_sorted(2_000, 3, 1 << 30);
+        let bv = gen_sorted(2_000, 5, 1 << 30);
+        let p = FesiaParams::auto().with_bits_per_element(512.0);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let table = KernelTable::auto();
+        let mut scratch = Vec::new();
+        let (got, stats) = intersect_count_pruned_with(&a, &b, &table, &mut scratch, 8);
+        assert_eq!(got, intersect_count_interleaved_with(&a, &b, &table));
+        assert!(
+            stats.skipped() > stats.blocks / 4,
+            "sparse pair should skip a sizable fraction: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn prune_knob_round_trips_and_dispatch_is_equivalent() {
+        let p = FesiaParams::auto().with_bits_per_element(64.0);
+        let av = gen_sorted(2_000, 71, 40_000);
+        let bv = gen_sorted(2_000, 73, 40_000);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        let table = KernelTable::auto();
+        let saved = prune_params();
+        let want = intersect_count_interleaved_with(&a, &b, &table);
+        let before = fesia_obs::metrics().snapshot();
+        set_prune_params(PruneParams::default().with_forced(Some(true)));
+        assert_eq!(prune_params().forced, Some(true));
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        let delta = fesia_obs::metrics().snapshot().delta(&before);
+        assert!(delta.intersect_pruned >= 1);
+        set_prune_params(PruneParams::default().with_forced(Some(false)));
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_prune_params(
+            PruneParams::default()
+                .with_min_bitmap_bytes(7)
+                .with_max_survivor_pct(33),
+        );
+        assert_eq!(prune_params().forced, None);
+        assert_eq!(prune_params().min_bitmap_bytes, 7);
+        assert_eq!(prune_params().max_survivor_pct, 33);
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_prune_params(saved);
     }
 }

@@ -5,11 +5,18 @@
 //! worked Example 1 (`h(x) = x mod 12`, `m = 12`, `s = 4`), which our tests
 //! reproduce bit for bit.
 
-/// The four arrays of Fig. 1, before SIMD padding is applied.
+use fesia_simd::mask::build_block_summary;
+
+/// The four arrays of Fig. 1, before SIMD padding is applied, plus the
+/// summary level of the two-level bitmap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Layout {
     /// `m`-bit bitmap, LSB-first within each byte; `ceil(m/8)` bytes.
     pub bitmap: Vec<u8>,
+    /// One bit per 512-bit block of `bitmap` (LSB-first within each
+    /// word), set iff the block holds any set bit — the coarse level the
+    /// pruned step-1 scan ANDs before touching the bitmap itself.
+    pub summary: Vec<u64>,
     /// Number of elements mapped into each segment (`m / s` entries).
     pub seg_sizes: Vec<u32>,
     /// Start of each segment's run in `reordered`; has `m / s + 1` entries,
@@ -84,8 +91,10 @@ pub fn build_layout<H: Fn(u32) -> usize>(
         cursors[seg] += 1;
     }
 
+    let summary = build_block_summary(&bitmap);
     Layout {
         bitmap,
+        summary,
         seg_sizes,
         seg_offsets,
         reordered,
@@ -103,7 +112,8 @@ impl Layout {
     /// Check internal consistency; used by tests and `debug_assert`s.
     pub fn validate(&self, n: usize) -> bool {
         let segs = self.seg_sizes.len();
-        self.seg_offsets.len() == segs + 1
+        self.summary == build_block_summary(&self.bitmap)
+            && self.seg_offsets.len() == segs + 1
             && self.seg_offsets[0] == 0
             && *self.seg_offsets.last().unwrap() as usize == n
             && self.reordered.len() == n
@@ -129,6 +139,8 @@ mod tests {
         assert_eq!(l.seg_sizes, vec![2, 1, 3]);
         assert_eq!(l.seg_offsets, vec![0, 2, 3, 6]);
         assert_eq!(l.reordered, vec![1, 15, 4, 21, 32, 34]);
+        // Two bitmap bytes -> one (populated) summary block.
+        assert_eq!(l.summary, vec![1]);
         assert!(l.validate(6));
     }
 
@@ -181,6 +193,7 @@ mod tests {
     fn empty_set_layout() {
         let l = build_layout(&[], 64, 8, |x| (x % 64) as usize);
         assert!(l.bitmap.iter().all(|&b| b == 0));
+        assert_eq!(l.summary, vec![0]);
         assert!(l.seg_sizes.iter().all(|&s| s == 0));
         assert!(l.reordered.is_empty());
         assert!(l.validate(0));

@@ -53,17 +53,18 @@ pub use dynamic::{dynamic_intersect_count, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
     auto_count, auto_count_with, hash_probe_count, intersect, intersect_count,
-    intersect_count_breakdown, intersect_count_interleaved_with, intersect_count_pipelined_with,
-    intersect_count_with, pipeline_params, set_pipeline_params, Breakdown,
+    intersect_count_breakdown, intersect_count_breakdown_pruned, intersect_count_interleaved_with,
+    intersect_count_pipelined_with, intersect_count_pruned_with, intersect_count_with,
+    pipeline_params, prune_params, set_pipeline_params, set_prune_params, Breakdown,
 };
 pub use kernels::KernelTable;
 pub use kway::{kway_count, kway_count_with, kway_intersect, kway_intersect_with};
 pub use parallel::{par_intersect_count, par_intersect_count_on, par_intersect_count_with};
-pub use params::{FesiaParams, PipelineParams};
+pub use params::{FesiaParams, PipelineParams, PruneParams};
 pub use serialize::{deserialize_many, serialize_many, DecodeError};
 pub use set::SegmentedSet;
 pub use stats::{bit_collision_rate, filter_stats, survivor_segments, FilterStats, SegmentStats};
-pub use tuning::{tune, tune_grid, tune_pipeline, TuneResult};
+pub use tuning::{should_prune, tune, tune_grid, tune_pipeline, TuneResult};
 pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};
 
 pub use fesia_simd::mask::LaneWidth;

@@ -61,8 +61,15 @@ pub fn par_intersect_count_on(
 
     // Claim granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
     // when folding (so `local_offset & small_mask` equals the global fold).
+    // When the pair qualifies for summary pruning (equal sizes only — a
+    // folded chunk's summary tiling is not slice-local), chunks align to
+    // whole summary words instead: one u64 of summary covers 64 blocks =
+    // 4096 bitmap bytes, so each worker ANDs its own summary slice.
+    let prune = !folded && crate::tuning::should_prune(a, b, &crate::intersect::prune_params());
     let align = if folded {
         small_bytes.len().max(64)
+    } else if prune {
+        4096
     } else {
         64
     };
@@ -123,6 +130,22 @@ pub fn par_intersect_count_on(
                 scan_small,
                 |local| visit(local, &mut count),
             );
+        } else if prune {
+            let sum_words = large.summary_words().len();
+            let w_lo = lo / 4096;
+            let w_hi = if hi == total { sum_words } else { hi / 4096 };
+            let stats = fesia_simd::mask::for_each_nonzero_lane_pruned(
+                level,
+                lane,
+                large_chunk,
+                scan_small,
+                &large.summary_words()[w_lo..w_hi],
+                &small.summary_words()[w_lo..w_hi],
+                |local| visit(local, &mut count),
+            );
+            fesia_obs::metrics()
+                .summary_blocks_skipped
+                .add(stats.skipped() as u64);
         } else {
             for_each_nonzero_lane(level, lane, large_chunk, scan_small, |local| {
                 visit(local, &mut count)
@@ -221,6 +244,40 @@ mod tests {
         let b = SegmentedSet::build(&bv, &p).unwrap();
         let want = intersect_count(&a, &b);
         assert_eq!(par_intersect_count(&a, &b, 64), want);
+    }
+
+    #[test]
+    fn forced_prune_partitioning_matches_serial() {
+        use crate::intersect::{prune_params, set_prune_params};
+        use crate::params::PruneParams;
+        // Oversized bitmaps make most summary blocks empty, so the pruned
+        // partitioning actually skips; forcing the knob on keeps the test
+        // deterministic. (Counts are invariant across dispatch forms, so
+        // flipping the global knob cannot break concurrent tests.)
+        let av = gen_sorted(8_000, 33, 1 << 28);
+        let bv = gen_sorted(8_000, 39, 1 << 28);
+        let p = FesiaParams::auto().with_bits_per_element(256.0);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        assert_eq!(a.bitmap_bits(), b.bitmap_bits());
+        let table = KernelTable::auto();
+        let want = crate::intersect::intersect_count_interleaved_with(&a, &b, &table);
+        let saved = prune_params();
+        set_prune_params(PruneParams::default().with_forced(Some(true)));
+        let before = fesia_obs::metrics().snapshot();
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                par_intersect_count_with(&a, &b, threads, &table),
+                want,
+                "threads={threads}"
+            );
+        }
+        let delta = fesia_obs::metrics().snapshot().delta(&before);
+        assert!(
+            delta.summary_blocks_skipped > 0,
+            "pruned partitioning should have skipped blocks"
+        );
+        set_prune_params(saved);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct PipelineParams {
     /// the interleaved form runs instead; above it the kernels' dependent
     /// loads miss cache and the lookahead pays. Set to 0 to pipeline
     /// unconditionally.
+    ///
+    /// The default sits at the crossover the `repro batch` sweep measures
+    /// (recorded in `BENCH_batch.json`): at 32K elements per side (64K
+    /// combined) the pipelined form starts beating the interleaved scan,
+    /// while at 8K per side it is still ~25% slower.
     pub min_elements: usize,
 }
 
@@ -109,7 +114,7 @@ impl Default for PipelineParams {
         PipelineParams {
             enabled: true,
             prefetch_distance: 8,
-            min_elements: 1 << 22,
+            min_elements: 1 << 16,
         }
     }
 }
@@ -156,6 +161,97 @@ impl PipelineParams {
     }
 }
 
+/// Tuning knob for the summary-pruned step-1 scan
+/// ([`crate::intersect_count_with`]).
+///
+/// The pruned path ANDs the one-bit-per-512-bit-block summary bitmaps
+/// first and only loads full-bitmap blocks whose summary bits overlap.
+/// That wins exactly when the bitmaps are large (streaming them misses
+/// cache) *and* sparse (many blocks get skipped); on small dense pairs
+/// the survivor list is pure overhead, so [`crate::tuning::should_prune`]
+/// keeps those on the interleaved/pipelined fast path.
+///
+/// The process-wide default is read once from the environment
+/// (`FESIA_PRUNE=0|1|auto`, `FESIA_PRUNE_MIN_BYTES=N`,
+/// `FESIA_PRUNE_MAX_SURVIVOR=P`) and can be changed at runtime with
+/// [`crate::set_prune_params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneParams {
+    /// `Some(true)` forces the pruned scan, `Some(false)` forces it off,
+    /// `None` lets [`crate::tuning::should_prune`] decide per pair.
+    pub forced: Option<bool>,
+    /// Auto mode: smallest combined bitmap size (bytes of both operands)
+    /// for which pruning is considered. Below this the bitmaps are
+    /// cache-resident and the summary pass cannot pay for itself.
+    pub min_bitmap_bytes: usize,
+    /// Auto mode: highest expected survivor percentage (the product of
+    /// the two summary densities, in percent) at which pruning is still
+    /// dispatched. Above it nearly every block survives the summary AND
+    /// and the pruned scan degenerates to the plain scan plus overhead.
+    pub max_survivor_pct: u32,
+}
+
+impl Default for PruneParams {
+    fn default() -> Self {
+        PruneParams {
+            forced: None,
+            // 4 MiB combined: comfortably past L2 on every target we
+            // measure, where streaming the full bitmaps starts to stall.
+            min_bitmap_bytes: 1 << 22,
+            max_survivor_pct: 60,
+        }
+    }
+}
+
+impl PruneParams {
+    /// The defaults, with `FESIA_PRUNE` / `FESIA_PRUNE_MIN_BYTES` /
+    /// `FESIA_PRUNE_MAX_SURVIVOR` environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut p = PruneParams::default();
+        if let Ok(v) = std::env::var("FESIA_PRUNE") {
+            p.forced = if v == "0" || v.eq_ignore_ascii_case("off") {
+                Some(false)
+            } else if v.eq_ignore_ascii_case("auto") {
+                None
+            } else {
+                Some(true)
+            };
+        }
+        if let Some(b) = std::env::var("FESIA_PRUNE_MIN_BYTES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            p.min_bitmap_bytes = b;
+        }
+        if let Some(s) = std::env::var("FESIA_PRUNE_MAX_SURVIVOR")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            p.max_survivor_pct = s.min(100);
+        }
+        p
+    }
+
+    /// Force the pruned scan on or off, or restore auto-selection with
+    /// `None`.
+    pub fn with_forced(mut self, forced: Option<bool>) -> Self {
+        self.forced = forced;
+        self
+    }
+
+    /// Override the combined-bitmap-size floor for auto-selection.
+    pub fn with_min_bitmap_bytes(mut self, bytes: usize) -> Self {
+        self.min_bitmap_bytes = bytes;
+        self
+    }
+
+    /// Override the survivor-percentage ceiling for auto-selection.
+    pub fn with_max_survivor_pct(mut self, pct: u32) -> Self {
+        self.max_survivor_pct = pct.min(100);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +291,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_density_panics() {
         let _ = FesiaParams::auto().with_bits_per_element(0.0);
+    }
+
+    #[test]
+    fn prune_params_builders() {
+        let p = PruneParams::default();
+        assert_eq!(p.forced, None);
+        assert_eq!(p.min_bitmap_bytes, 1 << 22);
+        assert_eq!(p.max_survivor_pct, 60);
+        let q = p
+            .with_forced(Some(true))
+            .with_min_bitmap_bytes(1024)
+            .with_max_survivor_pct(250);
+        assert_eq!(q.forced, Some(true));
+        assert_eq!(q.min_bitmap_bytes, 1024);
+        // Percentages clamp to 100.
+        assert_eq!(q.max_survivor_pct, 100);
+        assert_eq!(q.with_forced(None).forced, None);
     }
 }

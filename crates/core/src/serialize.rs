@@ -7,18 +7,22 @@
 //!
 //! ```text
 //! magic   b"FSIA"            4 bytes
-//! version u8                 (currently 1)
+//! version u8                 (currently 2)
 //! lane    u8                 (8 or 16)
 //! log2_m  u8
 //! n       u64 LE
 //! bitmap  [u8; m/8]
+//! summary [u64 LE; ceil(ceil(m/512) / 64)]   (version >= 2 only)
 //! meta    per-segment sizes as u32 LE (offsets are recomputed)
 //! body    [u32 LE; n]        reordered elements (padding is rebuilt)
 //! ```
 //!
 //! Storing sizes rather than packed `(offset, size)` entries keeps the
 //! format independent of the in-memory representation (compact vs wide)
-//! and shrinks no information: offsets are prefix sums.
+//! and shrinks no information: offsets are prefix sums. Version 2 adds
+//! the summary level of the two-level bitmap (one bit per 512-bit
+//! block); version-1 buffers still decode — the summary is recomputed
+//! from the bitmap, which is cheap relative to segment-meta rebuilding.
 
 use crate::error::BuildError;
 use crate::params::FesiaParams;
@@ -28,7 +32,7 @@ use fesia_simd::mask::LaneWidth;
 /// Format magic.
 const MAGIC: [u8; 4] = *b"FSIA";
 /// Current format version.
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Why a byte buffer could not be decoded into a [`SegmentedSet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +72,9 @@ impl SegmentedSet {
         out.push(self.log2_m() as u8);
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
         out.extend_from_slice(self.bitmap_bytes());
+        for &w in self.summary_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
         for i in 0..self.num_segments() {
             out.extend_from_slice(&(self.seg_size(i) as u32).to_le_bytes());
         }
@@ -94,7 +101,12 @@ impl SegmentedSet {
 
     /// Exact length of [`SegmentedSet::serialize`]'s output.
     pub fn serialized_len(&self) -> usize {
-        4 + 3 + 8 + self.bitmap_bytes().len() + self.num_segments() * 4 + self.len() * 4
+        4 + 3
+            + 8
+            + self.bitmap_bytes().len()
+            + self.summary_words().len() * 8
+            + self.num_segments() * 4
+            + self.len() * 4
     }
 
     /// Decode a buffer produced by [`SegmentedSet::serialize`]; returns the
@@ -111,8 +123,9 @@ impl SegmentedSet {
         if bytes[0..4] != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        if bytes[4] != VERSION {
-            return Err(DecodeError::BadVersion(bytes[4]));
+        let version = bytes[4];
+        if !(1..=VERSION).contains(&version) {
+            return Err(DecodeError::BadVersion(version));
         }
         let lane = match bytes[5] {
             8 => LaneWidth::U8,
@@ -131,6 +144,23 @@ impl SegmentedSet {
         need(m_bytes, at)?;
         let bitmap = bytes[at..at + m_bytes].to_vec();
         at += m_bytes;
+        let summary = if version >= 2 {
+            let words = fesia_simd::mask::summary_len(m_bytes);
+            need(words * 8, at)?;
+            let s: Vec<u64> = (0..words)
+                .map(|i| {
+                    u64::from_le_bytes(
+                        bytes[at + i * 8..at + i * 8 + 8]
+                            .try_into()
+                            .expect("checked"),
+                    )
+                })
+                .collect();
+            at += words * 8;
+            Some(s)
+        } else {
+            None
+        };
         need(segs * 4, at)?;
         let sizes: Vec<u32> = (0..segs)
             .map(|i| {
@@ -157,7 +187,7 @@ impl SegmentedSet {
             .collect();
         at += n * 4;
 
-        let set = SegmentedSet::from_decoded_parts(bitmap, sizes, reordered, log2_m, lane)
+        let set = SegmentedSet::from_decoded_parts(bitmap, summary, sizes, reordered, log2_m, lane)
             .ok_or(DecodeError::Corrupt)?;
         Ok((set, at))
     }
@@ -245,6 +275,7 @@ mod tests {
             assert!(back.validate());
             assert_eq!(back.len(), set.len());
             assert_eq!(back.bitmap_bytes(), set.bitmap_bytes());
+            assert_eq!(back.summary_words(), set.summary_words());
             assert_eq!(back.reordered_elements(), set.reordered_elements());
             // Behavioral equality: intersects identically.
             assert_eq!(intersect_count(&set, &back), set.len());
@@ -288,6 +319,40 @@ mod tests {
         // no longer validates.
         let bitmap_start = 15;
         bytes[bitmap_start + 3] ^= 0xFF;
+        assert_eq!(
+            SegmentedSet::deserialize(&bytes).unwrap_err(),
+            DecodeError::Corrupt
+        );
+    }
+
+    #[test]
+    fn version_1_buffers_still_decode() {
+        // Down-convert a v2 buffer by hand: drop the summary words and
+        // rewrite the version byte. Decoding must recompute an identical
+        // summary from the bitmap.
+        let set = sample_set(700, 11);
+        let v2 = set.serialize();
+        let m_bytes = set.bitmap_bytes().len();
+        let summary_bytes = set.summary_words().len() * 8;
+        let mut v1 = Vec::with_capacity(v2.len() - summary_bytes);
+        v1.extend_from_slice(&v2[..15 + m_bytes]);
+        v1.extend_from_slice(&v2[15 + m_bytes + summary_bytes..]);
+        v1[4] = 1;
+        let (back, used) = SegmentedSet::deserialize(&v1).unwrap();
+        assert_eq!(used, v1.len());
+        assert_eq!(back.summary_words(), set.summary_words());
+        assert!(back.validate());
+        assert_eq!(intersect_count(&set, &back), set.len());
+    }
+
+    #[test]
+    fn rejects_tampered_summary() {
+        let set = sample_set(500, 13);
+        let mut bytes = set.serialize();
+        // Flip a byte inside the summary region: the stored summary no
+        // longer matches the one recomputed from the bitmap.
+        let summary_start = 15 + set.bitmap_bytes().len();
+        bytes[summary_start] ^= 0xFF;
         assert_eq!(
             SegmentedSet::deserialize(&bytes).unwrap_err(),
             DecodeError::Corrupt

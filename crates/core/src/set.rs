@@ -4,7 +4,7 @@ use crate::error::{validate_input, BuildError, MAX_ELEMENT};
 use crate::hash;
 use crate::layout::build_layout;
 use crate::params::FesiaParams;
-use fesia_simd::mask::LaneWidth;
+use fesia_simd::mask::{build_block_summary, LaneWidth, SUMMARY_BLOCK_BYTES};
 use fesia_simd::util::log2_pow2;
 
 /// Padding sentinel appended after the reordered elements so kernels may
@@ -82,6 +82,13 @@ impl SegMeta {
 #[derive(Debug, Clone)]
 pub struct SegmentedSet {
     bitmap: Vec<u8>,
+    /// One bit per 512-bit bitmap block (the two-level bitmap's coarse
+    /// level); built during layout, persisted by the serializer.
+    summary: Vec<u64>,
+    /// Cached popcount of `summary` — the block density feeds the pruned
+    /// scan's auto-selection on every intersection, so it must not cost a
+    /// pass over the summary each time.
+    summary_ones: u64,
     seg_meta: SegMeta,
     reordered: Vec<u32>,
     n: usize,
@@ -127,8 +134,11 @@ impl SegmentedSet {
             )
         };
 
+        let summary_ones = layout.summary.iter().map(|w| w.count_ones() as u64).sum();
         Ok(SegmentedSet {
             bitmap: layout.bitmap,
+            summary: layout.summary,
+            summary_ones,
             seg_meta,
             reordered,
             n: sorted.len(),
@@ -141,6 +151,7 @@ impl SegmentedSet {
     /// Returns `None` unless every structural invariant holds.
     pub(crate) fn from_decoded_parts(
         bitmap: Vec<u8>,
+        summary: Option<Vec<u64>>,
         sizes: Vec<u32>,
         mut reordered: Vec<u32>,
         log2_m: u32,
@@ -152,6 +163,16 @@ impl SegmentedSet {
         if reordered.iter().any(|&x| x > MAX_ELEMENT) {
             return None;
         }
+        // A stored summary must agree with the bitmap bit-for-bit; a
+        // corrupt summary would silently skip (or visit) the wrong blocks.
+        // Version-1 buffers carry no summary, so it is recomputed.
+        let recomputed = build_block_summary(&bitmap);
+        let summary = match summary {
+            Some(s) if s != recomputed => return None,
+            Some(s) => s,
+            None => recomputed,
+        };
+        let summary_ones = summary.iter().map(|w| w.count_ones() as u64).sum();
         let n = reordered.len();
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
         let compact_ok = n < (1 << 24) && sizes.iter().all(|&s| s < 256);
@@ -176,6 +197,8 @@ impl SegmentedSet {
         };
         let set = SegmentedSet {
             bitmap,
+            summary,
+            summary_ones,
             seg_meta,
             reordered,
             n,
@@ -243,6 +266,35 @@ impl SegmentedSet {
         &self.bitmap
     }
 
+    /// The summary level of the two-level bitmap: one bit per 512-bit
+    /// block of [`SegmentedSet::bitmap_bytes`], LSB-first within each
+    /// `u64` word.
+    #[inline]
+    pub fn summary_words(&self) -> &[u64] {
+        &self.summary
+    }
+
+    /// Number of 512-bit blocks the bitmap (and therefore the summary)
+    /// covers.
+    #[inline]
+    pub fn summary_blocks(&self) -> usize {
+        self.bitmap.len() / SUMMARY_BLOCK_BYTES
+    }
+
+    /// Fraction of bitmap blocks that hold at least one set bit, in
+    /// `0.0..=1.0` — the density estimate behind the pruned scan's
+    /// auto-selection (the expected surviving-block fraction of a pair is
+    /// the product of the two densities).
+    #[inline]
+    pub fn summary_density(&self) -> f64 {
+        let blocks = self.summary_blocks();
+        if blocks == 0 {
+            0.0
+        } else {
+            self.summary_ones as f64 / blocks as f64
+        }
+    }
+
     /// Elements of segment `i`, sorted ascending.
     #[inline]
     pub fn segment(&self, i: usize) -> &[u32] {
@@ -297,7 +349,10 @@ impl SegmentedSet {
 
     /// Total heap footprint of the encoding in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.bitmap.len() + self.seg_meta.heap_bytes() + self.reordered.len() * 4
+        self.bitmap.len()
+            + self.summary.len() * 8
+            + self.seg_meta.heap_bytes()
+            + self.reordered.len() * 4
     }
 
     /// Check every structural invariant; `true` when consistent.
@@ -307,6 +362,13 @@ impl SegmentedSet {
         self.bitmap.len().is_power_of_two()
             && self.bitmap.len() >= 64
             && self.bitmap_bits() == (1usize << self.log2_m)
+            && self.summary == build_block_summary(&self.bitmap)
+            && self.summary_ones
+                == self
+                    .summary
+                    .iter()
+                    .map(|w| w.count_ones() as u64)
+                    .sum::<u64>()
             && sizes_sum as usize == self.n
             && self.reordered.len() == self.n + PAD_LEN
             && self.reordered[self.n..].iter().all(|&x| x == PAD_SENTINEL)
@@ -396,6 +458,28 @@ mod tests {
         for &x in &elements {
             assert!(set.contains(x));
         }
+    }
+
+    #[test]
+    fn summary_tracks_bitmap_blocks() {
+        let elements: Vec<u32> = (0..3000u32).map(|i| i * 7 + 2).collect();
+        let set = SegmentedSet::build(&elements, &params()).unwrap();
+        assert_eq!(set.summary_words().len(), set.summary_blocks().div_ceil(64));
+        for blk in 0..set.summary_blocks() {
+            let lo = blk * 64;
+            let nonzero = set.bitmap_bytes()[lo..lo + 64].iter().any(|&x| x != 0);
+            let bit = (set.summary_words()[blk / 64] >> (blk % 64)) & 1;
+            assert_eq!(bit == 1, nonzero, "block {blk}");
+        }
+        let density = set.summary_density();
+        assert!((0.0..=1.0).contains(&density));
+        // At the default density every block is populated...
+        assert!((density - 1.0).abs() < 1e-9);
+        // ...while a deliberately oversized bitmap leaves most blocks empty.
+        let sparse =
+            SegmentedSet::build(&elements, &params().with_bits_per_element(512.0)).unwrap();
+        assert!(sparse.summary_density() < 0.7);
+        assert!(sparse.validate());
     }
 
     #[test]

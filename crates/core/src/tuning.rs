@@ -9,7 +9,7 @@
 //! and returns the fastest configuration.
 
 use crate::kernels::KernelTable;
-use crate::params::{FesiaParams, PipelineParams};
+use crate::params::{FesiaParams, PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::LaneWidth;
 use fesia_simd::timer::CycleTimer;
@@ -173,6 +173,36 @@ pub fn tune_pipeline(
     best
 }
 
+/// Decide whether the summary-pruned step-1 scan should run for this
+/// pair under `p` (the auto-selection half of the tentpole; forced
+/// overrides short-circuit it).
+///
+/// Two conditions must hold for pruning to pay:
+///
+/// 1. **Size** — the combined bitmaps must exceed `p.min_bitmap_bytes`.
+///    Below that they are cache-resident and the summary pass plus the
+///    survivor indirection is pure overhead.
+/// 2. **Sparsity** — summary bits are (near-)independent across the two
+///    sets, so the expected fraction of blocks surviving the summary AND
+///    is the product of the two summary densities. Only when that
+///    product, as a percentage, is at most `p.max_survivor_pct` does
+///    skipping the dead blocks outweigh the extra pass.
+///
+/// The estimate is intentionally cheap: both densities come from
+/// popcounts cached at build time ([`SegmentedSet::summary_density`]),
+/// so the decision costs a few multiplies per intersection.
+pub fn should_prune(a: &SegmentedSet, b: &SegmentedSet, p: &PruneParams) -> bool {
+    if let Some(forced) = p.forced {
+        return forced;
+    }
+    let combined_bytes = a.bitmap_bytes().len() + b.bitmap_bytes().len();
+    if combined_bytes < p.min_bitmap_bytes {
+        return false;
+    }
+    let expected_survivor_pct = a.summary_density() * b.summary_density() * 100.0;
+    expected_survivor_pct <= p.max_survivor_pct as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +271,38 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn pipeline_tuner_rejects_empty_samples() {
         let _ = tune_pipeline(&[], &KernelTable::auto(), 1);
+    }
+
+    #[test]
+    fn should_prune_honours_force_size_and_density() {
+        // Small dense pair: every summary block populated, tiny bitmaps.
+        let small = gen_sorted(2_000, 21, 60_000);
+        let a = SegmentedSet::build(&small, &FesiaParams::auto()).unwrap();
+        let b = SegmentedSet::build(&small, &FesiaParams::auto()).unwrap();
+        let auto = PruneParams::default();
+        assert!(!should_prune(&a, &b, &auto), "small dense must not prune");
+        assert!(should_prune(&a, &b, &auto.with_forced(Some(true))));
+        assert!(!should_prune(&a, &b, &auto.with_forced(Some(false))));
+
+        // Oversized bitmaps (512 bits/element) leave most summary blocks
+        // empty: once past the size floor, density admits pruning.
+        let sparse_params = FesiaParams::auto().with_bits_per_element(512.0);
+        let sa = SegmentedSet::build(&small, &sparse_params).unwrap();
+        let sb = SegmentedSet::build(&small, &sparse_params).unwrap();
+        assert!(sa.summary_density() < 0.7);
+        let floor = sa.bitmap_bytes().len() + sb.bitmap_bytes().len();
+        assert!(should_prune(&sa, &sb, &auto.with_min_bitmap_bytes(floor)));
+        assert!(
+            !should_prune(&sa, &sb, &auto.with_min_bitmap_bytes(floor + 1)),
+            "below the size floor auto mode declines"
+        );
+        assert!(
+            !should_prune(
+                &sa,
+                &sb,
+                &auto.with_min_bitmap_bytes(floor).with_max_survivor_pct(0)
+            ),
+            "a zero survivor ceiling rejects any populated pair"
+        );
     }
 }

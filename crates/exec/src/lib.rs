@@ -50,6 +50,25 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// gives finer dynamic balancing, fewer gives lower claim overhead.
 const CHUNKS_PER_THREAD: usize = 8;
 
+/// Hardware parallelism, cached once.
+///
+/// The chunk grid and the number of workers woken per region are sized
+/// by what can actually run concurrently, not by how many threads the
+/// pool owns: an 8-thread pool on 4 cores otherwise splits every region
+/// into twice the chunks (pure claim overhead) and wakes workers the
+/// scheduler cannot place, which is exactly the measured 8-thread batch
+/// throughput regression. Ticket caps still honour the pool width, so
+/// oversubscribed pools remain oversubscribed — they just stop paying
+/// for finer chunking than the hardware can exploit.
+fn hw_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// A parallel region: a fixed chunk grid over `0..len`, a claim cursor,
 /// and completion accounting. `body` is a borrowed closure whose
 /// lifetime is enforced dynamically: the submitter blocks until
@@ -167,10 +186,22 @@ struct Pool {
 }
 
 impl Pool {
-    fn notify(&self) {
+    /// Bump the generation and wake up to `wakes` parked workers.
+    ///
+    /// A region only `k` threads may enter needs at most `k - 1` workers
+    /// besides the submitter; waking the whole pool for it just burns
+    /// wake-and-repark cycles on the rest (visible as inflated
+    /// `exec_worker_wakes` with no matching chunk claims).
+    fn notify(&self, wakes: usize) {
         let mut g = self.generation.lock().expect("pool lock");
         *g = g.wrapping_add(1);
-        self.wake.notify_all();
+        if wakes >= self.workers {
+            self.wake.notify_all();
+        } else {
+            for _ in 0..wakes {
+                self.wake.notify_one();
+            }
+        }
     }
 }
 
@@ -261,8 +292,10 @@ impl Executor {
     /// Run `f` over every chunk of `0..len`, in parallel, with dynamic
     /// chunk claiming.
     ///
-    /// The range is split into at most `participants × 8` chunks of
-    /// equal size, each at least `min_chunk` items; a tail shorter than
+    /// The range is split into at most `effective × 8` chunks of equal
+    /// size — where `effective` is the participant cap clamped to the
+    /// hardware parallelism — each at least `min_chunk` items; a tail
+    /// shorter than
     /// `min_chunk` is folded into the previous chunk, so the last chunk
     /// may be up to `chunk + min_chunk - 1` items long and no chunk is
     /// ever shorter than `min_chunk` (when `len >= min_chunk`).
@@ -286,8 +319,11 @@ impl Executor {
         } else {
             max_threads.min(self.parallelism())
         };
+        // Size the chunk grid (and the wake count below) by the threads
+        // that can actually run, not the ticket cap: see `hw_parallelism`.
+        let effective = cap.min(hw_parallelism()).max(1);
         let min_chunk = min_chunk.max(1);
-        let chunk = len.div_ceil(cap * CHUNKS_PER_THREAD).max(min_chunk);
+        let chunk = len.div_ceil(effective * CHUNKS_PER_THREAD).max(min_chunk);
         let mut num_chunks = len.div_ceil(chunk);
         // Fold a short tail (< min_chunk items) into the previous chunk
         // rather than scheduling a degenerate final chunk.
@@ -324,7 +360,7 @@ impl Executor {
             .lock()
             .expect("pool lock")
             .push(Arc::clone(&region));
-        self.pool.notify();
+        self.pool.notify(effective - 1);
         region.participate();
         let wait_start = fesia_obs::now_cycles();
         region.wait_done();
@@ -390,7 +426,7 @@ impl Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         self.pool.shutdown.store(true, Ordering::Release);
-        self.pool.notify();
+        self.pool.notify(usize::MAX);
         for h in self.handles.drain(..) {
             h.join().expect("pool worker exited cleanly");
         }
@@ -617,5 +653,34 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = Executor::new(0);
+    }
+
+    /// Satellite 1 regression: a pool wider than the hardware must not
+    /// split regions finer than the hardware can exploit — that claim
+    /// overhead (plus waking unplaceable workers) is what made 8 pool
+    /// threads slower than 4 on every batch dispatch.
+    #[test]
+    fn chunk_grid_is_sized_by_hardware_not_pool_width() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let exec = Executor::new(64);
+        let len = 1usize << 20;
+        let chunks = Mutex::new(Vec::new());
+        exec.for_each_chunk(len, 1, 0, |r| chunks.lock().unwrap().push(r));
+        let chunks = chunks.into_inner().unwrap();
+        let effective = 64usize.min(hw).max(1);
+        let chunk = len.div_ceil(effective * CHUNKS_PER_THREAD);
+        let expected = len.div_ceil(chunk);
+        assert_eq!(chunks.len(), expected);
+        assert!(chunks.len() <= effective * CHUNKS_PER_THREAD);
+        // Coverage is untouched by the clamp.
+        let mut sorted = chunks.clone();
+        sorted.sort_by_key(|r| r.start);
+        assert_eq!(sorted.first().unwrap().start, 0);
+        assert_eq!(sorted.last().unwrap().end, len);
+        for w in sorted.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
     }
 }

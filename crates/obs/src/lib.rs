@@ -311,6 +311,10 @@ define_metrics! {
             "Two-phase intersections dispatched in the interleaved form.",
         intersect_pipelined:
             "Two-phase intersections dispatched in the pipelined form.",
+        intersect_pruned:
+            "Two-phase intersections dispatched in the summary-pruned form.",
+        summary_blocks_skipped:
+            "Full-bitmap 512-bit blocks the pruned step 1 never loaded because the summary AND cleared them.",
         survivor_segments:
             "Segment pairs surviving the phase-1 bitmap filter (pipelined dispatch only — the interleaved form never materializes its survivors).",
         scratch_reused:
@@ -327,6 +331,8 @@ define_metrics! {
             "Batched-intersection region submissions.",
         batch_pairs:
             "Set pairs counted through the batch path.",
+        batch_pairs_resident:
+            "Batch pairs that ran directly after another pair sharing an operand on the same worker (cache-resident scheduling hits).",
         par_intersect_calls:
             "Single-pair intersections partitioned across pool threads.",
         index_queries:

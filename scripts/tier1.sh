@@ -24,6 +24,19 @@ cargo test -q
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== tier1: repro batch --scale smoke =="
     ./target/release/repro batch --scale smoke
+    echo "== tier1: repro prune --scale smoke =="
+    ./target/release/repro prune --scale smoke
+    echo "== tier1: prune gates (BENCH_prune.json) =="
+    grep -q '"counts_match": true' BENCH_prune.json || {
+        echo "tier1: FAIL — pruned and unpruned counts disagree"
+        exit 1
+    }
+    overhead=$(sed -n 's/.*"small_dense_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_prune.json | head -1)
+    awk -v o="$overhead" 'BEGIN { exit !(o <= 2.0) }' || {
+        echo "tier1: FAIL — small-dense prune overhead ${overhead}% > 2%"
+        exit 1
+    }
+    echo "prune gates OK (counts match, small-dense overhead ${overhead}%)"
 fi
 
 echo "== tier1: OK =="
