@@ -1,5 +1,5 @@
 //! BMiss — Inoue, Ohara & Taura, "Faster set intersection with SIMD
-//! instructions by reducing branch mispredictions" (the paper's [1]).
+//! instructions by reducing branch mispredictions" (the paper's \[1\]).
 //!
 //! A block-based merge that decouples *filtering* from *verification*:
 //! blocks of `B` elements are compared with branch-free SIMD all-pairs

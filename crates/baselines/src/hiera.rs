@@ -1,5 +1,5 @@
 //! Hiera — Schlegel, Willhalm & Lehner, "Fast sorted-set intersection
-//! using SIMD instructions" (the paper's [3]).
+//! using SIMD instructions" (the paper's \[3\]).
 //!
 //! Hiera exploits the SSE4.2 **STTNI** string-comparison instruction
 //! (`pcmpestrm`), which performs an all-pairs equality comparison between

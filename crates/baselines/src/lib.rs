@@ -13,11 +13,11 @@
 //! | [`shuffling`] | `Shuffling` (Katsov / Schlegel et al.) | `n1 + n2` | ✓ |
 //! | [`hashset`] | hash-based (§II-A) | `min(n1, n2)` | — |
 //! | [`hiera`] | `Hiera` (Schlegel et al., STTNI) | `n1 + n2` | ✓ |
-//! | [`roaring`] | Roaring bitmap (related work [16]) | containers | word-parallel |
+//! | [`roaring`] | Roaring bitmap (related work \[16\]) | containers | word-parallel |
 //! | [`wordbitmap`] | `Fast` (Ding & König) | `n/sqrt(w) + r` | — |
 //!
 //! All methods consume plain sorted `&[u32]` slices (FESIA itself, with its
-//! offline-encoded [`fesia_core::SegmentedSet`], lives in `fesia-core`).
+//! offline-encoded `fesia_core::SegmentedSet`, lives in `fesia-core`).
 //! [`Method`] enumerates them for benchmark sweeps and the
 //! [`SliceIntersector`] trait lets the graph/index substrates plug any of
 //! them in.

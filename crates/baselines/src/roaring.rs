@@ -1,5 +1,5 @@
 //! A compact Roaring-style bitmap (Lemire et al., "Roaring bitmaps:
-//! implementation of an optimized software library" — the paper's [16]).
+//! implementation of an optimized software library" — the paper's \[16\]).
 //!
 //! Values are partitioned by their upper 16 bits into *containers* of the
 //! lower 16 bits; sparse containers store a sorted `u16` array, dense ones

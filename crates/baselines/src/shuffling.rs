@@ -1,6 +1,6 @@
 //! Shuffling — SIMD block merge with cyclic-rotation all-pairs compares
 //! (Katsov's "fast intersection of sorted lists using SSE", the paper's
-//! [13] and its `Shuffling` baseline; the same scheme as Schlegel et al.).
+//! \[13\] and its `Shuffling` baseline; the same scheme as Schlegel et al.).
 //!
 //! Both inputs advance in blocks of `V` elements. For each block pair, all
 //! `V x V` element pairs are compared by rotating one vector `V` times

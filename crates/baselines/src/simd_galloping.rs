@@ -1,5 +1,5 @@
 //! SIMDGalloping — Lemire, Boytsov & Kurz, "SIMD compression and the
-//! intersection of sorted integers" (the paper's [2]).
+//! intersection of sorted integers" (the paper's \[2\]).
 //!
 //! Galloping as in [`crate::galloping`], but the larger set is walked in
 //! vector *blocks*: the exponential/binary phases bracket a block, and the

@@ -1,5 +1,5 @@
 //! Word-bitmap intersection — Ding & König, "Fast set intersection in
-//! memory" (the paper's [4], the `Fast` row of Table I).
+//! memory" (the paper's \[4\], the `Fast` row of Table I).
 //!
 //! The structural ancestor of FESIA: elements hash into an `m`-bit bitmap
 //! whose 64-bit *words* play the role of FESIA's segments; intersection

@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8_9;
 pub mod memory;
 pub mod obs;
+pub mod plan;
 pub mod prune;
 pub mod table2;
 
@@ -46,6 +47,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "fig14" => fig14::run(scale),
         "ablation" => ablation::run(scale),
         "batch" => batch::run(scale),
+        "plan" => plan::run(scale),
         "prune" => prune::run(scale),
         "obs" => obs::run(scale),
         "memory" => memory::run(scale),
@@ -58,7 +60,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 pub fn run_all(scale: Scale) -> String {
     let ids = [
         "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory", "batch", "prune", "obs",
+        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "obs",
     ];
     let mut out = String::new();
     for id in ids {

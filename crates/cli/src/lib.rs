@@ -17,8 +17,12 @@ usage:
                             [--threads N] [--json]
   fesia intersect A.fsia B.fsia
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
+  fesia tune [--quick] [--profile PATH]
 
-Text inputs: one u32 per line; '#' comments and blank lines ignored.";
+Text inputs: one u32 per line; '#' comments and blank lines ignored.
+`tune` calibrates strategy crossovers on this machine and writes a
+machine profile (default: FESIA_PROFILE or ~/.fesia/profile.json) that
+the planner loads on startup.";
 
 /// Errors surfaced to the binary's `main`.
 #[derive(Debug)]
@@ -163,6 +167,15 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "plain scan (too small or too dense to prune)"
     };
     writeln!(out, "step-1 vs self:  {decision}")?;
+    let planner = fesia_core::IntersectPlanner::current();
+    let sum = fesia_core::SetSummary::of(&set);
+    writeln!(
+        out,
+        "planner:         mode={} plan-vs-self={} profile={}",
+        planner.mode.name(),
+        planner.plan_pair(&sum, &sum).name(),
+        fesia_core::profile_status()
+    )?;
     Ok(())
 }
 
@@ -271,17 +284,25 @@ fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let p = parse_count_args("stats", args, true)?;
     let a = load_set(&p.pa)?;
     let b = load_set(&p.pb)?;
+    let planner = fesia_core::IntersectPlanner::current();
+    let plan = planner
+        .plan_pair(
+            &fesia_core::SetSummary::of(&a),
+            &fesia_core::SetSummary::of(&b),
+        )
+        .name();
     let before = fesia_obs::metrics().snapshot();
     let count = count_by_method(&a, &b, &p.method, p.threads)?;
     let delta = fesia_obs::metrics().snapshot().delta(&before);
     if p.json {
         writeln!(
             out,
-            "{{\"count\": {count}, \"metrics\": {}}}",
+            "{{\"count\": {count}, \"plan\": \"{plan}\", \"metrics\": {}}}",
             delta.to_json()
         )?;
     } else {
         writeln!(out, "count: {count}")?;
+        writeln!(out, "plan: {plan} (mode={})", planner.mode.name())?;
         write!(out, "{}", delta.report())?;
     }
     Ok(())
@@ -314,6 +335,69 @@ fn cmd_kway(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `fesia tune`: run the calibration microbenchmarks and persist the
+/// fitted crossovers as a machine profile the planner loads on startup.
+fn cmd_tune(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut quick = false;
+    let mut profile_path: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--profile" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--profile needs a path".into()))?;
+                profile_path = Some(std::path::PathBuf::from(p));
+            }
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = match profile_path.or_else(fesia_core::default_profile_path) {
+        Some(p) => p,
+        None => {
+            return Err(CliError::Usage(
+                "no --profile path given and no FESIA_PROFILE/HOME for the default".into(),
+            ))
+        }
+    };
+    writeln!(
+        out,
+        "calibrating ({} pass)...",
+        if quick { "quick" } else { "full" }
+    )?;
+    let profile = fesia_core::calibrate(quick);
+    profile.save(&path)?;
+    // Re-read through the same loader the planner uses, so a profile we
+    // cannot load back is an error here rather than a silent startup warn.
+    let back = fesia_core::MachineProfile::load(&path)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    writeln!(
+        out,
+        "pipeline: enabled={} prefetch_distance={} min_elements={}",
+        back.pipeline.enabled, back.pipeline.prefetch_distance, back.pipeline.min_elements
+    )?;
+    writeln!(
+        out,
+        "prune: forced={} min_bitmap_bytes={} max_survivor_pct={}",
+        match back.prune.forced {
+            Some(true) => "on",
+            Some(false) => "off",
+            None => "auto",
+        },
+        back.prune.min_bitmap_bytes,
+        back.prune.max_survivor_pct
+    )?;
+    writeln!(out, "gallop_max_len: {}", back.gallop_max_len)?;
+    writeln!(
+        out,
+        "profile written: {} (v{}, reload verified)",
+        path.display(),
+        back.version
+    )?;
+    Ok(())
+}
+
 /// Dispatch a full argument vector (everything after the binary name).
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -323,6 +407,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("stats") => cmd_stats(&args[1..], out),
         Some("intersect") => cmd_intersect(&args[1..], out),
         Some("kway") => cmd_kway(&args[1..], out),
+        Some("tune") => cmd_tune(&args[1..], out),
         Some("--help") | Some("-h") => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -480,6 +565,44 @@ mod tests {
             run(&s(&["count", "only-one.fsia"]), &mut out),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn tune_writes_a_loadable_profile() {
+        let dir = tmpdir();
+        let profile = dir.join("tune-profile.json").to_string_lossy().to_string();
+        let mut out = Vec::new();
+        run(&s(&["tune", "--quick", "--profile", &profile]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("reload verified"), "{text}");
+        assert!(text.contains("pipeline: enabled="), "{text}");
+        let back = fesia_core::MachineProfile::load(Path::new(&profile)).unwrap();
+        assert_eq!(back.version, fesia_core::PROFILE_VERSION);
+        // Bad flags are usage errors, not panics.
+        assert!(matches!(
+            run(&s(&["tune", "--bogus"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["tune", "--profile"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_reports_the_planner_line() {
+        let dir = tmpdir();
+        let t = dir.join("p.txt");
+        std::fs::write(&t, "3\n9\n27\n").unwrap();
+        let f = dir.join("p.fsia").to_string_lossy().to_string();
+        run(&s(&["build", t.to_str().unwrap(), &f]), &mut Vec::new()).unwrap();
+        let mut out = Vec::new();
+        run(&s(&["info", &f]), &mut out).unwrap();
+        let info = String::from_utf8_lossy(&out);
+        assert!(info.contains("planner:         mode="), "{info}");
+        assert!(info.contains("profile="), "{info}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

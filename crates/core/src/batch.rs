@@ -27,8 +27,9 @@
 //! `batch_pairs_resident` counter reports how many pairs actually ran
 //! directly after a neighbour sharing an operand.
 
-use crate::intersect::{auto_count_with, default_table};
+use crate::intersect::{auto_count_planned, default_table};
 use crate::kernels::KernelTable;
+use crate::plan::IntersectPlanner;
 use crate::set::SegmentedSet;
 use fesia_exec::Executor;
 
@@ -132,6 +133,10 @@ pub fn batch_count_pairs_on(
     let m = fesia_obs::metrics();
     m.batch_calls.inc();
     m.batch_pairs.add(pairs.len() as u64);
+    // One planner snapshot for the whole batch: every worker plans each
+    // pair with the same frozen knobs, with no atomic loads on the pair
+    // hot path.
+    let planner = IntersectPlanner::current();
     let order = cache_resident_order(sets.len(), pairs);
     let mut results = vec![0usize; pairs.len()];
     let out = DisjointOut(results.as_mut_ptr());
@@ -148,7 +153,7 @@ pub fn batch_count_pairs_on(
                 }
             }
             prev = Some((ai, bi));
-            let n = auto_count_with(&sets[ai as usize], &sets[bi as usize], table);
+            let n = auto_count_planned(&sets[ai as usize], &sets[bi as usize], table, &planner);
             // SAFETY: chunk ranges partition 0..order.len() and `order`
             // is a permutation of the pair indices, so `k` is in bounds
             // and written by exactly one worker.
@@ -255,7 +260,9 @@ mod tests {
         let table = KernelTable::auto();
         let want: Vec<usize> = pairs
             .iter()
-            .map(|&(i, j)| auto_count_with(&sets[i as usize], &sets[j as usize], &table))
+            .map(|&(i, j)| {
+                crate::intersect::auto_count_with(&sets[i as usize], &sets[j as usize], &table)
+            })
             .collect();
         for n in [2usize, 3, 8] {
             let exec = Executor::new(n);

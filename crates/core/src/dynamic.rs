@@ -16,9 +16,10 @@
 //! [`DynamicSet::REBUILD_FRACTION`] of the base, the set is re-encoded.
 
 use crate::error::BuildError;
-use crate::intersect::intersect_count_with;
+use crate::intersect::auto_count_planned;
 use crate::kernels::KernelTable;
 use crate::params::FesiaParams;
+use crate::plan::IntersectPlanner;
 use crate::set::SegmentedSet;
 
 /// A mutable set: immutable FESIA base plus sorted add/delete deltas.
@@ -104,6 +105,12 @@ impl DynamicSet {
     }
 
     /// Fold the deltas into a fresh base encoding.
+    ///
+    /// Rebuilding also refreshes the features the
+    /// [`crate::plan::IntersectPlanner`] reads (length, bitmap size,
+    /// summary density are all cached on the base at build time), so a
+    /// set that grew or shrank past a strategy crossover starts getting
+    /// the right plan as soon as the deltas fold in.
     pub fn rebuild(&mut self) -> Result<(), BuildError> {
         let snapshot = self.to_sorted_vec();
         self.base = SegmentedSet::build(&snapshot, &self.params)?;
@@ -149,7 +156,14 @@ impl DynamicSet {
 
 /// |A ∩ B| for two dynamic sets: FESIA on the bases, exact corrections
 /// from the deltas (each correction term probes a small sorted list).
+///
+/// The base-vs-base term goes through the [`IntersectPlanner`] like every
+/// other entry point, so dynamic sets get the same summary-pruning and
+/// hash-probe selection as immutable ones — previously this called the
+/// merge path directly and a heavily skewed pair of dynamic sets never
+/// probed.
 pub fn dynamic_intersect_count(a: &DynamicSet, b: &DynamicSet, table: &KernelTable) -> usize {
+    let planner = IntersectPlanner::current();
     // Live membership helpers.
     let in_a = |x: u32| {
         (a.base.contains(x) && a.deleted.binary_search(&x).is_err())
@@ -161,7 +175,7 @@ pub fn dynamic_intersect_count(a: &DynamicSet, b: &DynamicSet, table: &KernelTab
     };
 
     // Term 1: base ∩ base, minus pairs killed by either delete list.
-    let mut count = intersect_count_with(&a.base, &b.base, table);
+    let mut count = auto_count_planned(&a.base, &b.base, table, &planner);
     let mut dels: Vec<u32> = a.deleted.iter().chain(&b.deleted).copied().collect();
     dels.sort_unstable();
     dels.dedup();
@@ -280,6 +294,25 @@ mod tests {
         assert_eq!(
             crate::intersect::intersect_count_with(da.base(), db.base(), &table),
             want
+        );
+    }
+
+    /// Satellite: dynamic sets must get the planner's strategy selection
+    /// — a heavily skewed base pair rides the hash probe, not the merge.
+    #[test]
+    fn skewed_dynamic_bases_use_the_hash_strategy() {
+        let _guard = crate::plan::test_knob_lock();
+        let table = KernelTable::auto();
+        let small: Vec<u32> = (0..100).map(|i| i * 7).collect();
+        let big: Vec<u32> = (0..50_000).collect();
+        let da = DynamicSet::build(&small, &params()).unwrap();
+        let db = DynamicSet::build(&big, &params()).unwrap();
+        let before = fesia_obs::metrics().snapshot();
+        assert_eq!(dynamic_intersect_count(&da, &db, &table), 100);
+        let delta = fesia_obs::metrics().snapshot().delta(&before);
+        assert!(
+            delta.strategy_hash >= 1 && delta.plan_hash >= 1,
+            "skewed dynamic pair should probe: {delta:?}"
         );
     }
 

@@ -3,6 +3,7 @@
 
 use crate::kernels::KernelTable;
 use crate::params::{PipelineParams, PruneParams};
+use crate::plan::{IntersectPlan, IntersectPlanner, PlanMode, SetSummary};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::{
     for_each_nonzero_lane, for_each_nonzero_lane_folded, for_each_nonzero_lane_folded_pruned,
@@ -23,21 +24,21 @@ pub(crate) fn default_table() -> &'static KernelTable {
 static PIPE_ENABLED: AtomicBool = AtomicBool::new(true);
 static PIPE_DISTANCE: AtomicUsize = AtomicUsize::new(8);
 static PIPE_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 16);
-static PIPE_INIT: OnceLock<()> = OnceLock::new();
 
-fn ensure_pipeline_init() {
-    PIPE_INIT.get_or_init(|| {
-        let p = PipelineParams::from_env();
-        PIPE_ENABLED.store(p.enabled, Ordering::Relaxed);
-        PIPE_DISTANCE.store(p.prefetch_distance, Ordering::Relaxed);
-        PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
-    });
+/// Raw store of the pipeline knobs, with no initialization check.
+/// `crate::plan::ensure_init` uses this from *inside* its `OnceLock`
+/// closure (the ensuring setters below would re-enter it and deadlock).
+pub(crate) fn store_pipeline(p: PipelineParams) {
+    PIPE_ENABLED.store(p.enabled, Ordering::Relaxed);
+    PIPE_DISTANCE.store(p.prefetch_distance, Ordering::Relaxed);
+    PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
 }
 
 /// The process-wide [`PipelineParams`] governing
-/// [`intersect_count_with`]'s dispatch form.
+/// [`intersect_count_with`]'s dispatch form (profile + env layering done
+/// by the planner's one-shot initialization).
 pub fn pipeline_params() -> PipelineParams {
-    ensure_pipeline_init();
+    crate::plan::ensure_init();
     PipelineParams {
         enabled: PIPE_ENABLED.load(Ordering::Relaxed),
         prefetch_distance: PIPE_DISTANCE.load(Ordering::Relaxed),
@@ -48,10 +49,8 @@ pub fn pipeline_params() -> PipelineParams {
 /// Replace the process-wide [`PipelineParams`] (e.g. with a tuned
 /// configuration from [`crate::tuning::tune_pipeline`]).
 pub fn set_pipeline_params(p: PipelineParams) {
-    ensure_pipeline_init();
-    PIPE_ENABLED.store(p.enabled, Ordering::Relaxed);
-    PIPE_DISTANCE.store(p.prefetch_distance, Ordering::Relaxed);
-    PIPE_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
+    crate::plan::ensure_init();
+    store_pipeline(p);
 }
 
 /// `PruneParams::forced` packed into one atomic: 0 = auto (`None`),
@@ -59,7 +58,6 @@ pub fn set_pipeline_params(p: PipelineParams) {
 static PRUNE_MODE: AtomicUsize = AtomicUsize::new(0);
 static PRUNE_MIN_BYTES: AtomicUsize = AtomicUsize::new(1 << 22);
 static PRUNE_MAX_SURVIVOR: AtomicUsize = AtomicUsize::new(60);
-static PRUNE_INIT: OnceLock<()> = OnceLock::new();
 
 fn prune_mode_encode(forced: Option<bool>) -> usize {
     match forced {
@@ -69,19 +67,18 @@ fn prune_mode_encode(forced: Option<bool>) -> usize {
     }
 }
 
-fn ensure_prune_init() {
-    PRUNE_INIT.get_or_init(|| {
-        let p = PruneParams::from_env();
-        PRUNE_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
-        PRUNE_MIN_BYTES.store(p.min_bitmap_bytes, Ordering::Relaxed);
-        PRUNE_MAX_SURVIVOR.store(p.max_survivor_pct as usize, Ordering::Relaxed);
-    });
+/// Raw store of the prune knobs, with no initialization check (see
+/// [`store_pipeline`]).
+pub(crate) fn store_prune(p: PruneParams) {
+    PRUNE_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
+    PRUNE_MIN_BYTES.store(p.min_bitmap_bytes, Ordering::Relaxed);
+    PRUNE_MAX_SURVIVOR.store(p.max_survivor_pct as usize, Ordering::Relaxed);
 }
 
 /// The process-wide [`PruneParams`] governing [`intersect_count_with`]'s
 /// choice between the plain and summary-pruned step-1 scans.
 pub fn prune_params() -> PruneParams {
-    ensure_prune_init();
+    crate::plan::ensure_init();
     PruneParams {
         forced: match PRUNE_MODE.load(Ordering::Relaxed) {
             1 => Some(true),
@@ -95,10 +92,8 @@ pub fn prune_params() -> PruneParams {
 
 /// Replace the process-wide [`PruneParams`].
 pub fn set_prune_params(p: PruneParams) {
-    ensure_prune_init();
-    PRUNE_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
-    PRUNE_MIN_BYTES.store(p.min_bitmap_bytes, Ordering::Relaxed);
-    PRUNE_MAX_SURVIVOR.store(p.max_survivor_pct as usize, Ordering::Relaxed);
+    crate::plan::ensure_init();
+    store_prune(p);
 }
 
 thread_local! {
@@ -135,49 +130,104 @@ fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
 /// full-bitmap blocks whose summary bits do not overlap. All forms count
 /// identically.
 pub fn intersect_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
-    let p = pipeline_params();
-    let m = fesia_obs::metrics();
-    if crate::tuning::should_prune(a, b, &prune_params()) {
-        return PIPELINE_SCRATCH.with(|s| {
-            let mut scratch = s.borrow_mut();
-            if scratch.capacity() != 0 {
-                m.scratch_reused.inc();
-            }
-            let sampled = m.intersect_pruned.inc() & fesia_obs::SAMPLE_MASK == 0;
-            let timer = sampled.then(CycleTimer::start);
-            let (n, stats) =
-                intersect_count_pruned_with(a, b, table, &mut scratch, p.prefetch_distance);
-            m.survivor_segments.add(scratch.len() as u64);
-            m.summary_blocks_skipped.add(stats.skipped() as u64);
-            if let Some(t) = timer {
-                m.intersect_cycles.record(t.elapsed_cycles());
-            }
-            n
-        });
+    let planner = IntersectPlanner::current();
+    intersect_count_planned(a, b, table, &planner)
+}
+
+/// [`intersect_count_with`] against an explicit planner snapshot. The
+/// batch, parallel, index, and graph layers take one
+/// [`IntersectPlanner::current`] snapshot per run and reuse it for every
+/// pair, so the per-pair decision is a handful of compares with no
+/// atomic loads.
+///
+/// Merge-family contract: only the plain / pipelined / pruned forms are
+/// considered (the caller has already committed to the two-phase
+/// algorithm); a planner forced to hash or gallop falls back to auto
+/// selection here.
+pub fn intersect_count_planned(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+) -> usize {
+    if matches!(
+        planner.mode,
+        PlanMode::Plain | PlanMode::Pipelined | PlanMode::Pruned
+    ) {
+        fesia_obs::metrics().plan_forced.inc();
     }
-    if p.enabled && a.len() + b.len() >= p.min_elements {
-        PIPELINE_SCRATCH.with(|s| {
-            let mut scratch = s.borrow_mut();
-            if scratch.capacity() != 0 {
-                m.scratch_reused.inc();
-            }
-            let sampled = m.intersect_pipelined.inc() & fesia_obs::SAMPLE_MASK == 0;
+    let plan = planner.plan_merge(&SetSummary::of(a), &SetSummary::of(b));
+    execute_plan_count(a, b, table, plan)
+}
+
+/// Execute an explicit [`IntersectPlan`] on a pair, recording the same
+/// per-form metrics the adaptive dispatcher always recorded plus the
+/// `plan_*` decision counters. All plans return the identical count.
+pub fn execute_plan_count(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    plan: IntersectPlan,
+) -> usize {
+    let m = fesia_obs::metrics();
+    match plan {
+        IntersectPlan::Pruned { prefetch_distance } => {
+            m.plan_pruned.inc();
+            PIPELINE_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                if scratch.capacity() != 0 {
+                    m.scratch_reused.inc();
+                }
+                let sampled = m.intersect_pruned.inc() & fesia_obs::SAMPLE_MASK == 0;
+                let timer = sampled.then(CycleTimer::start);
+                let (n, stats) =
+                    intersect_count_pruned_with(a, b, table, &mut scratch, prefetch_distance);
+                m.survivor_segments.add(scratch.len() as u64);
+                m.summary_blocks_skipped.add(stats.skipped() as u64);
+                if let Some(t) = timer {
+                    m.intersect_cycles.record(t.elapsed_cycles());
+                }
+                n
+            })
+        }
+        IntersectPlan::Pipelined { prefetch_distance } => {
+            m.plan_pipelined.inc();
+            PIPELINE_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                if scratch.capacity() != 0 {
+                    m.scratch_reused.inc();
+                }
+                let sampled = m.intersect_pipelined.inc() & fesia_obs::SAMPLE_MASK == 0;
+                let timer = sampled.then(CycleTimer::start);
+                let n =
+                    intersect_count_pipelined_with(a, b, table, &mut scratch, prefetch_distance);
+                m.survivor_segments.add(scratch.len() as u64);
+                if let Some(t) = timer {
+                    m.intersect_cycles.record(t.elapsed_cycles());
+                }
+                n
+            })
+        }
+        IntersectPlan::Plain => {
+            m.plan_plain.inc();
+            let sampled = m.intersect_interleaved.inc() & fesia_obs::SAMPLE_MASK == 0;
             let timer = sampled.then(CycleTimer::start);
-            let n = intersect_count_pipelined_with(a, b, table, &mut scratch, p.prefetch_distance);
-            m.survivor_segments.add(scratch.len() as u64);
+            let n = intersect_count_interleaved_with(a, b, table);
             if let Some(t) = timer {
                 m.intersect_cycles.record(t.elapsed_cycles());
             }
             n
-        })
-    } else {
-        let sampled = m.intersect_interleaved.inc() & fesia_obs::SAMPLE_MASK == 0;
-        let timer = sampled.then(CycleTimer::start);
-        let n = intersect_count_interleaved_with(a, b, table);
-        if let Some(t) = timer {
-            m.intersect_cycles.record(t.elapsed_cycles());
         }
-        n
+        IntersectPlan::HashProbe => {
+            m.plan_hash.inc();
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            m.hash_probe_elements.add(small.len() as u64);
+            hash_probe_count(small.reordered_elements(), large)
+        }
+        IntersectPlan::GallopFallback => {
+            m.plan_gallop.inc();
+            gallop_count(a, b)
+        }
     }
 }
 
@@ -561,22 +611,79 @@ pub fn auto_count(a: &SegmentedSet, b: &SegmentedSet) -> usize {
 /// path touches a single cache line per side and ties the probe path — so
 /// the switch follows the paper's size-*ratio* rule only.
 pub fn auto_count_with(a: &SegmentedSet, b: &SegmentedSet, table: &KernelTable) -> usize {
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let planner = IntersectPlanner::current();
+    auto_count_planned(a, b, table, &planner)
+}
+
+/// [`auto_count`] against an explicit planner snapshot: the full-family
+/// entry point every adaptive call site (pairwise, batch, parallel,
+/// dynamic, k-way two-set case, graph) routes through. Exactly one of
+/// `strategy_hash` / `strategy_merge` is recorded per call (hash for the
+/// probe plan, merge for everything else, including the gallop fallback),
+/// so the strategy counters keep summing to the pair count.
+pub fn auto_count_planned(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+) -> usize {
     let m = fesia_obs::metrics();
-    if large.is_empty() {
-        // Trivially-empty inputs ride the hash-strategy counter (they
-        // probe zero elements), keeping strategy counts summing to calls.
-        m.strategy_hash.inc();
-        return 0;
+    if planner.mode != PlanMode::Auto {
+        m.plan_forced.inc();
     }
-    if (small.len() as f64) < SKEW_HASH_THRESHOLD * large.len() as f64 {
-        m.strategy_hash.inc();
-        m.hash_probe_elements.add(small.len() as u64);
-        hash_probe_count(small.reordered_elements(), large)
+    let plan = planner.plan_pair(&SetSummary::of(a), &SetSummary::of(b));
+    match plan {
+        IntersectPlan::HashProbe => m.strategy_hash.inc(),
+        _ => m.strategy_merge.inc(),
+    };
+    execute_plan_count(a, b, table, plan)
+}
+
+/// Galloping sorted-merge fallback: sort copies of both element lists
+/// (the segmented layout stores them hash-reordered) and intersect with
+/// exponential search from the smaller side. `O(n1 log n2)` with no
+/// bitmap work at all — only profitable on tiny pairs, which is why auto
+/// mode gates it behind the calibrated `gallop_max_len` ceiling.
+pub fn gallop_count(a: &SegmentedSet, b: &SegmentedSet) -> usize {
+    let mut sa: Vec<u32> = a.reordered_elements().to_vec();
+    let mut sb: Vec<u32> = b.reordered_elements().to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    let (small, large) = if sa.len() <= sb.len() {
+        (&sa, &sb)
     } else {
-        m.strategy_merge.inc();
-        intersect_count_with(a, b, table)
+        (&sb, &sa)
+    };
+    let mut count = 0usize;
+    let mut lo = 0usize;
+    for &x in small.iter() {
+        lo = gallop_find(large, lo, x);
+        if lo == large.len() {
+            break;
+        }
+        if large[lo] == x {
+            count += 1;
+            lo += 1;
+        }
     }
+    count
+}
+
+/// First index `>= from` whose element is `>= x` (exponential search +
+/// binary finish), assuming `hay[from..]` is sorted.
+fn gallop_find(hay: &[u32], from: usize, x: u32) -> usize {
+    let n = hay.len();
+    if from >= n || hay[from] >= x {
+        return from;
+    }
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < n && hay[lo + step] < x {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(n);
+    lo + hay[lo..hi].partition_point(|&v| v < x)
 }
 
 /// Per-phase timing of one intersection (paper Fig. 14's breakdown).
@@ -813,6 +920,32 @@ mod tests {
     }
 
     #[test]
+    fn gallop_fallback_matches_reference() {
+        let p = FesiaParams::auto();
+        let cases: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (gen_sorted(200, 3, 5_000), gen_sorted(300, 17, 5_000)),
+            (gen_sorted(50, 7, 500_000), gen_sorted(5_000, 11, 500_000)),
+            (vec![], gen_sorted(100, 13, 1_000)),
+            (gen_sorted(64, 19, 1_000), gen_sorted(64, 19, 1_000)),
+            (
+                (0..100).map(|i| i * 2).collect(),
+                (0..100).map(|i| i * 2 + 1).collect(),
+            ),
+        ];
+        for (av, bv) in &cases {
+            let a = SegmentedSet::build(av, &p).unwrap();
+            let b = SegmentedSet::build(bv, &p).unwrap();
+            let want = reference(av, bv).len();
+            assert_eq!(gallop_count(&a, &b), want);
+            assert_eq!(gallop_count(&b, &a), want);
+            assert_eq!(
+                execute_plan_count(&a, &b, default_table(), IntersectPlan::GallopFallback),
+                want
+            );
+        }
+    }
+
+    #[test]
     fn empty_and_disjoint_sets() {
         let p = FesiaParams::auto();
         let e = SegmentedSet::build(&[], &p).unwrap();
@@ -967,6 +1100,7 @@ mod tests {
 
     #[test]
     fn pipeline_knob_round_trips_and_dispatch_is_equivalent() {
+        let _guard = crate::plan::test_knob_lock();
         let p = FesiaParams::auto();
         let av = gen_sorted(2_000, 61, 40_000);
         let bv = gen_sorted(2_000, 67, 40_000);
@@ -1086,6 +1220,7 @@ mod tests {
 
     #[test]
     fn prune_knob_round_trips_and_dispatch_is_equivalent() {
+        let _guard = crate::plan::test_knob_lock();
         let p = FesiaParams::auto().with_bits_per_element(64.0);
         let av = gen_sorted(2_000, 71, 40_000);
         let bv = gen_sorted(2_000, 73, 40_000);

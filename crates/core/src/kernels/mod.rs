@@ -24,7 +24,7 @@
 //! # The over-read contract
 //!
 //! Kernels load whole vectors, so they may read up to
-//! [`OVERREAD`](crate::kernels::OVERREAD) elements beyond a segment's real
+//! [`OVERREAD`] elements beyond a segment's real
 //! population. Counting stays exact because every over-read value is either
 //! a padding sentinel (outside the element domain) or an element of a
 //! *different* segment, which under the shared bitmap hash can never equal

@@ -14,6 +14,7 @@
 
 use crate::intersect::default_table;
 use crate::kernels::KernelTable;
+use crate::plan::IntersectPlanner;
 use crate::set::SegmentedSet;
 use fesia_simd::mask::for_each_nonzero_lane;
 
@@ -25,6 +26,22 @@ use fesia_simd::mask::for_each_nonzero_lane;
 /// # Panics
 /// Panics if `sets` is empty or the segment widths differ.
 pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
+    let planner = IntersectPlanner::current();
+    kway_count_planned(sets, table, &planner)
+}
+
+/// [`kway_count_with`] against an explicit planner snapshot: the planner
+/// orders the operands ([`IntersectPlanner::plan_kway`], ascending by
+/// length so the most selective sets lead the fold), and the 2-way case
+/// gets the full strategy selection through the same snapshot.
+///
+/// # Panics
+/// As [`kway_count_with`].
+pub fn kway_count_planned(
+    sets: &[&SegmentedSet],
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+) -> usize {
     assert!(!sets.is_empty(), "k-way intersection of zero sets");
     fesia_obs::metrics().kway_calls.inc();
     let lane = sets[0].lane();
@@ -32,11 +49,18 @@ pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
         sets.iter().all(|s| s.lane() == lane),
         "sets must be built with the same segment width"
     );
-    match sets.len() {
-        1 => return sets[0].len(),
+    let lens: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+    let ordered: Vec<&SegmentedSet> = planner
+        .plan_kway(&lens)
+        .order
+        .iter()
+        .map(|&i| sets[i])
+        .collect();
+    match ordered.len() {
+        1 => return ordered[0].len(),
         // Two sets: delegate to the 2-way machinery with the paper's §VI
         // strategy selection (merge vs hash-probe by size ratio).
-        2 => return crate::intersect::auto_count_with(sets[0], sets[1], table),
+        2 => return crate::intersect::auto_count_planned(ordered[0], ordered[1], table, planner),
         _ => {}
     }
 
@@ -45,7 +69,7 @@ pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
     // bitmap is a power of two of at least 64 bytes, so word indexing folds
     // cleanly). The subsequent non-zero-lane scan reuses the 2-way SIMD
     // machinery by scanning scratch against itself.
-    let largest = sets
+    let largest = ordered
         .iter()
         .map(|s| s.bitmap_bytes().len())
         .max()
@@ -57,10 +81,10 @@ pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
             let off = (wi * 8) & (bytes.len() - 1);
             u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
         };
-        let first = sets[0].bitmap_bytes();
+        let first = ordered[0].bitmap_bytes();
         for wi in 0..words {
             let mut w = read_word(first, wi);
-            for s in &sets[1..] {
+            for s in &ordered[1..] {
                 w &= read_word(s.bitmap_bytes(), wi);
             }
             scratch[wi * 8..wi * 8 + 8].copy_from_slice(&w.to_le_bytes());
@@ -68,7 +92,7 @@ pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
     }
 
     // Phase 2: k-way verify each surviving segment.
-    let largest_set = sets
+    let largest_set = ordered
         .iter()
         .max_by_key(|s| s.bitmap_bits())
         .expect("non-empty");
@@ -76,7 +100,7 @@ pub fn kway_count_with(sets: &[&SegmentedSet], table: &KernelTable) -> usize {
     let mut count = 0usize;
     for_each_nonzero_lane(table.level(), lane, &scratch, &scratch, |i| {
         debug_assert!(i < seg_count_large);
-        count += kway_verify_segment(sets, i);
+        count += kway_verify_segment(&ordered, i);
     });
     count
 }

@@ -24,13 +24,17 @@
 //!   metadata + reordered elements), see [`set`] and [`layout`].
 //! * [`kernels::KernelTable`] — ahead-of-time compiled specialized SIMD
 //!   kernels with jump-table dispatch, per ISA and sampling stride.
-//! * [`intersect_count`] / [`intersect`] — the two-phase online algorithm
+//! * [`intersect_count`] / [`intersect()`] — the two-phase online algorithm
 //!   (bitmap filter, then per-segment kernels).
 //! * [`hash_probe_count`] — the hash-style strategy for heavily skewed
 //!   inputs (`FESIAhash`), and [`auto_count`] which picks a strategy from
 //!   the size ratio as §VI prescribes.
 //! * [`kway_count`] — k-way intersection over `k` bitmaps.
 //! * [`par_intersect_count`] — multicore partitioning of the segment space.
+//! * [`plan::IntersectPlanner`] — the unified cost model every entry
+//!   point asks for an explicit [`plan::IntersectPlan`], layered from a
+//!   persisted machine profile (`fesia tune`), `FESIA_*` environment
+//!   knobs, and runtime setters.
 
 pub mod batch;
 pub mod dynamic;
@@ -42,6 +46,7 @@ pub mod kway;
 pub mod layout;
 pub mod parallel;
 pub mod params;
+pub mod plan;
 pub mod serialize;
 pub mod set;
 pub mod stats;
@@ -52,19 +57,28 @@ pub use batch::{batch_count, batch_count_pairs, batch_count_pairs_on};
 pub use dynamic::{dynamic_intersect_count, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
-    auto_count, auto_count_with, hash_probe_count, intersect, intersect_count,
-    intersect_count_breakdown, intersect_count_breakdown_pruned, intersect_count_interleaved_with,
-    intersect_count_pipelined_with, intersect_count_pruned_with, intersect_count_with,
-    pipeline_params, prune_params, set_pipeline_params, set_prune_params, Breakdown,
+    auto_count, auto_count_planned, auto_count_with, execute_plan_count, gallop_count,
+    hash_probe_count, intersect, intersect_count, intersect_count_breakdown,
+    intersect_count_breakdown_pruned, intersect_count_interleaved_with,
+    intersect_count_pipelined_with, intersect_count_planned, intersect_count_pruned_with,
+    intersect_count_with, pipeline_params, prune_params, set_pipeline_params, set_prune_params,
+    Breakdown,
 };
 pub use kernels::KernelTable;
-pub use kway::{kway_count, kway_count_with, kway_intersect, kway_intersect_with};
+pub use kway::{
+    kway_count, kway_count_planned, kway_count_with, kway_intersect, kway_intersect_with,
+};
 pub use parallel::{par_intersect_count, par_intersect_count_on, par_intersect_count_with};
 pub use params::{FesiaParams, PipelineParams, PruneParams};
+pub use plan::{
+    default_profile_path, gallop_max_len, plan_mode, profile_status, set_gallop_max_len,
+    set_plan_mode, should_prune_summaries, IntersectPlan, IntersectPlanner, KwayPlan,
+    MachineProfile, PlanMode, SetSummary, PROFILE_VERSION,
+};
 pub use serialize::{deserialize_many, serialize_many, DecodeError};
 pub use set::SegmentedSet;
 pub use stats::{bit_collision_rate, filter_stats, survivor_segments, FilterStats, SegmentStats};
-pub use tuning::{should_prune, tune, tune_grid, tune_pipeline, TuneResult};
+pub use tuning::{calibrate, should_prune, tune, tune_grid, tune_pipeline, TuneResult};
 pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};
 
 pub use fesia_simd::mask::LaneWidth;

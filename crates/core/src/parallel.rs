@@ -10,6 +10,7 @@
 
 use crate::intersect::default_table;
 use crate::kernels::KernelTable;
+use crate::plan::{IntersectPlan, IntersectPlanner, SetSummary};
 use crate::set::SegmentedSet;
 use fesia_exec::Executor;
 use fesia_simd::mask::for_each_nonzero_lane;
@@ -45,8 +46,9 @@ pub fn par_intersect_count_on(
         b.lane(),
         "sets must be built with the same segment width to be intersected"
     );
+    let planner = IntersectPlanner::current();
     if num_threads == 1 {
-        return crate::intersect::intersect_count_with(a, b, table);
+        return crate::intersect::intersect_count_planned(a, b, table, &planner);
     }
     let (large, small) = if a.bitmap_bits() >= b.bitmap_bits() {
         (a, b)
@@ -61,11 +63,15 @@ pub fn par_intersect_count_on(
 
     // Claim granularity: 64-byte SIMD blocks, and whole small-bitmap tiles
     // when folding (so `local_offset & small_mask` equals the global fold).
-    // When the pair qualifies for summary pruning (equal sizes only — a
+    // When the planner selects the pruned plan (equal sizes only — a
     // folded chunk's summary tiling is not slice-local), chunks align to
     // whole summary words instead: one u64 of summary covers 64 blocks =
     // 4096 bitmap bytes, so each worker ANDs its own summary slice.
-    let prune = !folded && crate::tuning::should_prune(a, b, &crate::intersect::prune_params());
+    let prune = !folded
+        && matches!(
+            planner.plan_merge(&SetSummary::of(a), &SetSummary::of(b)),
+            IntersectPlan::Pruned { .. }
+        );
     let align = if folded {
         small_bytes.len().max(64)
     } else if prune {
@@ -250,6 +256,7 @@ mod tests {
     fn forced_prune_partitioning_matches_serial() {
         use crate::intersect::{prune_params, set_prune_params};
         use crate::params::PruneParams;
+        let _guard = crate::plan::test_knob_lock();
         // Oversized bitmaps make most summary blocks empty, so the pruned
         // partitioning actually skips; forcing the knob on keeps the test
         // deterministic. (Counts are invariant across dispatch forms, so

@@ -4,6 +4,63 @@ use fesia_simd::mask::LaneWidth;
 use fesia_simd::util::next_pow2;
 use fesia_simd::SimdLevel;
 
+/// Centralized, validated parsing of every `FESIA_*` environment knob.
+///
+/// All knob reads in the workspace funnel through here (or, below
+/// `fesia-core` in the dependency graph, through the same
+/// `fesia_obs::env` primitives this module re-exports): missing
+/// variables are silent, malformed values emit exactly one `warning:`
+/// line via the shared path and fall back to the default, and
+/// [`env::warn_unrecognized`] reports — once per process — any
+/// `FESIA_*` variable that no component recognizes (typo protection:
+/// `FESIA_PIPLINE=0` used to be silently ignored).
+pub mod env {
+    pub use fesia_obs::env::{parse_bool, parse_f64, parse_u32, parse_usize, raw, warn_malformed};
+    use std::sync::OnceLock;
+
+    /// Every `FESIA_*` variable some component of this workspace reads.
+    pub const KNOWN_VARS: &[&str] = &[
+        "FESIA_THREADS",
+        "FESIA_PIPELINE",
+        "FESIA_PREFETCH_DIST",
+        "FESIA_PIPELINE_MIN",
+        "FESIA_PRUNE",
+        "FESIA_PRUNE_MIN_BYTES",
+        "FESIA_PRUNE_MAX_SURVIVOR",
+        "FESIA_PLAN",
+        "FESIA_PROFILE",
+    ];
+
+    /// `FESIA_*` variables present in the environment that no component
+    /// reads (sorted). Exposed separately from the warning so it is
+    /// testable without capturing stderr.
+    pub fn unrecognized_vars() -> Vec<String> {
+        let mut out: Vec<String> = std::env::vars_os()
+            .filter_map(|(k, _)| k.into_string().ok())
+            .filter(|k| k.starts_with("FESIA_") && !KNOWN_VARS.contains(&k.as_str()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Emit one startup warning listing unrecognized `FESIA_*`
+    /// variables. Idempotent: the scan runs once per process, on the
+    /// first planner/params initialization.
+    pub fn warn_unrecognized() {
+        static ONCE: OnceLock<()> = OnceLock::new();
+        ONCE.get_or_init(|| {
+            let unknown = unrecognized_vars();
+            if !unknown.is_empty() {
+                eprintln!(
+                    "warning: unrecognized FESIA_* environment variable(s): {} (known: {})",
+                    unknown.join(", "),
+                    KNOWN_VARS.join(", ")
+                );
+            }
+        });
+    }
+}
+
 /// Minimum bitmap size in bits.
 ///
 /// 512 bits = 64 bytes = one AVX-512 block; enforcing this floor removes
@@ -123,23 +180,22 @@ impl PipelineParams {
     /// The defaults, with `FESIA_PIPELINE` / `FESIA_PREFETCH_DIST` /
     /// `FESIA_PIPELINE_MIN` environment overrides applied.
     pub fn from_env() -> Self {
-        let mut p = PipelineParams::default();
-        if let Ok(v) = std::env::var("FESIA_PIPELINE") {
-            p.enabled = v != "0" && !v.eq_ignore_ascii_case("off");
+        PipelineParams::default().with_env_overrides()
+    }
+
+    /// Apply the environment overrides field-by-field on top of `self`
+    /// (the planner layers them over a loaded machine profile).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(enabled) = env::parse_bool("FESIA_PIPELINE") {
+            self.enabled = enabled;
         }
-        if let Some(d) = std::env::var("FESIA_PREFETCH_DIST")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-        {
-            p.prefetch_distance = d;
+        if let Some(d) = env::parse_usize("FESIA_PREFETCH_DIST") {
+            self.prefetch_distance = d;
         }
-        if let Some(m) = std::env::var("FESIA_PIPELINE_MIN")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-        {
-            p.min_elements = m;
+        if let Some(m) = env::parse_usize("FESIA_PIPELINE_MIN") {
+            self.min_elements = m;
         }
-        p
+        self
     }
 
     /// Override the phase-2 prefetch distance.
@@ -207,29 +263,30 @@ impl PruneParams {
     /// The defaults, with `FESIA_PRUNE` / `FESIA_PRUNE_MIN_BYTES` /
     /// `FESIA_PRUNE_MAX_SURVIVOR` environment overrides applied.
     pub fn from_env() -> Self {
-        let mut p = PruneParams::default();
-        if let Ok(v) = std::env::var("FESIA_PRUNE") {
-            p.forced = if v == "0" || v.eq_ignore_ascii_case("off") {
-                Some(false)
-            } else if v.eq_ignore_ascii_case("auto") {
+        PruneParams::default().with_env_overrides()
+    }
+
+    /// Apply the environment overrides field-by-field on top of `self`
+    /// (the planner layers them over a loaded machine profile).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(v) = env::raw("FESIA_PRUNE") {
+            self.forced = if v.eq_ignore_ascii_case("auto") {
                 None
             } else {
-                Some(true)
+                // Tri-state knob: anything that isn't "auto" degrades to
+                // the shared boolean contract (0/off/false disable).
+                Some(
+                    !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+                )
             };
         }
-        if let Some(b) = std::env::var("FESIA_PRUNE_MIN_BYTES")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-        {
-            p.min_bitmap_bytes = b;
+        if let Some(b) = env::parse_usize("FESIA_PRUNE_MIN_BYTES") {
+            self.min_bitmap_bytes = b;
         }
-        if let Some(s) = std::env::var("FESIA_PRUNE_MAX_SURVIVOR")
-            .ok()
-            .and_then(|s| s.parse::<u32>().ok())
-        {
-            p.max_survivor_pct = s.min(100);
+        if let Some(s) = env::parse_u32("FESIA_PRUNE_MAX_SURVIVOR") {
+            self.max_survivor_pct = s.min(100);
         }
-        p
+        self
     }
 
     /// Force the pruned scan on or off, or restore auto-selection with

@@ -75,7 +75,7 @@ impl SegMeta {
 /// * **segment** metadata: every `s` bits of bitmap form a segment, with a
 ///   packed `(offset, size)` entry locating its members;
 /// * the **reordered set**: all members grouped by segment, sorted within
-///   each segment, padded with [`PAD_SENTINEL`]s for safe SIMD over-reads.
+///   each segment, padded with `PAD_SENTINEL`s for safe SIMD over-reads.
 ///
 /// Elements must be below [`MAX_ELEMENT`]; the top `u32` values are
 /// reserved as padding sentinels for the SIMD kernels.

@@ -192,15 +192,115 @@ pub fn tune_pipeline(
 /// popcounts cached at build time ([`SegmentedSet::summary_density`]),
 /// so the decision costs a few multiplies per intersection.
 pub fn should_prune(a: &SegmentedSet, b: &SegmentedSet, p: &PruneParams) -> bool {
-    if let Some(forced) = p.forced {
-        return forced;
+    crate::plan::should_prune_summaries(
+        &crate::plan::SetSummary::of(a),
+        &crate::plan::SetSummary::of(b),
+        p,
+    )
+}
+
+/// Deterministic sorted-unique sample generator for [`calibrate`]
+/// (xorshift64; no external randomness so profiles are reproducible).
+fn calibration_sample(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+    let mut state = seed | 1;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        set.insert((state % universe as u64) as u32);
     }
-    let combined_bytes = a.bitmap_bytes().len() + b.bitmap_bytes().len();
-    if combined_bytes < p.min_bitmap_bytes {
-        return false;
+    set.into_iter().collect()
+}
+
+fn min_cycles(reps: usize, mut f: impl FnMut() -> usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = CycleTimer::start();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed_cycles());
     }
-    let expected_survivor_pct = a.summary_density() * b.summary_density() * 100.0;
-    expected_survivor_pct <= p.max_survivor_pct as f64
+    best
+}
+
+/// Fit a [`crate::plan::MachineProfile`] by running the existing
+/// microbenchmarks on this machine (the measurement half of
+/// `fesia tune`):
+///
+/// 1. **Pipeline** — [`tune_pipeline`] on comparable mid-size pairs
+///    picks the interleaved-vs-pipelined winner and its prefetch
+///    distance; the winning distance keeps the default `min_elements`
+///    crossover floor (the sweep in `repro batch` locates it; a quick
+///    calibration cannot beat that resolution).
+/// 2. **Prune** — a sparse oversized pair (where pruning should win) is
+///    timed pruned vs interleaved; if the pruned scan wins, the
+///    `min_bitmap_bytes` floor is lowered to half that pair's combined
+///    size, otherwise the defaults stand.
+/// 3. **Gallop** — tiny pairs are timed galloping vs interleaved; the
+///    ceiling is the largest combined size where galloping won (0 when
+///    it never does, which keeps auto mode on the segmented merge).
+///
+/// `quick` shrinks sizes and repetitions (~10x less work) for smoke
+/// runs. The result is *not* installed or persisted — callers pass it to
+/// [`crate::plan::MachineProfile::save`] and/or apply it with the knob
+/// setters.
+pub fn calibrate(quick: bool) -> crate::plan::MachineProfile {
+    let table = KernelTable::auto();
+    let reps = if quick { 2 } else { 5 };
+    let mut profile = crate::plan::MachineProfile::default();
+
+    // 1. Pipeline crossover.
+    let n = if quick { 20_000 } else { 200_000 };
+    let samples: Vec<(Vec<u32>, Vec<u32>)> = (0..2u64)
+        .map(|i| {
+            (
+                calibration_sample(n, 1 + i, (n as u32) * 20),
+                calibration_sample(n, 100 + i, (n as u32) * 20),
+            )
+        })
+        .collect();
+    let tuned = tune_pipeline(&samples, &table, reps);
+    profile.pipeline = if tuned.enabled {
+        PipelineParams::default().with_prefetch_distance(tuned.prefetch_distance)
+    } else {
+        PipelineParams::default().with_enabled(false)
+    };
+
+    // 2. Prune crossover on a sparse, oversized pair.
+    let pn = if quick { 4_000 } else { 20_000 };
+    let sparse = FesiaParams::auto().with_bits_per_element(256.0);
+    let pa = SegmentedSet::build(&calibration_sample(pn, 7, u32::MAX), &sparse).unwrap();
+    let pb = SegmentedSet::build(&calibration_sample(pn, 13, u32::MAX), &sparse).unwrap();
+    let mut scratch = Vec::new();
+    let plain = min_cycles(reps, || {
+        crate::intersect::intersect_count_interleaved_with(&pa, &pb, &table)
+    });
+    let pruned = min_cycles(reps, || {
+        crate::intersect::intersect_count_pruned_with(&pa, &pb, &table, &mut scratch, 8).0
+    });
+    if pruned < plain {
+        let combined = pa.bitmap_bytes().len() + pb.bitmap_bytes().len();
+        profile.prune = PruneParams::default().with_min_bitmap_bytes(combined / 2);
+    }
+
+    // 3. Gallop admission ceiling.
+    let mut ceiling = 0usize;
+    for n in [64usize, 256, 1024] {
+        let ga = calibration_sample(n, 17, (n as u32) * 16);
+        let gb = calibration_sample(n, 23, (n as u32) * 16);
+        let params = FesiaParams::auto();
+        let sa = SegmentedSet::build(&ga, &params).unwrap();
+        let sb = SegmentedSet::build(&gb, &params).unwrap();
+        let merge = min_cycles(reps, || {
+            crate::intersect::intersect_count_interleaved_with(&sa, &sb, &table)
+        });
+        let gallop = min_cycles(reps, || crate::intersect::gallop_count(&sa, &sb));
+        if gallop < merge {
+            ceiling = 2 * n;
+        }
+    }
+    profile.gallop_max_len = ceiling;
+    profile
 }
 
 #[cfg(test)]
@@ -271,6 +371,14 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn pipeline_tuner_rejects_empty_samples() {
         let _ = tune_pipeline(&[], &KernelTable::auto(), 1);
+    }
+
+    #[test]
+    fn quick_calibration_produces_a_loadable_profile() {
+        let p = calibrate(true);
+        assert_eq!(p.version, crate::plan::PROFILE_VERSION);
+        let back = crate::plan::MachineProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

@@ -267,14 +267,21 @@ impl Executor {
     ///
     /// Sized from `std::thread::available_parallelism()`; set the
     /// `FESIA_THREADS` environment variable (before first use) to
-    /// override.
+    /// override. Parsing goes through the shared validated path
+    /// (`fesia_obs::env`), so a malformed value warns once and the
+    /// hardware default stands; zero is rejected the same way.
     pub fn global() -> &'static Executor {
         static GLOBAL: OnceLock<Executor> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let threads = std::env::var("FESIA_THREADS")
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .filter(|&n| n >= 1)
+            let threads = fesia_obs::env::parse_usize("FESIA_THREADS")
+                .and_then(|n| {
+                    if n >= 1 {
+                        Some(n)
+                    } else {
+                        fesia_obs::env::warn_malformed("FESIA_THREADS", "0", "a positive integer");
+                        None
+                    }
+                })
                 .unwrap_or_else(|| {
                     std::thread::available_parallelism()
                         .map(|n| n.get())

@@ -1,5 +1,5 @@
 //! Maximal clique enumeration — "listing all maximal cliques in sparse
-//! graphs" is one of the paper's motivating applications (§I, [10],
+//! graphs" is one of the paper's motivating applications (§I, \[10\],
 //! Eppstein/Löffler/Strash).
 //!
 //! Bron–Kerbosch with pivoting and degeneracy ordering. The inner
@@ -78,7 +78,7 @@ fn degeneracy_order(g: &CsrGraph) -> Vec<u32> {
 /// Enumerate all maximal cliques; each clique is emitted sorted ascending.
 ///
 /// Runs Bron–Kerbosch with pivoting inside a degeneracy-ordered outer
-/// loop, the `O(d·n·3^(d/3))` scheme of the paper's [10].
+/// loop, the `O(d·n·3^(d/3))` scheme of the paper's \[10\].
 pub fn maximal_cliques(g: &CsrGraph) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     let order = degeneracy_order(g);

@@ -1,6 +1,6 @@
 //! Clustering coefficients via set intersection — the "neighborhood
 //! discovery" and "community detection" applications that motivate the
-//! paper (§I [8], [10], [11]).
+//! paper (§I \[8\], \[10\], \[11\]).
 //!
 //! The local clustering coefficient of `v` is the number of edges among
 //! `N(v)` divided by `deg(v)·(deg(v)-1)/2`; the edge count among neighbors

@@ -2,7 +2,8 @@
 //!
 //! The graph is degree-oriented into a DAG so each triangle is counted
 //! exactly once: `triangles = Σ_{(u,v) ∈ E+} |N+(u) ∩ N+(v)|`. The
-//! intersection primitive is pluggable — any baseline [`Method`] on the raw
+//! intersection primitive is pluggable — any baseline
+//! [`Method`](fesia_baselines::Method) on the raw
 //! adjacency slices, or FESIA over per-vertex pre-encoded neighborhoods —
 //! and the edge loop parallelizes over cores (the `FESIA4core/8core`
 //! series of Fig. 13).
@@ -102,6 +103,9 @@ impl FesiaGraph {
     ) -> (u64, Duration) {
         assert!(threads >= 1);
         fesia_obs::metrics().graph_triangle_runs.inc();
+        // One planner snapshot shared by every worker: millions of edge
+        // intersections plan against plain loads of a `Copy` struct.
+        let planner = fesia_core::IntersectPlanner::current();
         let start = Instant::now();
         let n = oriented.num_nodes();
         let sets = &self.sets;
@@ -118,10 +122,15 @@ impl FesiaGraph {
                         for &v in oriented.neighbors(u as u32) {
                             // Strategy selection per pair (paper §VI):
                             // adjacency lists are mostly tiny and often
-                            // skewed, so the adaptive entry point (probe vs
-                            // merge) is the faithful way to run FESIA on a
-                            // graph workload.
-                            acc += fesia_core::auto_count_with(su, &sets[v as usize], table) as u64;
+                            // skewed, so the planner's adaptive pair plan
+                            // (probe vs merge vs gallop) is the faithful way
+                            // to run FESIA on a graph workload.
+                            acc += fesia_core::auto_count_planned(
+                                su,
+                                &sets[v as usize],
+                                table,
+                                &planner,
+                            ) as u64;
                             edges += 1;
                         }
                     }

@@ -193,14 +193,17 @@ impl FesiaIndex {
     }
 
     /// Execute a query workload with FESIA; returns the total result count
-    /// and the elapsed (online-phase) wall time.
+    /// and the elapsed (online-phase) wall time. The
+    /// [`fesia_core::IntersectPlanner`] is snapshotted once for the whole
+    /// workload, so per-query planning costs no atomic loads.
     pub fn run_queries(&self, queries: &[Query], table: &KernelTable) -> (usize, Duration) {
         fesia_obs::metrics().index_queries.add(queries.len() as u64);
+        let planner = fesia_core::IntersectPlanner::current();
         let start = Instant::now();
         let mut total = 0usize;
         for q in queries {
             let sets: Vec<&SegmentedSet> = q.terms.iter().map(|&t| self.set(t)).collect();
-            total += fesia_core::kway_count_with(&sets, table);
+            total += fesia_core::kway_count_planned(&sets, table, &planner);
         }
         (total, start.elapsed())
     }
@@ -218,6 +221,7 @@ impl FesiaIndex {
     ) -> (usize, Duration) {
         assert!(threads >= 1, "need at least one thread");
         fesia_obs::metrics().index_queries.add(queries.len() as u64);
+        let planner = fesia_core::IntersectPlanner::current();
         let start = Instant::now();
         let total = Executor::global()
             .map_reduce(
@@ -229,7 +233,7 @@ impl FesiaIndex {
                     for q in &queries[range] {
                         let sets: Vec<&SegmentedSet> =
                             q.terms.iter().map(|&t| self.set(t)).collect();
-                        acc += fesia_core::kway_count_with(&sets, table);
+                        acc += fesia_core::kway_count_planned(&sets, table, &planner);
                     }
                     acc
                 },
@@ -241,10 +245,19 @@ impl FesiaIndex {
 
     /// Answer one query with the matching *document ids* (ascending) —
     /// what a search engine actually returns, via the materializing k-way
-    /// path.
+    /// path. Posting lists are visited in the planner's k-way order
+    /// (shortest first), which shrinks the candidate set fastest.
     pub fn retrieve(&self, query: &Query, table: &KernelTable) -> Vec<u32> {
+        let planner = fesia_core::IntersectPlanner::current();
         let sets: Vec<&SegmentedSet> = query.terms.iter().map(|&t| self.set(t)).collect();
-        fesia_core::kway_intersect_with(&sets, table)
+        let lens: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+        let ordered: Vec<&SegmentedSet> = planner
+            .plan_kway(&lens)
+            .order
+            .iter()
+            .map(|&i| sets[i])
+            .collect();
+        fesia_core::kway_intersect_with(&ordered, table)
     }
 }
 

@@ -33,6 +33,8 @@
 //! println!("{}", delta.report());
 //! ```
 
+pub mod env;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing event counter with relaxed ordering.
@@ -319,6 +321,20 @@ define_metrics! {
             "Segment pairs surviving the phase-1 bitmap filter (pipelined dispatch only — the interleaved form never materializes its survivors).",
         scratch_reused:
             "Pipelined dispatches that reused an already-allocated thread-local survivor buffer.",
+        plan_plain:
+            "Planner decisions that selected the plain (interleaved) two-phase form.",
+        plan_pipelined:
+            "Planner decisions that selected the pipelined two-phase form.",
+        plan_pruned:
+            "Planner decisions that selected the summary-pruned two-phase form.",
+        plan_hash:
+            "Planner decisions that selected the hash-probe strategy.",
+        plan_gallop:
+            "Planner decisions that selected the galloping sorted-merge fallback.",
+        plan_forced:
+            "Planner decisions overridden by a forced FESIA_PLAN mode.",
+        plan_profile_loads:
+            "Machine-profile files successfully loaded into the planner.",
         strategy_merge:
             "Adaptive (auto_count) intersections routed to the two-phase merge strategy.",
         strategy_hash:

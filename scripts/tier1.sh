@@ -21,6 +21,9 @@ cargo build --release
 echo "== tier1: cargo test -q =="
 cargo test -q
 
+echo "== tier1: cargo doc --no-deps =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== tier1: repro batch --scale smoke =="
     ./target/release/repro batch --scale smoke
@@ -37,6 +40,37 @@ if [[ "${1:-}" == "--smoke" ]]; then
         exit 1
     }
     echo "prune gates OK (counts match, small-dense overhead ${overhead}%)"
+
+    echo "== tier1: repro plan --scale smoke =="
+    ./target/release/repro plan --scale smoke
+    echo "== tier1: plan gates (BENCH_plan.json) =="
+    grep -q '"counts_match": true' BENCH_plan.json || {
+        echo "tier1: FAIL — a forced plan disagreed with auto on a count"
+        exit 1
+    }
+    grep -q '"auto_within_10pct": true' BENCH_plan.json || {
+        echo "tier1: FAIL — auto plan more than 10% behind the best forced plan"
+        exit 1
+    }
+    echo "plan gates OK (counts match, auto within 10% of best forced)"
+
+    echo "== tier1: fesia tune --quick round-trip =="
+    profile=$(mktemp -t fesia-profile-XXXXXX.json)
+    ./target/release/fesia tune --quick --profile "$profile" | grep -q "reload verified" || {
+        echo "tier1: FAIL — tune did not write a reloadable profile"
+        rm -f "$profile"
+        exit 1
+    }
+    printf '1\n2\n3\n' > "${profile%.json}.txt"
+    ./target/release/fesia build "${profile%.json}.txt" "${profile%.json}.fsia" > /dev/null
+    FESIA_PROFILE="$profile" ./target/release/fesia info "${profile%.json}.fsia" \
+        | grep -q "profile=loaded v" || {
+        echo "tier1: FAIL — planner did not load the tuned profile"
+        rm -f "$profile" "${profile%.json}.txt" "${profile%.json}.fsia"
+        exit 1
+    }
+    rm -f "$profile" "${profile%.json}.txt" "${profile%.json}.fsia"
+    echo "tune smoke OK (profile written, reloaded by the planner)"
 fi
 
 echo "== tier1: OK =="
