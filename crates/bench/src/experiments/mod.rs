@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod compress;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -49,6 +50,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "batch" => batch::run(scale),
         "plan" => plan::run(scale),
         "prune" => prune::run(scale),
+        "compress" => compress::run(scale),
         "obs" => obs::run(scale),
         "memory" => memory::run(scale),
         _ => return None,
@@ -60,7 +62,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 pub fn run_all(scale: Scale) -> String {
     let ids = [
         "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "obs",
+        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "compress", "obs",
     ];
     let mut out = String::new();
     for id in ids {

@@ -79,6 +79,16 @@ pub fn parse_values(text: &str) -> Result<Vec<u32>, CliError> {
 }
 
 fn load_set(path: &str) -> Result<SegmentedSet, CliError> {
+    // v3 files decode zero-copy straight out of the mapping (no per-set
+    // heap allocation); anything the mapped decoder refuses — legacy
+    // versions, big-endian hosts, misaligned buffers — falls back to the
+    // owned, fully validating path.
+    if let Ok(file) = fesia_core::MappedFile::open(Path::new(path)) {
+        let file = std::sync::Arc::new(file);
+        if let Ok((set, _)) = SegmentedSet::deserialize_mapped(&file, 0) {
+            return Ok(set);
+        }
+    }
     let bytes = std::fs::read(Path::new(path))?;
     let (set, _) = SegmentedSet::deserialize(&bytes).map_err(CliError::Decode)?;
     Ok(set)
@@ -142,6 +152,20 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "segment bits:    {}", set.lane().bits())?;
     writeln!(out, "segments:        {}", set.num_segments())?;
     writeln!(out, "memory bytes:    {}", set.memory_bytes())?;
+    writeln!(out, "serialized:      {} bytes", set.serialized_len())?;
+    match set.packed() {
+        Some(tier) => {
+            let raw = 4 * set.len();
+            writeln!(
+                out,
+                "packed tier:     width {} ({} bytes, {:.2}x vs raw elements)",
+                tier.width(),
+                tier.stream_bytes(),
+                raw as f64 / tier.stream_bytes() as f64
+            )?;
+        }
+        None => writeln!(out, "packed tier:     none")?,
+    }
     let populated = (0..set.num_segments())
         .filter(|&i| set.seg_size(i) > 0)
         .count();
@@ -388,6 +412,18 @@ fn cmd_tune(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         back.prune.min_bitmap_bytes,
         back.prune.max_survivor_pct
     )?;
+    writeln!(
+        out,
+        "compress: forced={} min_elements={} decode_mc={} bw_mc={}",
+        match back.compress.forced {
+            Some(true) => "on",
+            Some(false) => "off",
+            None => "auto",
+        },
+        back.compress.min_elements,
+        back.compress.decode_millicycles_per_elem,
+        back.compress.bandwidth_millicycles_per_byte
+    )?;
     writeln!(out, "gallop_max_len: {}", back.gallop_max_len)?;
     writeln!(
         out,
@@ -459,6 +495,9 @@ mod tests {
         let info = String::from_utf8_lossy(&out);
         assert!(info.contains("elements:        6"), "{info}");
         assert!(info.contains("summary blocks:  1"), "{info}");
+        assert!(info.contains("serialized:      "), "{info}");
+        // Six elements are below the packing floor.
+        assert!(info.contains("packed tier:     none"), "{info}");
         // A 512-bit bitmap is far below the prune floor.
         assert!(info.contains("plain scan"), "{info}");
 
@@ -546,6 +585,13 @@ mod tests {
         let set = load_set(&f).unwrap();
         assert_eq!(set.lane().bits(), 16);
         assert_eq!(set.bitmap_bits(), 4096); // 1000 * 4 -> 4096
+                                             // 32 - log2(4096) + log2(16) = 24-bit residuals, right at the
+                                             // packing ceiling — info must report the tier and its ratio.
+        let mut out = Vec::new();
+        run(&s(&["info", &f]), &mut out).unwrap();
+        let info = String::from_utf8_lossy(&out);
+        assert!(info.contains("packed tier:     width 24"), "{info}");
+        assert!(info.contains("x vs raw elements"), "{info}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -576,6 +622,7 @@ mod tests {
         let text = String::from_utf8_lossy(&out);
         assert!(text.contains("reload verified"), "{text}");
         assert!(text.contains("pipeline: enabled="), "{text}");
+        assert!(text.contains("compress: forced="), "{text}");
         let back = fesia_core::MachineProfile::load(Path::new(&profile)).unwrap();
         assert_eq!(back.version, fesia_core::PROFILE_VERSION);
         // Bad flags are usage errors, not panics.

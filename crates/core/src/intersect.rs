@@ -1,8 +1,8 @@
 //! The two-phase online intersection (paper §III-C, Algorithm 1) and the
 //! strategy selection for skewed inputs (§VI).
 
-use crate::kernels::KernelTable;
-use crate::params::{PipelineParams, PruneParams};
+use crate::kernels::{KernelTable, UnpackJob, OVERREAD};
+use crate::params::{CompressParams, PipelineParams, PruneParams};
 use crate::plan::{IntersectPlan, IntersectPlanner, PlanMode, SetSummary};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::{
@@ -12,7 +12,7 @@ use fesia_simd::mask::{
 use fesia_simd::prefetch::prefetch_read;
 use fesia_simd::timer::CycleTimer;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// The process-wide default kernel table (widest ISA, full table).
@@ -96,11 +96,100 @@ pub fn set_prune_params(p: PruneParams) {
     store_prune(p);
 }
 
+/// `CompressParams::forced` packed like [`PRUNE_MODE`]: 0 = auto, 1 = on,
+/// 2 = off.
+static COMPRESS_MODE: AtomicUsize = AtomicUsize::new(0);
+static COMPRESS_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 20);
+static COMPRESS_DECODE_MC: AtomicU64 = AtomicU64::new(1000);
+static COMPRESS_BW_MC: AtomicU64 = AtomicU64::new(600);
+
+/// Raw store of the compress knobs, with no initialization check (see
+/// [`store_pipeline`]).
+pub(crate) fn store_compress(p: CompressParams) {
+    COMPRESS_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
+    COMPRESS_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
+    COMPRESS_DECODE_MC.store(p.decode_millicycles_per_elem, Ordering::Relaxed);
+    COMPRESS_BW_MC.store(p.bandwidth_millicycles_per_byte, Ordering::Relaxed);
+}
+
+/// The process-wide [`CompressParams`] governing the planner's choice of
+/// the compressed-tier step 2 (decode bitpacked residuals into
+/// cache-resident scratch instead of streaming the raw element array).
+pub fn compress_params() -> CompressParams {
+    crate::plan::ensure_init();
+    CompressParams {
+        forced: match COMPRESS_MODE.load(Ordering::Relaxed) {
+            1 => Some(true),
+            2 => Some(false),
+            _ => None,
+        },
+        min_elements: COMPRESS_MIN_ELEMENTS.load(Ordering::Relaxed),
+        decode_millicycles_per_elem: COMPRESS_DECODE_MC.load(Ordering::Relaxed),
+        bandwidth_millicycles_per_byte: COMPRESS_BW_MC.load(Ordering::Relaxed),
+    }
+}
+
+/// Replace the process-wide [`CompressParams`].
+pub fn set_compress_params(p: CompressParams) {
+    crate::plan::ensure_init();
+    store_compress(p);
+}
+
 thread_local! {
     /// Per-thread survivor buffer reused across every pipelined or pruned
     /// intersection this thread runs — the batch layer gets cross-pair
     /// reuse for free because a pool worker keeps its thread alive.
     static PIPELINE_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread decode destinations for the compressed step 2, one per
+    /// operand side so a segment pair can be unpacked without aliasing.
+    /// Side A pads with `u32::MAX`, side B with `u32::MAX - 1`: both above
+    /// every decodable hash (the builder refuses to pack a set containing
+    /// `fmix32(x) >= u32::MAX - 1`), and distinct from each other, so the
+    /// kernels' over-read lanes can never manufacture a match.
+    static DECODE_SCRATCH: RefCell<(DecodeScratch, DecodeScratch)> = const {
+        RefCell::new((
+            DecodeScratch::new(u32::MAX),
+            DecodeScratch::new(u32::MAX - 1),
+        ))
+    };
+}
+
+/// One side's decode destination: a buffer whose tail past the last
+/// decoded element is always sentinel-filled, maintained with a
+/// high-water mark so steady-state reuse writes nothing but the decoded
+/// elements themselves.
+struct DecodeScratch {
+    buf: Vec<u32>,
+    /// Invariant: `buf[high..]` is entirely `sentinel`.
+    high: usize,
+    sentinel: u32,
+}
+
+impl DecodeScratch {
+    const fn new(sentinel: u32) -> Self {
+        DecodeScratch {
+            buf: Vec::new(),
+            high: 0,
+            sentinel,
+        }
+    }
+
+    /// Destination pointer for a `k`-element decode, writable for `k`
+    /// elements with [`OVERREAD`] sentinel slack behind them.
+    ///
+    /// Growing only sentinel-fills the new tail (the decode overwrites
+    /// `[0, k)`); shrinking refills the now-exposed `[k, high)` span.
+    #[inline]
+    fn prepare(&mut self, k: usize) -> *mut u32 {
+        if self.buf.len() < k + OVERREAD {
+            self.buf.resize(k + OVERREAD, self.sentinel);
+        } else if k < self.high {
+            self.buf[k..self.high].fill(self.sentinel);
+        }
+        self.high = k;
+        self.buf.as_mut_ptr()
+    }
 }
 
 fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
@@ -202,6 +291,32 @@ pub fn execute_plan_count(
                 let n =
                     intersect_count_pipelined_with(a, b, table, &mut scratch, prefetch_distance);
                 m.survivor_segments.add(scratch.len() as u64);
+                if let Some(t) = timer {
+                    m.intersect_cycles.record(t.elapsed_cycles());
+                }
+                n
+            })
+        }
+        IntersectPlan::Compressed { prefetch_distance } => {
+            m.plan_compressed.inc();
+            // The planner only picks this plan when both sides report a
+            // packed tier; an explicit plan on tier-less sets falls back
+            // to the interleaved form rather than failing.
+            if a.packed().is_none() || b.packed().is_none() {
+                return intersect_count_interleaved_with(a, b, table);
+            }
+            PIPELINE_SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                if scratch.capacity() != 0 {
+                    m.scratch_reused.inc();
+                }
+                let sampled = m.intersect_compressed.inc() & fesia_obs::SAMPLE_MASK == 0;
+                let timer = sampled.then(CycleTimer::start);
+                let (n, stats) =
+                    intersect_count_compressed_with(a, b, table, &mut scratch, prefetch_distance);
+                m.survivor_segments.add(scratch.len() as u64);
+                m.compressed_segments_decoded.add(stats.segments_decoded);
+                m.compressed_bytes_saved.add(stats.bytes_saved);
                 if let Some(t) = timer {
                     m.intersect_cycles.record(t.elapsed_cycles());
                 }
@@ -527,6 +642,159 @@ pub fn intersect_count_pruned_with(
     (count as usize, stats)
 }
 
+/// What the compressed step 2 did: how many segments it unpacked and how
+/// much memory traffic the packed streams avoided versus reading the raw
+/// element arrays (`4*(ka+kb) - (ka*wa + kb*wb)/8` bytes per surviving
+/// pair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressStats {
+    /// Segments decoded from the packed streams (two per surviving pair).
+    pub segments_decoded: u64,
+    /// Bytes of raw-element traffic the packed streams replaced.
+    pub bytes_saved: u64,
+}
+
+/// [`intersect_count_with`] in the compressed form, with an explicit
+/// survivor buffer; returns the count and the decode [`CompressStats`].
+///
+/// Both sets must carry a packed tier ([`SegmentedSet::packed`]). Phase 1
+/// is the pipelined survivor scan, prefetching the packed *streams*
+/// rather than the raw element arrays. Phase 2 unpacks each surviving
+/// segment pair into per-thread sentinel-padded scratch (the SIMD decode
+/// prologue, [`KernelTable::unpack_segment`]) and runs the ordinary
+/// compare kernels on the decoded hashes. Because `fmix32` is a
+/// bijection and the decode reconstructs the full 32-bit hash, the
+/// per-segment hash-domain counts equal the element-domain counts — on
+/// folded pairs too, where both sides decode to the same `fmix32(x)`
+/// regardless of their different geometries — so every form counts
+/// identically while step 2 streams `width/32` of the raw bytes.
+pub fn intersect_count_compressed_with(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    scratch: &mut Vec<u32>,
+    prefetch_distance: usize,
+) -> (usize, CompressStats) {
+    check_compatible(a, b);
+    let level = table.level();
+    let lane = a.lane();
+    scratch.clear();
+    // Large (or either, when equal) side is x; folding masks y's index.
+    let (x, y) = if a.bitmap_bits() >= b.bitmap_bits() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let px = x.packed().expect("compressed form needs packed tiers");
+    let py = y.packed().expect("compressed form needs packed tiers");
+    let (wx, wy) = (px.width(), py.width());
+    let (xw, yw) = (px.words().as_ptr(), py.words().as_ptr());
+    let seg_mask = y.num_segments() - 1;
+    let log2_s = lane.bits().trailing_zeros();
+
+    // Prefetch the packed word a segment's residual run starts in.
+    let pf = |s: &SegmentedSet, words: *const u64, width: u32, i: usize| {
+        let word = (s.seg_entry(i).0 as u64 * u64::from(width)) / 64;
+        // SAFETY: the run start is inside the stream, which `words` spans.
+        prefetch_read(unsafe { words.add(word as usize) });
+    };
+
+    if a.bitmap_bits() == b.bitmap_bits() {
+        for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
+            if scratch.len() < prefetch_distance {
+                pf(x, xw, wx, i);
+                pf(y, yw, wy, i);
+            }
+            scratch.push(i as u32);
+        });
+    } else {
+        for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
+            if scratch.len() < prefetch_distance {
+                pf(x, xw, wx, i);
+                pf(y, yw, wy, i & seg_mask);
+            }
+            scratch.push(i as u32);
+        });
+    }
+
+    let mut count = 0u64;
+    // Decoded-element totals; the bytes-saved arithmetic runs once at the
+    // end instead of inside the miss-bound sweep.
+    let (mut kx_total, mut ky_total) = (0u64, 0u64);
+    DECODE_SCRATCH.with(|ds| {
+        let pair = &mut *ds.borrow_mut();
+        let (da, db) = (&mut pair.0, &mut pair.1);
+        for k in 0..scratch.len() {
+            // Two-stage prefetch: the packed-word address depends on the
+            // metadata entry, so the entry itself is hinted a further
+            // `prefetch_distance` out — by the time `pf` reads it to
+            // compute the stream word, it is cache-resident and the only
+            // in-flight misses are the asynchronous hints.
+            if prefetch_distance != 0 {
+                if k + 2 * prefetch_distance < scratch.len() {
+                    let far = scratch[k + 2 * prefetch_distance] as usize;
+                    x.prefetch_seg_entry(far);
+                    y.prefetch_seg_entry(far & seg_mask);
+                }
+                if k + prefetch_distance < scratch.len() {
+                    let ahead = scratch[k + prefetch_distance] as usize;
+                    pf(x, xw, wx, ahead);
+                    pf(y, yw, wy, ahead & seg_mask);
+                }
+            }
+            let i = scratch[k] as usize;
+            let j = i & seg_mask;
+            let (xo, kx) = x.seg_entry(i);
+            let (yo, ky) = y.seg_entry(j);
+            let dx = da.prepare(kx);
+            let dy = db.prepare(ky);
+            // SAFETY: the jobs describe real segments of streams packed at
+            // these parameters; the scratch destinations are writable for
+            // `k` elements (with OVERREAD sentinel slack behind them).
+            unsafe {
+                table.unpack_segment(
+                    xw,
+                    UnpackJob {
+                        bit_base: xo as u64 * u64::from(wx),
+                        k: kx,
+                        width: wx,
+                        log2_m: x.log2_m(),
+                        log2_s,
+                        seg_index: i as u32,
+                    },
+                    dx,
+                );
+                table.unpack_segment(
+                    yw,
+                    UnpackJob {
+                        bit_base: yo as u64 * u64::from(wy),
+                        k: ky,
+                        width: wy,
+                        log2_m: y.log2_m(),
+                        log2_s,
+                        seg_index: j as u32,
+                    },
+                    dy,
+                );
+                // SAFETY: both decoded runs are ascending (residual order
+                // is hash order at fixed segment), sentinel-padded with
+                // distinct above-range values, and OVERREAD-readable.
+                count += u64::from(table.count(dx as *const u32, kx, dy as *const u32, ky));
+            }
+            kx_total += kx as u64;
+            ky_total += ky as u64;
+        }
+    });
+    (
+        count as usize,
+        CompressStats {
+            segments_decoded: 2 * scratch.len() as u64,
+            bytes_saved: 4 * (kx_total + ky_total)
+                - (kx_total * u64::from(wx) + ky_total * u64::from(wy)) / 8,
+        },
+    )
+}
+
 /// |A ∩ B| with the process-default kernel table (widest available ISA).
 ///
 /// ```
@@ -824,6 +1092,135 @@ pub fn intersect_count_breakdown_pruned(
             count: count as usize,
         },
         stats,
+    )
+}
+
+/// [`intersect_count_breakdown`] with the compressed step 2; also returns
+/// the decode [`CompressStats`]. Used by the `repro compress` experiment
+/// to time step 2 with and without the packed tier on the same pair.
+/// Both sets must carry a packed tier.
+///
+/// The sweep keeps the production form's software prefetch (the packed
+/// streams are read at random segment offsets, and overlapping those
+/// misses is part of the compressed design, exactly as the summary-pruned
+/// scan's block prefetch is part of its step 1) — so `step2_cycles` here
+/// is the cost of the compressed sweep as shipped, compared against the
+/// plain Algorithm-1 sweep of [`intersect_count_breakdown`].
+pub fn intersect_count_breakdown_compressed(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+) -> (Breakdown, CompressStats) {
+    check_compatible(a, b);
+    let level = table.level();
+    let lane = a.lane();
+    let folded = a.bitmap_bits() != b.bitmap_bits();
+    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let px = x.packed().expect("compressed form needs packed tiers");
+    let py = y.packed().expect("compressed form needs packed tiers");
+    let (wx, wy) = (px.width(), py.width());
+    let (xw, yw) = (px.words().as_ptr(), py.words().as_ptr());
+    let seg_mask = y.num_segments() - 1;
+    let log2_s = lane.bits().trailing_zeros();
+
+    let t1 = CycleTimer::start();
+    let mut pairs: Vec<u32> = Vec::new();
+    if folded {
+        for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
+            pairs.push(i as u32)
+        });
+    } else {
+        for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
+            pairs.push(i as u32)
+        });
+    }
+    let step1_cycles = t1.elapsed_cycles();
+
+    let t2 = CycleTimer::start();
+    let mut count = 0u64;
+    // Decoded-element totals; the bytes-saved arithmetic runs once at the
+    // end instead of inside the miss-bound sweep.
+    let (mut kx_total, mut ky_total) = (0u64, 0u64);
+    let dist = pipeline_params().prefetch_distance;
+    // Prefetch the packed word a segment's residual run starts in.
+    let pf = |s: &SegmentedSet, words: *const u64, width: u32, i: usize| {
+        let word = (s.seg_entry(i).0 as u64 * u64::from(width)) / 64;
+        // SAFETY: the run start is inside the stream, which `words` spans.
+        prefetch_read(unsafe { words.add(word as usize) });
+    };
+    DECODE_SCRATCH.with(|ds| {
+        let pair = &mut *ds.borrow_mut();
+        let (da, db) = (&mut pair.0, &mut pair.1);
+        for k in 0..pairs.len() {
+            // Two-stage prefetch, as in `intersect_count_compressed_with`.
+            if dist != 0 {
+                if k + 2 * dist < pairs.len() {
+                    let far = pairs[k + 2 * dist] as usize;
+                    x.prefetch_seg_entry(far);
+                    y.prefetch_seg_entry(far & seg_mask);
+                }
+                if k + dist < pairs.len() {
+                    let ahead = pairs[k + dist] as usize;
+                    pf(x, xw, wx, ahead);
+                    pf(y, yw, wy, ahead & seg_mask);
+                }
+            }
+            let i = pairs[k] as usize;
+            let j = i & seg_mask;
+            let (xo, kx) = x.seg_entry(i);
+            let (yo, ky) = y.seg_entry(j);
+            let dx = da.prepare(kx);
+            let dy = db.prepare(ky);
+            // SAFETY: as in `intersect_count_compressed_with`.
+            unsafe {
+                table.unpack_segment(
+                    xw,
+                    UnpackJob {
+                        bit_base: xo as u64 * u64::from(wx),
+                        k: kx,
+                        width: wx,
+                        log2_m: x.log2_m(),
+                        log2_s,
+                        seg_index: i as u32,
+                    },
+                    dx,
+                );
+                table.unpack_segment(
+                    yw,
+                    UnpackJob {
+                        bit_base: yo as u64 * u64::from(wy),
+                        k: ky,
+                        width: wy,
+                        log2_m: y.log2_m(),
+                        log2_s,
+                        seg_index: j as u32,
+                    },
+                    dy,
+                );
+                count += u64::from(table.count(dx as *const u32, kx, dy as *const u32, ky));
+            }
+            kx_total += kx as u64;
+            ky_total += ky as u64;
+        }
+    });
+    let step2_cycles = t2.elapsed_cycles();
+
+    (
+        Breakdown {
+            step1_cycles,
+            step2_cycles,
+            matched_segments: pairs.len(),
+            count: count as usize,
+        },
+        CompressStats {
+            segments_decoded: 2 * pairs.len() as u64,
+            bytes_saved: 4 * (kx_total + ky_total)
+                - (kx_total * u64::from(wx) + ky_total * u64::from(wy)) / 8,
+        },
     )
 }
 
@@ -1125,6 +1522,122 @@ mod tests {
         set_pipeline_params(PipelineParams::default().with_min_elements(usize::MAX));
         assert_eq!(intersect_count_with(&a, &b, &table), want);
         set_pipeline_params(saved);
+    }
+
+    /// The compressed step 2 must count identically to the raw kernels on
+    /// random, folded, dense-collision, sparse, disjoint, and identical
+    /// inputs — across every available SIMD level and both strides the
+    /// dense test exercises.
+    #[test]
+    fn compressed_equals_interleaved_across_shapes() {
+        let random_a = gen_sorted(5_000, 42, 100_000);
+        let random_b = gen_sorted(5_000, 99, 100_000);
+        let identical = gen_sorted(2_000, 7, 50_000);
+        let disjoint_a: Vec<u32> = (0..2_000u32).map(|i| i * 2).collect();
+        let disjoint_b: Vec<u32> = (0..2_000u32).map(|i| i * 2 + 1).collect();
+        // 300 elements keeps the residual width under the packing ceiling
+        // even at the scalar level's 8 bits/element (smaller sets round up
+        // to bitmaps too small for a <= 24-bit residual).
+        let folded_small = gen_sorted(300, 5, 1_000_000);
+        let folded_big = gen_sorted(50_000, 11, 1_000_000);
+        // (bits_per_element override, a, b); every set is above the
+        // packing floor so all of them carry a tier.
+        let cases: Vec<(Option<f64>, &[u32], &[u32])> = vec![
+            (None, &random_a, &random_b),
+            (None, &folded_small, &folded_big),
+            (Some(0.5), &random_a, &random_b),
+            (Some(64.0), &random_a, &random_b),
+            (None, &disjoint_a, &disjoint_b),
+            (None, &identical, &identical),
+        ];
+        let mut scratch = Vec::new();
+        for level in SimdLevel::available_levels() {
+            for (bits, av, bv) in &cases {
+                let mut p = FesiaParams::for_level(level);
+                if let Some(bits) = bits {
+                    p = p.with_bits_per_element(*bits);
+                }
+                let a = SegmentedSet::build(av, &p).unwrap();
+                let b = SegmentedSet::build(bv, &p).unwrap();
+                assert!(a.packed().is_some() && b.packed().is_some());
+                for stride in [1usize, 4] {
+                    let table = KernelTable::new(level, stride);
+                    let want = intersect_count_interleaved_with(&a, &b, &table);
+                    assert_eq!(want, reference(av, bv).len());
+                    for dist in [0usize, 8, 64] {
+                        let (got, stats) =
+                            intersect_count_compressed_with(&a, &b, &table, &mut scratch, dist);
+                        assert_eq!(got, want, "level={level} stride={stride} dist={dist}");
+                        assert_eq!(stats.segments_decoded, 2 * scratch.len() as u64);
+                        let (swapped, _) =
+                            intersect_count_compressed_with(&b, &a, &table, &mut scratch, dist);
+                        assert_eq!(swapped, want, "swapped");
+                    }
+                    let (bd, stats) = intersect_count_breakdown_compressed(&a, &b, &table);
+                    assert_eq!(bd.count, want);
+                    assert_eq!(stats.segments_decoded, 2 * bd.matched_segments as u64);
+                    if bd.matched_segments > 0 {
+                        assert!(stats.bytes_saved > 0, "width <= 24 always saves bytes");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_plan_falls_back_without_tiers() {
+        // Below the packing floor no tier is built; an explicit Compressed
+        // plan must still count correctly via the interleaved fallback.
+        let p = FesiaParams::auto();
+        let a = SegmentedSet::build(&[1, 4, 15, 21, 32, 34], &p).unwrap();
+        let b = SegmentedSet::build(&[2, 6, 12, 16, 21, 23], &p).unwrap();
+        assert!(a.packed().is_none());
+        assert_eq!(
+            execute_plan_count(
+                &a,
+                &b,
+                default_table(),
+                IntersectPlan::Compressed {
+                    prefetch_distance: 8
+                }
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn compress_knob_round_trips_and_dispatch_is_equivalent() {
+        let _guard = crate::plan::test_knob_lock();
+        let p = FesiaParams::auto();
+        let av = gen_sorted(4_000, 81, 80_000);
+        let bv = gen_sorted(4_000, 83, 80_000);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        assert!(a.packed().is_some() && b.packed().is_some());
+        let table = KernelTable::auto();
+        let saved = compress_params();
+        let want = intersect_count_interleaved_with(&a, &b, &table);
+        let before = fesia_obs::metrics().snapshot();
+        set_compress_params(CompressParams::default().with_forced(Some(true)));
+        assert_eq!(compress_params().forced, Some(true));
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        let delta = fesia_obs::metrics().snapshot().delta(&before);
+        assert!(delta.intersect_compressed >= 1);
+        assert!(delta.compressed_segments_decoded >= 2);
+        set_compress_params(CompressParams::default().with_forced(Some(false)));
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_compress_params(
+            CompressParams::default()
+                .with_min_elements(9)
+                .with_decode_millicycles(1234)
+                .with_bandwidth_millicycles(567),
+        );
+        assert_eq!(compress_params().forced, None);
+        assert_eq!(compress_params().min_elements, 9);
+        assert_eq!(compress_params().decode_millicycles_per_elem, 1234);
+        assert_eq!(compress_params().bandwidth_millicycles_per_byte, 567);
+        assert_eq!(intersect_count_with(&a, &b, &table), want);
+        set_compress_params(saved);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod intersect;
 pub mod kernels;
 pub mod kway;
 pub mod layout;
+pub mod mmap;
 pub mod parallel;
 pub mod params;
 pub mod plan;
@@ -57,26 +58,28 @@ pub use batch::{batch_count, batch_count_pairs, batch_count_pairs_on};
 pub use dynamic::{dynamic_intersect_count, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
-    auto_count, auto_count_planned, auto_count_with, execute_plan_count, gallop_count,
-    hash_probe_count, intersect, intersect_count, intersect_count_breakdown,
-    intersect_count_breakdown_pruned, intersect_count_interleaved_with,
+    auto_count, auto_count_planned, auto_count_with, compress_params, execute_plan_count,
+    gallop_count, hash_probe_count, intersect, intersect_count, intersect_count_breakdown,
+    intersect_count_breakdown_compressed, intersect_count_breakdown_pruned,
+    intersect_count_compressed_with, intersect_count_interleaved_with,
     intersect_count_pipelined_with, intersect_count_planned, intersect_count_pruned_with,
-    intersect_count_with, pipeline_params, prune_params, set_pipeline_params, set_prune_params,
-    Breakdown,
+    intersect_count_with, pipeline_params, prune_params, set_compress_params, set_pipeline_params,
+    set_prune_params, Breakdown, CompressStats,
 };
 pub use kernels::KernelTable;
 pub use kway::{
     kway_count, kway_count_planned, kway_count_with, kway_intersect, kway_intersect_with,
 };
+pub use mmap::{MappedFile, Section};
 pub use parallel::{par_intersect_count, par_intersect_count_on, par_intersect_count_with};
-pub use params::{FesiaParams, PipelineParams, PruneParams};
+pub use params::{CompressParams, FesiaParams, PipelineParams, PruneParams};
 pub use plan::{
     default_profile_path, gallop_max_len, plan_mode, profile_status, set_gallop_max_len,
-    set_plan_mode, should_prune_summaries, IntersectPlan, IntersectPlanner, KwayPlan,
-    MachineProfile, PlanMode, SetSummary, PROFILE_VERSION,
+    set_plan_mode, should_compress_summaries, should_prune_summaries, IntersectPlan,
+    IntersectPlanner, KwayPlan, MachineProfile, PlanMode, SetSummary, PROFILE_VERSION,
 };
-pub use serialize::{deserialize_many, serialize_many, DecodeError};
-pub use set::SegmentedSet;
+pub use serialize::{deserialize_many, deserialize_many_mapped, serialize_many, DecodeError};
+pub use set::{PackedTier, SegmentedSet};
 pub use stats::{bit_collision_rate, filter_stats, survivor_segments, FilterStats, SegmentStats};
 pub use tuning::{calibrate, should_prune, tune, tune_grid, tune_pipeline, TuneResult};
 pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};

@@ -1,0 +1,295 @@
+//! Memory-mapped backing for zero-copy `.fsia` v3 corpora.
+//!
+//! The v3 on-disk layout ([`crate::serialize`]) places every array a
+//! [`crate::SegmentedSet`] needs at a 64-byte-aligned offset, so a corpus
+//! file can be mapped once and each set's fields can point straight into
+//! the mapping — no per-set heap allocation, no copying, O(1) load time
+//! regardless of corpus size. Two types make that work:
+//!
+//! * [`MappedFile`] — a read-only file mapping (`mmap` on Unix, a heap
+//!   buffer elsewhere or for in-memory buffers), reference-counted so the
+//!   mapping outlives every set still viewing it.
+//! * [`Section`] — a typed slice that is either owned (the classic decode
+//!   path and freshly built sets) or a view into a [`MappedFile`]. It
+//!   derefs to `&[T]`, so the intersection paths never know the
+//!   difference.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    // std already links libc on every Unix target, so declaring the two
+    // syscall wrappers directly avoids a dependency the container may not
+    // have. Signatures match POSIX on 64-bit platforms (off_t = i64).
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// How a [`MappedFile`]'s bytes are held.
+enum Backing {
+    /// A live `mmap` region to release on drop.
+    #[cfg(unix)]
+    Mmap,
+    /// A heap buffer standing in for a mapping: non-Unix fallback, empty
+    /// files, and [`MappedFile::from_bytes`]. The buffer is never mutated,
+    /// so the pointer taken at construction stays valid.
+    Owned(#[allow(dead_code)] Vec<u8>),
+}
+
+/// A read-only byte region backing zero-copy set views.
+pub struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+// SAFETY: the region is read-only for its whole lifetime; all access goes
+// through shared references.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Map `path` read-only. Empty files yield an empty region without
+    /// touching `mmap` (which rejects zero-length mappings).
+    pub fn open(path: &Path) -> io::Result<MappedFile> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(MappedFile::from_bytes(Vec::new()));
+        }
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(MappedFile {
+                ptr: ptr as *const u8,
+                len,
+                backing: Backing::Mmap,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(MappedFile::from_bytes(std::fs::read(path)?))
+        }
+    }
+
+    /// Wrap an in-memory buffer as a mapping (used by tests and callers
+    /// that already hold the corpus bytes). The buffer's own alignment
+    /// applies: the v3 decoder rejects views whose absolute pointers are
+    /// misaligned for their element type.
+    pub fn from_bytes(bytes: Vec<u8>) -> MappedFile {
+        MappedFile {
+            ptr: bytes.as_ptr(),
+            len: bytes.len(),
+            backing: Backing::Owned(bytes),
+        }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe the live mapping (or owned buffer).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if matches!(self.backing, Backing::Mmap) {
+            // SAFETY: ptr/len came from a successful mmap of this length.
+            unsafe { sys::munmap(self.ptr as *mut _, self.len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// A typed array that is either owned or a zero-copy view into a
+/// [`MappedFile`]. Derefs to `&[T]`.
+pub enum Section<T: 'static> {
+    /// Heap-allocated contents (built sets, the owned decode path).
+    Owned(Vec<T>),
+    /// A view into a mapping, kept alive by the `Arc`.
+    Mapped {
+        ptr: *const T,
+        len: usize,
+        _file: Arc<MappedFile>,
+    },
+}
+
+// SAFETY: Mapped sections are read-only views of a Sync region.
+unsafe impl<T: Send + Sync> Send for Section<T> {}
+unsafe impl<T: Send + Sync> Sync for Section<T> {}
+
+impl<T> Section<T> {
+    /// Wrap a raw view into `file`.
+    ///
+    /// # Safety
+    /// `ptr .. ptr + len` must lie within `file`'s region and `ptr` must
+    /// be aligned for `T`; the serializer's section table checks enforce
+    /// this before construction.
+    pub(crate) unsafe fn from_mapped(
+        ptr: *const T,
+        len: usize,
+        file: Arc<MappedFile>,
+    ) -> Section<T> {
+        Section::Mapped {
+            ptr,
+            len,
+            _file: file,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v,
+            Section::Mapped { ptr, len, .. } => {
+                // SAFETY: construction guaranteed ptr/len lie in the live
+                // mapping (held by the Arc) and are aligned for T.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+}
+
+impl<T: Clone> Clone for Section<T> {
+    fn clone(&self) -> Section<T> {
+        match self {
+            Section::Owned(v) => Section::Owned(v.clone()),
+            Section::Mapped { ptr, len, _file } => Section::Mapped {
+                ptr: *ptr,
+                len: *len,
+                _file: Arc::clone(_file),
+            },
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Section<T> {
+        Section::Owned(v)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self {
+            Section::Owned(_) => "Owned",
+            Section::Mapped { .. } => "Mapped",
+        };
+        write!(f, "Section::{tag}(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_buffer_round_trips() {
+        let f = MappedFile::from_bytes(vec![1u8, 2, 3, 4]);
+        assert_eq!(f.bytes(), &[1, 2, 3, 4]);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn empty_region_is_fine() {
+        let f = MappedFile::from_bytes(Vec::new());
+        assert!(f.is_empty());
+        assert!(f.bytes().is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_file_maps_and_unmaps() {
+        let path = std::env::temp_dir().join(format!("fesia-mmap-test-{}", std::process::id()));
+        std::fs::write(&path, [7u8; 4096]).unwrap();
+        {
+            let f = MappedFile::open(&path).unwrap();
+            assert_eq!(f.len(), 4096);
+            assert!(f.bytes().iter().all(|&b| b == 7));
+        }
+        // Empty file special case.
+        std::fs::write(&path, []).unwrap();
+        let f = MappedFile::open(&path).unwrap();
+        assert!(f.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sections_deref_and_clone() {
+        let owned: Section<u32> = vec![1u32, 2, 3].into();
+        assert_eq!(&owned[..], &[1, 2, 3]);
+        let file = Arc::new(MappedFile::from_bytes(vec![0u8; 64]));
+        let ptr = file.bytes().as_ptr() as *const u32;
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<u32>()) {
+            return; // allocator gave an odd base; nothing to test here
+        }
+        // SAFETY: alignment checked above; 64 zero bytes hold 16 u32s.
+        let mapped = unsafe { Section::from_mapped(ptr, 16, Arc::clone(&file)) };
+        assert_eq!(mapped.len(), 16);
+        assert!(mapped.iter().all(|&x| x == 0));
+        let c = mapped.clone();
+        drop(mapped);
+        assert_eq!(c.len(), 16);
+        assert_eq!(format!("{c:?}"), "Section::Mapped(len=16)");
+    }
+}

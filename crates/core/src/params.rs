@@ -29,6 +29,8 @@ pub mod env {
         "FESIA_PRUNE_MAX_SURVIVOR",
         "FESIA_PLAN",
         "FESIA_PROFILE",
+        "FESIA_COMPRESS",
+        "FESIA_COMPRESS_MIN",
     ];
 
     /// `FESIA_*` variables present in the environment that no component
@@ -309,6 +311,105 @@ impl PruneParams {
     }
 }
 
+/// Tuning knob for the compressed-tier step-2 dispatch
+/// ([`crate::intersect_count_with`]).
+///
+/// When both operands carry a packed residual tier
+/// ([`crate::PackedTier`]), step 2 can stream the bitpacked residuals
+/// instead of the raw `u32` elements, decoding each surviving segment
+/// into a cache-resident scratch buffer right before its compare kernel
+/// runs. That trades `(32 - B)` bits of memory traffic per element for a
+/// SIMD unpack, so it wins exactly when step 2 is bandwidth-bound: large
+/// sets whose reordered arrays stream from DRAM.
+///
+/// The process-wide default is read once from the environment
+/// (`FESIA_COMPRESS=0|1|auto`, `FESIA_COMPRESS_MIN=N`) and can be
+/// changed at runtime with [`crate::set_compress_params`]; the cost
+/// constants come from the machine profile (`fesia tune` measures them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompressParams {
+    /// `Some(true)` forces the compressed dispatch (when both sides have
+    /// a tier), `Some(false)` forces it off, `None` lets the planner's
+    /// cost model decide per pair.
+    pub forced: Option<bool>,
+    /// Auto mode: smallest combined element count (`|A| + |B|`) for
+    /// which the compressed path is considered. Below this the raw
+    /// elements are cache-resident and decoding is pure overhead.
+    pub min_elements: usize,
+    /// Estimated decode cost in millicycles per element (the SIMD unpack
+    /// plus the scratch round trip). Calibrated by `fesia tune`.
+    pub decode_millicycles_per_elem: u64,
+    /// Estimated cost of streaming one byte from DRAM, in millicycles —
+    /// what each saved byte is worth. Calibrated by `fesia tune`.
+    pub bandwidth_millicycles_per_byte: u64,
+}
+
+impl Default for CompressParams {
+    fn default() -> Self {
+        CompressParams {
+            forced: None,
+            // 1M combined elements (4 MiB of raw u32s): past L2 on every
+            // target we measure, where step 2 starts stalling on loads.
+            min_elements: 1 << 20,
+            decode_millicycles_per_elem: 1000,
+            bandwidth_millicycles_per_byte: 600,
+        }
+    }
+}
+
+impl CompressParams {
+    /// The defaults, with `FESIA_COMPRESS` / `FESIA_COMPRESS_MIN`
+    /// environment overrides applied.
+    pub fn from_env() -> Self {
+        CompressParams::default().with_env_overrides()
+    }
+
+    /// Apply the environment overrides field-by-field on top of `self`
+    /// (the planner layers them over a loaded machine profile).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(v) = env::raw("FESIA_COMPRESS") {
+            self.forced = if v.eq_ignore_ascii_case("auto") {
+                None
+            } else {
+                // Tri-state knob: anything that isn't "auto" degrades to
+                // the shared boolean contract (0/off/false disable).
+                Some(
+                    !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+                )
+            };
+        }
+        if let Some(m) = env::parse_usize("FESIA_COMPRESS_MIN") {
+            self.min_elements = m;
+        }
+        self
+    }
+
+    /// Force the compressed dispatch on or off, or restore
+    /// auto-selection with `None`.
+    pub fn with_forced(mut self, forced: Option<bool>) -> Self {
+        self.forced = forced;
+        self
+    }
+
+    /// Override the combined-size floor for auto-selection.
+    pub fn with_min_elements(mut self, min: usize) -> Self {
+        self.min_elements = min;
+        self
+    }
+
+    /// Override the decode-cost constant (millicycles per element).
+    pub fn with_decode_millicycles(mut self, mc: u64) -> Self {
+        self.decode_millicycles_per_elem = mc;
+        self
+    }
+
+    /// Override the bandwidth-cost constant (millicycles per byte).
+    pub fn with_bandwidth_millicycles(mut self, mc: u64) -> Self {
+        self.bandwidth_millicycles_per_byte = mc;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +466,23 @@ mod tests {
         // Percentages clamp to 100.
         assert_eq!(q.max_survivor_pct, 100);
         assert_eq!(q.with_forced(None).forced, None);
+    }
+
+    #[test]
+    fn compress_params_builders() {
+        let p = CompressParams::default();
+        assert_eq!(p.forced, None);
+        assert_eq!(p.min_elements, 1 << 20);
+        assert!(p.decode_millicycles_per_elem > 0);
+        assert!(p.bandwidth_millicycles_per_byte > 0);
+        let q = p
+            .with_forced(Some(false))
+            .with_min_elements(4096)
+            .with_decode_millicycles(1500)
+            .with_bandwidth_millicycles(700);
+        assert_eq!(q.forced, Some(false));
+        assert_eq!(q.min_elements, 4096);
+        assert_eq!(q.decode_millicycles_per_elem, 1500);
+        assert_eq!(q.bandwidth_millicycles_per_byte, 700);
     }
 }

@@ -26,7 +26,7 @@
 //!
 //! Every plan decision is recorded in the `fesia-obs` `plan_*` counters.
 
-use crate::params::{self, PipelineParams, PruneParams};
+use crate::params::{self, CompressParams, PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,6 +105,14 @@ pub enum IntersectPlan {
         /// Phase-2 lookahead in survivor entries.
         prefetch_distance: usize,
     },
+    /// Two-phase whose step 2 streams both sides' packed residual tiers,
+    /// decoding each surviving segment into cache-resident scratch before
+    /// its compare kernel (both operands must carry a
+    /// [`crate::PackedTier`]).
+    Compressed {
+        /// Phase-2 lookahead in survivor entries.
+        prefetch_distance: usize,
+    },
     /// Probe the smaller set's elements against the larger set's bitmap.
     HashProbe,
     /// Sort both element lists and run a galloping merge (Lemire-style
@@ -120,6 +128,7 @@ impl IntersectPlan {
             IntersectPlan::Plain => "plain",
             IntersectPlan::Pipelined { .. } => "pipelined",
             IntersectPlan::Pruned { .. } => "pruned",
+            IntersectPlan::Compressed { .. } => "compressed",
             IntersectPlan::HashProbe => "hash",
             IntersectPlan::GallopFallback => "gallop",
         }
@@ -145,6 +154,10 @@ pub struct SetSummary {
     pub bitmap_bytes: usize,
     /// Fraction of populated summary blocks (0.0–1.0).
     pub summary_density: f64,
+    /// Residual width of the packed tier, when the set carries one — the
+    /// compressed-dispatch signal (both how much traffic compression
+    /// saves and whether it is available at all).
+    pub packed_width: Option<u32>,
 }
 
 impl SetSummary {
@@ -154,6 +167,7 @@ impl SetSummary {
             len: s.len(),
             bitmap_bytes: s.bitmap_bytes().len(),
             summary_density: s.summary_density(),
+            packed_width: s.packed_width(),
         }
     }
 
@@ -190,6 +204,30 @@ pub fn should_prune_summaries(a: &SetSummary, b: &SetSummary, p: &PruneParams) -
     expected_survivor_pct <= p.max_survivor_pct as f64
 }
 
+/// Whether the compressed step-2 dispatch should run for a pair with
+/// these summaries under `p`. Requires both sides to carry a packed tier
+/// (forcing cannot conjure one); beyond that, forced overrides
+/// short-circuit, and auto mode models the trade: decoding costs
+/// `decode_millicycles_per_elem` per element, and every byte the packed
+/// stream is smaller than the raw elements earns back
+/// `bandwidth_millicycles_per_byte`. Small pairs never qualify — their
+/// raw elements are cache-resident, so there is no bandwidth to save.
+pub fn should_compress_summaries(a: &SetSummary, b: &SetSummary, p: &CompressParams) -> bool {
+    let (wa, wb) = match (a.packed_width, b.packed_width) {
+        (Some(wa), Some(wb)) => (wa, wb),
+        _ => return false,
+    };
+    if let Some(forced) = p.forced {
+        return forced;
+    }
+    let combined = a.len + b.len;
+    if combined < p.min_elements {
+        return false;
+    }
+    let saved_bytes = (a.len as u64 * u64::from(32 - wa) + b.len as u64 * u64::from(32 - wb)) / 8;
+    saved_bytes * p.bandwidth_millicycles_per_byte > combined as u64 * p.decode_millicycles_per_elem
+}
+
 // ---------------------------------------------------------------------------
 // Machine profile (versioned, persisted by `fesia tune`)
 // ---------------------------------------------------------------------------
@@ -208,6 +246,8 @@ pub struct MachineProfile {
     pub pipeline: PipelineParams,
     /// Calibrated summary-pruning knobs.
     pub prune: PruneParams,
+    /// Calibrated compressed-tier dispatch knobs.
+    pub compress: CompressParams,
     /// Largest combined element count for which auto mode picks the
     /// galloping fallback; 0 disables it (the default — on every machine
     /// measured so far the segmented merge wins even on tiny pairs).
@@ -220,6 +260,7 @@ impl Default for MachineProfile {
             version: PROFILE_VERSION,
             pipeline: PipelineParams::default(),
             prune: PruneParams::default(),
+            compress: CompressParams::default(),
             gallop_max_len: 0,
         }
     }
@@ -228,7 +269,7 @@ impl Default for MachineProfile {
 impl MachineProfile {
     /// Serialize as the flat JSON object the loader accepts.
     pub fn to_json(&self) -> String {
-        let forced = match self.prune.forced {
+        let tri = |forced: Option<bool>| match forced {
             None => "auto",
             Some(true) => "on",
             Some(false) => "off",
@@ -237,14 +278,20 @@ impl MachineProfile {
             "{{\n  \"version\": {},\n  \"pipeline_enabled\": {},\n  \
              \"prefetch_distance\": {},\n  \"pipeline_min_elements\": {},\n  \
              \"prune_forced\": \"{}\",\n  \"prune_min_bitmap_bytes\": {},\n  \
-             \"prune_max_survivor_pct\": {},\n  \"gallop_max_len\": {}\n}}\n",
+             \"prune_max_survivor_pct\": {},\n  \"compress_forced\": \"{}\",\n  \
+             \"compress_min_elements\": {},\n  \"compress_decode_mc\": {},\n  \
+             \"compress_bw_mc\": {},\n  \"gallop_max_len\": {}\n}}\n",
             self.version,
             self.pipeline.enabled,
             self.pipeline.prefetch_distance,
             self.pipeline.min_elements,
-            forced,
+            tri(self.prune.forced),
             self.prune.min_bitmap_bytes,
             self.prune.max_survivor_pct,
+            tri(self.compress.forced),
+            self.compress.min_elements,
+            self.compress.decode_millicycles_per_elem,
+            self.compress.bandwidth_millicycles_per_byte,
             self.gallop_max_len,
         )
     }
@@ -305,6 +352,29 @@ impl MachineProfile {
                         .parse()
                         .map_err(|_| format!("bad prune_max_survivor_pct `{value}`"))?;
                     p.prune.max_survivor_pct = pct.min(100);
+                }
+                "compress_forced" => {
+                    p.compress.forced = match value.as_str() {
+                        "auto" => None,
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => return Err(format!("bad compress_forced `{other}`")),
+                    };
+                }
+                "compress_min_elements" => {
+                    p.compress.min_elements = value
+                        .parse()
+                        .map_err(|_| format!("bad compress_min_elements `{value}`"))?;
+                }
+                "compress_decode_mc" => {
+                    p.compress.decode_millicycles_per_elem = value
+                        .parse()
+                        .map_err(|_| format!("bad compress_decode_mc `{value}`"))?;
+                }
+                "compress_bw_mc" => {
+                    p.compress.bandwidth_millicycles_per_byte = value
+                        .parse()
+                        .map_err(|_| format!("bad compress_bw_mc `{value}`"))?;
                 }
                 "gallop_max_len" => {
                     p.gallop_max_len = value
@@ -416,6 +486,7 @@ pub(crate) fn ensure_init() {
         params::env::warn_unrecognized();
         let mut pipeline = PipelineParams::default();
         let mut prune = PruneParams::default();
+        let mut compress = CompressParams::default();
         let status = match default_profile_path() {
             None => "none (no FESIA_PROFILE and no HOME)".to_string(),
             Some(path) if !path.exists() => format!("none ({} not found)", path.display()),
@@ -423,6 +494,7 @@ pub(crate) fn ensure_init() {
                 Ok(profile) => {
                     pipeline = profile.pipeline;
                     prune = profile.prune;
+                    compress = profile.compress;
                     GALLOP_MAX_LEN.store(profile.gallop_max_len, Ordering::Relaxed);
                     fesia_obs::metrics().plan_profile_loads.inc();
                     format!("loaded v{} ({})", profile.version, path.display())
@@ -437,6 +509,7 @@ pub(crate) fn ensure_init() {
         // Environment knobs override the profile field-by-field.
         crate::intersect::store_pipeline(pipeline.with_env_overrides());
         crate::intersect::store_prune(prune.with_env_overrides());
+        crate::intersect::store_compress(compress.with_env_overrides());
         if let Some(v) = params::env::raw("FESIA_PLAN") {
             match PlanMode::parse(&v) {
                 Some(m) => PLAN_MODE.store(mode_encode(m), Ordering::Relaxed),
@@ -508,6 +581,8 @@ pub struct IntersectPlanner {
     pub pipeline: PipelineParams,
     /// Summary-pruning knobs in effect.
     pub prune: PruneParams,
+    /// Compressed-tier dispatch knobs in effect.
+    pub compress: CompressParams,
     /// Gallop admission ceiling (combined elements; 0 = never in auto).
     pub gallop_max_len: usize,
 }
@@ -521,6 +596,7 @@ impl IntersectPlanner {
             mode: plan_mode(),
             pipeline: crate::intersect::pipeline_params(),
             prune: crate::intersect::prune_params(),
+            compress: crate::intersect::compress_params(),
             gallop_max_len: gallop_max_len(),
         }
     }
@@ -544,7 +620,15 @@ impl IntersectPlanner {
             }
             PlanMode::Auto | PlanMode::HashProbe | PlanMode::Gallop => {}
         }
-        if should_prune_summaries(a, b, &self.prune) {
+        if should_compress_summaries(a, b, &self.compress) {
+            // Compression outranks pruning: both target the same
+            // out-of-cache regime, but the decode path keeps step 1's
+            // survivor collection (so pruning's win is mostly subsumed)
+            // while the traffic saving applies to step 2's larger share.
+            IntersectPlan::Compressed {
+                prefetch_distance: self.pipeline.prefetch_distance,
+            }
+        } else if should_prune_summaries(a, b, &self.prune) {
             IntersectPlan::Pruned {
                 prefetch_distance: self.pipeline.prefetch_distance,
             }
@@ -602,6 +686,14 @@ mod tests {
             len,
             bitmap_bytes,
             summary_density: density,
+            packed_width: None,
+        }
+    }
+
+    fn packed_summary(len: usize, bitmap_bytes: usize, density: f64, width: u32) -> SetSummary {
+        SetSummary {
+            packed_width: Some(width),
+            ..summary(len, bitmap_bytes, density)
         }
     }
 
@@ -610,6 +702,7 @@ mod tests {
             mode: PlanMode::Auto,
             pipeline: PipelineParams::default(),
             prune: PruneParams::default(),
+            compress: CompressParams::default(),
             gallop_max_len: 0,
         }
     }
@@ -664,6 +757,58 @@ mod tests {
     }
 
     #[test]
+    fn compressed_plan_follows_tiers_and_cost_model() {
+        let p = auto_planner();
+        // A big packed pair past the floor: decoding 2x2M elements saves
+        // 23 bits each — compression wins over pruning.
+        let big = packed_summary(1 << 21, 1 << 23, 0.5, 9);
+        assert!(matches!(
+            p.plan_pair(&big, &big),
+            IntersectPlan::Compressed { .. }
+        ));
+        // No tier on one side -> never compressed (pruned regime here).
+        let raw = summary(1 << 21, 1 << 23, 0.5);
+        assert!(matches!(
+            p.plan_pair(&big, &raw),
+            IntersectPlan::Pruned { .. }
+        ));
+        // Below the size floor the raw elements are cache-resident.
+        let small = packed_summary(10_000, 1 << 15, 1.0, 9);
+        assert!(!matches!(
+            p.plan_pair(&small, &small),
+            IntersectPlan::Compressed { .. }
+        ));
+        // A width-24 tier saves too little to pay for decoding under a
+        // deliberately expensive decode constant.
+        let wide = packed_summary(1 << 21, 1 << 23, 0.5, 24);
+        let mut expensive = p;
+        expensive.compress.decode_millicycles_per_elem = 2_000;
+        expensive.compress.bandwidth_millicycles_per_byte = 100;
+        assert!(!matches!(
+            expensive.plan_pair(&wide, &wide),
+            IntersectPlan::Compressed { .. }
+        ));
+        // Forcing overrides the model both ways — but cannot conjure a
+        // missing tier.
+        let mut forced_on = p;
+        forced_on.compress.forced = Some(true);
+        assert!(matches!(
+            forced_on.plan_merge(&small, &small),
+            IntersectPlan::Compressed { .. }
+        ));
+        assert!(!matches!(
+            forced_on.plan_merge(&small, &raw),
+            IntersectPlan::Compressed { .. }
+        ));
+        let mut forced_off = p;
+        forced_off.compress.forced = Some(false);
+        assert!(!matches!(
+            forced_off.plan_pair(&big, &big),
+            IntersectPlan::Compressed { .. }
+        ));
+    }
+
+    #[test]
     fn forced_modes_override_everything() {
         let mut p = auto_planner();
         let a = summary(100, 64, 1.0);
@@ -701,6 +846,11 @@ mod tests {
                 .with_forced(Some(false))
                 .with_min_bitmap_bytes(1 << 20)
                 .with_max_survivor_pct(42),
+            compress: CompressParams::default()
+                .with_forced(Some(true))
+                .with_min_elements(777)
+                .with_decode_millicycles(1234)
+                .with_bandwidth_millicycles(567),
             gallop_max_len: 99,
             ..MachineProfile::default()
         };
@@ -735,6 +885,7 @@ mod tests {
             version: PROFILE_VERSION,
             pipeline: PipelineParams::default().with_prefetch_distance(32),
             prune: PruneParams::default().with_min_bitmap_bytes(777),
+            compress: CompressParams::default().with_min_elements(31),
             gallop_max_len: 12,
         };
         profile.save(&path).unwrap();
@@ -750,6 +901,7 @@ mod tests {
         assert_eq!(sum.len, s.len());
         assert_eq!(sum.bitmap_bytes, s.bitmap_bytes().len());
         assert!((sum.summary_density - s.summary_density()).abs() < 1e-12);
+        assert_eq!(sum.packed_width, s.packed_width());
         let empty = SetSummary::of(&SegmentedSet::build(&[], &FesiaParams::auto()).unwrap());
         assert_eq!(empty.skew(&sum), 0.0 / 1.0);
         assert_eq!(empty.skew(&empty), 1.0);

@@ -2,37 +2,77 @@
 //!
 //! The segmented bitmap is an *offline*-built structure (the paper reports
 //! 77.7 s to encode WebDocs); a database or search engine builds it once
-//! and memory-maps or loads it at query time. The format is deliberately
-//! simple and versioned:
+//! and memory-maps or loads it at query time. Version 3 is designed for
+//! exactly that: every array a set needs at query time sits at a
+//! 64-byte-aligned offset, so a corpus file can be `mmap`'d and decoded
+//! with **zero per-set heap allocation** ([`SegmentedSet::deserialize_mapped`]).
 //!
 //! ```text
-//! magic   b"FSIA"            4 bytes
-//! version u8                 (currently 2)
-//! lane    u8                 (8 or 16)
-//! log2_m  u8
-//! n       u64 LE
-//! bitmap  [u8; m/8]
-//! summary [u64 LE; ceil(ceil(m/512) / 64)]   (version >= 2 only)
-//! meta    per-segment sizes as u32 LE (offsets are recomputed)
-//! body    [u32 LE; n]        reordered elements (padding is rebuilt)
+//! v3 set block (all integers little-endian, offsets relative to set start)
+//!
+//!   0   magic        b"FSIA"                          4 bytes
+//!   4   version      u8  (3)
+//!   5   lane         u8  (8 or 16)
+//!   6   log2_m       u8
+//!   7   flags        u8  (bit0 = has packed tier, bit1 = wide seg meta)
+//!   8   n            u64
+//!  16   summary_ones u64
+//!  24   total_len    u64 (whole block, multiple of 64)
+//!  32   section table: 5 x { offset u64, len u64 }
+//!         [0] BITMAP    m/8 bytes
+//!         [1] SUMMARY   one u64 word per 64 bitmap blocks
+//!         [2] SEGMETA   packed (offset,size) entries, 4 or 8 bytes each
+//!         [3] ELEMENTS  (n + PAD_LEN) x u32, sentinel tail included
+//!         [4] PACKED    bitpacked residual stream (len 0 when absent)
+//! 112   zero pad to 128
+//! 128   sections, each 64-byte-aligned, zero padding between
 //! ```
 //!
-//! Storing sizes rather than packed `(offset, size)` entries keeps the
-//! format independent of the in-memory representation (compact vs wide)
-//! and shrinks no information: offsets are prefix sums. Version 2 adds
-//! the summary level of the two-level bitmap (one bit per 512-bit
-//! block); version-1 buffers still decode — the summary is recomputed
-//! from the bitmap, which is cheap relative to segment-meta rebuilding.
+//! Versions 1 and 2 (the flat `header | bitmap | summary | sizes |
+//! elements` layout written by [`SegmentedSet::serialize_v2`]) still
+//! decode on the owned path; the compressed tier is rebuilt from the
+//! decoded elements in every case, so legacy corpora gain it for free.
+//! The mapped path is v3-only and little-endian-only: it reinterprets
+//! file bytes in place and trusts section *content* (bitmap bits, element
+//! values, packed words) after structural checks — corruption there can
+//! only yield wrong intersection counts, never out-of-bounds access.
+
+use std::sync::Arc;
 
 use crate::error::BuildError;
+use crate::mmap::{MappedFile, Section};
 use crate::params::FesiaParams;
-use crate::set::SegmentedSet;
-use fesia_simd::mask::LaneWidth;
+use crate::set::{PackedTier, SegMeta, SegmentedSet, PAD_LEN, PAD_SENTINEL};
+use fesia_simd::bitpack;
+use fesia_simd::mask::{summary_len, LaneWidth};
+use fesia_simd::util::log2_pow2;
 
 /// Format magic.
 const MAGIC: [u8; 4] = *b"FSIA";
 /// Current format version.
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
+/// Last version of the legacy flat layout.
+const VERSION_V2: u8 = 2;
+
+/// Header (32) + section table (80) + pad (16); also the first section's
+/// offset, so the fixed part fills exactly two cache lines.
+const V3_HEADER_LEN: usize = 128;
+/// Prologue of a v3 [`serialize_many`] buffer: count u64 + zero pad, so
+/// the first set block starts 64-byte-aligned.
+const MANY_PROLOGUE: usize = 64;
+
+/// Set carries a packed residual tier (section 4 non-empty).
+const FLAG_PACKED: u8 = 1;
+/// Segment metadata entries are 8-byte (`offset << 32 | size`) rather
+/// than the compact 4-byte (`offset << 8 | size`) form.
+const FLAG_WIDE_META: u8 = 2;
+
+const SEC_BITMAP: usize = 0;
+const SEC_SUMMARY: usize = 1;
+const SEC_SEGMETA: usize = 2;
+const SEC_ELEMENTS: usize = 3;
+const SEC_PACKED: usize = 4;
+const SEC_COUNT: usize = 5;
 
 /// Why a byte buffer could not be decoded into a [`SegmentedSet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,24 +103,95 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+fn align64(x: u64) -> u64 {
+    (x + 63) & !63
+}
+
+/// Byte length of each section for `set`, indexed by `SEC_*`.
+fn v3_section_lens(set: &SegmentedSet) -> [u64; SEC_COUNT] {
+    [
+        set.bitmap_bytes().len() as u64,
+        (set.summary_words().len() * 8) as u64,
+        match set.seg_meta() {
+            SegMeta::Compact(v) => v.len() as u64 * 4,
+            SegMeta::Wide(v) => v.len() as u64 * 8,
+        },
+        ((set.len() + PAD_LEN) * 4) as u64,
+        set.packed().map_or(0, |p| p.stream_bytes() as u64),
+    ]
+}
+
+/// Place the sections: each 64-byte-aligned, in table order, starting at
+/// [`V3_HEADER_LEN`]. Returns the offsets and the (64-aligned) total.
+fn v3_layout(lens: &[u64; SEC_COUNT]) -> ([u64; SEC_COUNT], u64) {
+    let mut offsets = [0u64; SEC_COUNT];
+    let mut off = V3_HEADER_LEN as u64;
+    for (slot, &len) in offsets.iter_mut().zip(lens) {
+        *slot = off;
+        off = align64(off + len);
+    }
+    (offsets, off)
+}
+
 impl SegmentedSet {
-    /// Append the binary encoding of this set to `out`.
+    /// Append the v3 binary encoding of this set to `out`.
     pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        let lens = v3_section_lens(self);
+        let (offsets, total) = v3_layout(&lens);
+        out.reserve(total as usize);
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
         out.push(self.lane().bits() as u8);
         out.push(self.log2_m() as u8);
+        let mut flags = 0u8;
+        if self.packed().is_some() {
+            flags |= FLAG_PACKED;
+        }
+        if matches!(self.seg_meta(), SegMeta::Wide(_)) {
+            flags |= FLAG_WIDE_META;
+        }
+        out.push(flags);
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.summary_ones().to_le_bytes());
+        out.extend_from_slice(&total.to_le_bytes());
+        for (off, len) in offsets.iter().zip(&lens) {
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.resize(start + offsets[SEC_BITMAP] as usize, 0);
         out.extend_from_slice(self.bitmap_bytes());
+        out.resize(start + offsets[SEC_SUMMARY] as usize, 0);
         for &w in self.summary_words() {
             out.extend_from_slice(&w.to_le_bytes());
         }
-        for i in 0..self.num_segments() {
-            out.extend_from_slice(&(self.seg_size(i) as u32).to_le_bytes());
+        out.resize(start + offsets[SEC_SEGMETA] as usize, 0);
+        match self.seg_meta() {
+            SegMeta::Compact(v) => {
+                for &e in v.iter() {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+            }
+            SegMeta::Wide(v) => {
+                for &e in v.iter() {
+                    out.extend_from_slice(&e.to_le_bytes());
+                }
+            }
         }
+        out.resize(start + offsets[SEC_ELEMENTS] as usize, 0);
         for &x in self.reordered_elements() {
             out.extend_from_slice(&x.to_le_bytes());
         }
+        for _ in 0..PAD_LEN {
+            out.extend_from_slice(&PAD_SENTINEL.to_le_bytes());
+        }
+        if let Some(p) = self.packed() {
+            out.resize(start + offsets[SEC_PACKED] as usize, 0);
+            for &w in p.words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out.resize(start + total as usize, 0);
     }
 
     /// The binary encoding as a fresh buffer.
@@ -99,132 +210,495 @@ impl SegmentedSet {
         out
     }
 
-    /// Exact length of [`SegmentedSet::serialize`]'s output.
+    /// Exact length of [`SegmentedSet::serialize`]'s output (a multiple
+    /// of 64).
     pub fn serialized_len(&self) -> usize {
-        4 + 3
-            + 8
-            + self.bitmap_bytes().len()
-            + self.summary_words().len() * 8
-            + self.num_segments() * 4
-            + self.len() * 4
+        v3_layout(&v3_section_lens(self)).1 as usize
     }
 
-    /// Decode a buffer produced by [`SegmentedSet::serialize`]; returns the
-    /// set and the number of bytes consumed (buffers may be concatenated).
+    /// Append the legacy version-2 flat encoding to `out` — kept for
+    /// migration tests and for producing corpora older readers accept.
+    pub fn serialize_v2_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION_V2);
+        out.push(self.lane().bits() as u8);
+        out.push(self.log2_m() as u8);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.bitmap_bytes());
+        for &w in self.summary_words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for i in 0..self.num_segments() {
+            out.extend_from_slice(&(self.seg_size(i) as u32).to_le_bytes());
+        }
+        for &x in self.reordered_elements() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// The legacy version-2 encoding as a fresh buffer.
+    pub fn serialize_v2(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_v2_into(&mut out);
+        out
+    }
+
+    /// Decode a buffer produced by [`SegmentedSet::serialize`] (any
+    /// supported version); returns the set and the number of bytes
+    /// consumed (buffers may be concatenated).
     pub fn deserialize(bytes: &[u8]) -> Result<(SegmentedSet, usize), DecodeError> {
-        let need = |n: usize, at: usize| {
-            if bytes.len() < at + n {
-                Err(DecodeError::Truncated)
-            } else {
-                Ok(())
-            }
-        };
-        need(15, 0)?;
+        if bytes.len() < 15 {
+            return Err(DecodeError::Truncated);
+        }
         if bytes[0..4] != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        let version = bytes[4];
-        if !(1..=VERSION).contains(&version) {
-            return Err(DecodeError::BadVersion(version));
+        match bytes[4] {
+            v @ 1..=VERSION_V2 => deserialize_legacy(bytes, v),
+            VERSION => deserialize_v3(bytes),
+            v => Err(DecodeError::BadVersion(v)),
         }
-        let lane = match bytes[5] {
-            8 => LaneWidth::U8,
-            16 => LaneWidth::U16,
-            _ => return Err(DecodeError::BadHeader),
-        };
-        let log2_m = bytes[6] as u32;
-        if !(9..=32).contains(&log2_m) {
-            // m below 512 bits or beyond the hash range is never produced.
+    }
+
+    /// Decode the v3 set block at byte offset `at` of a mapped corpus,
+    /// *without copying or allocating*: every array of the returned set is
+    /// a [`Section`] view into the mapping, kept alive by the `Arc`.
+    ///
+    /// Structural metadata (header, section table, segment offsets,
+    /// sentinel tail, summary popcount) is fully checked in
+    /// `O(#segments)`; section **content** is trusted, so a corrupted
+    /// bitmap or element array yields wrong intersection results but
+    /// never unsafety. Only version-3, little-endian buffers qualify —
+    /// anything else must go through the owned [`SegmentedSet::deserialize`].
+    pub fn deserialize_mapped(
+        file: &Arc<MappedFile>,
+        at: usize,
+    ) -> Result<(SegmentedSet, usize), DecodeError> {
+        if cfg!(target_endian = "big") {
+            // Mapped views reinterpret little-endian bytes in place.
             return Err(DecodeError::BadHeader);
         }
-        let n = u64::from_le_bytes(bytes[7..15].try_into().expect("checked")) as usize;
-        let m_bytes = (1usize << log2_m) / 8;
-        let segs = (1usize << log2_m) / lane.bits();
-        let mut at = 15;
-        need(m_bytes, at)?;
-        let bitmap = bytes[at..at + m_bytes].to_vec();
-        at += m_bytes;
-        let summary = if version >= 2 {
-            let words = fesia_simd::mask::summary_len(m_bytes);
-            need(words * 8, at)?;
-            let s: Vec<u64> = (0..words)
-                .map(|i| {
-                    u64::from_le_bytes(
-                        bytes[at + i * 8..at + i * 8 + 8]
-                            .try_into()
-                            .expect("checked"),
-                    )
-                })
-                .collect();
-            at += words * 8;
-            Some(s)
+        let all = file.bytes();
+        if at > all.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let bytes = &all[at..];
+        if bytes.len() < 15 {
+            return Err(DecodeError::Truncated);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(DecodeError::BadVersion(bytes[4]));
+        }
+        let h = parse_v3_header(bytes)?;
+        // Every section offset is a multiple of 64, so one base check
+        // aligns every typed view (u64 needs 8, u32 needs 4).
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return Err(DecodeError::Corrupt);
+        }
+
+        let (soff, slen) = h.sections[SEC_SUMMARY];
+        // SAFETY: bounds and alignment established above.
+        let summary: &[u64] = unsafe { sec_slice(bytes, soff, slen) };
+        if summary.iter().map(|w| w.count_ones() as u64).sum::<u64>() != h.summary_ones {
+            return Err(DecodeError::Corrupt);
+        }
+
+        // Segment entries must be exact prefix sums of their sizes ending
+        // at n: after this, every kernel-visible (offset, size) is in
+        // bounds of the elements section.
+        let wide = h.flags & FLAG_WIDE_META != 0;
+        let (moff, mlen) = h.sections[SEC_SEGMETA];
+        let mut acc = 0u64;
+        if wide {
+            // SAFETY: bounds and alignment established above.
+            let entries: &[u64] = unsafe { sec_slice(bytes, moff, mlen) };
+            for &e in entries {
+                if e >> 32 != acc {
+                    return Err(DecodeError::Corrupt);
+                }
+                acc += e & 0xFFFF_FFFF;
+            }
+        } else {
+            // SAFETY: bounds and alignment established above.
+            let entries: &[u32] = unsafe { sec_slice(bytes, moff, mlen) };
+            for &e in entries {
+                if u64::from(e >> 8) != acc {
+                    return Err(DecodeError::Corrupt);
+                }
+                acc += u64::from(e & 0xFF);
+            }
+        }
+        if acc != h.n as u64 {
+            return Err(DecodeError::Corrupt);
+        }
+
+        // The kernels' over-read contract needs the sentinel tail intact.
+        let (eoff, elen) = h.sections[SEC_ELEMENTS];
+        // SAFETY: bounds and alignment established above.
+        let elems: &[u32] = unsafe { sec_slice(bytes, eoff, elen) };
+        if elems[h.n..].iter().any(|&x| x != PAD_SENTINEL) {
+            return Err(DecodeError::Corrupt);
+        }
+
+        let base = bytes.as_ptr();
+        let (boff, blen) = h.sections[SEC_BITMAP];
+        // SAFETY (all views below): parse_v3_header bounds every section
+        // within the mapping and the base alignment check covers every
+        // element type; the Arc keeps the mapping alive.
+        let bitmap = unsafe { Section::from_mapped(base.add(boff), blen, Arc::clone(file)) };
+        let summary = unsafe {
+            Section::from_mapped(base.add(soff) as *const u64, slen / 8, Arc::clone(file))
+        };
+        let seg_meta = if wide {
+            SegMeta::Wide(unsafe {
+                Section::from_mapped(base.add(moff) as *const u64, mlen / 8, Arc::clone(file))
+            })
+        } else {
+            SegMeta::Compact(unsafe {
+                Section::from_mapped(base.add(moff) as *const u32, mlen / 4, Arc::clone(file))
+            })
+        };
+        let reordered = unsafe {
+            Section::from_mapped(base.add(eoff) as *const u32, elen / 4, Arc::clone(file))
+        };
+        let packed = if h.flags & FLAG_PACKED != 0 {
+            let (poff, plen) = h.sections[SEC_PACKED];
+            let width = 32 - h.log2_m + log2_pow2(h.lane.bits());
+            let words = unsafe {
+                Section::from_mapped(base.add(poff) as *const u64, plen / 8, Arc::clone(file))
+            };
+            Some(PackedTier::from_section(words, width))
         } else {
             None
         };
-        need(segs * 4, at)?;
-        let sizes: Vec<u32> = (0..segs)
-            .map(|i| {
-                u32::from_le_bytes(
-                    bytes[at + i * 4..at + i * 4 + 4]
-                        .try_into()
-                        .expect("checked"),
-                )
-            })
-            .collect();
-        at += segs * 4;
-        if sizes.iter().map(|&s| s as u64).sum::<u64>() != n as u64 {
-            return Err(DecodeError::Corrupt);
-        }
-        need(n * 4, at)?;
-        let reordered: Vec<u32> = (0..n)
-            .map(|i| {
-                u32::from_le_bytes(
-                    bytes[at + i * 4..at + i * 4 + 4]
-                        .try_into()
-                        .expect("checked"),
-                )
-            })
-            .collect();
-        at += n * 4;
-
-        let set = SegmentedSet::from_decoded_parts(bitmap, summary, sizes, reordered, log2_m, lane)
-            .ok_or(DecodeError::Corrupt)?;
-        Ok((set, at))
+        let set = SegmentedSet::from_sections(
+            bitmap,
+            summary,
+            h.summary_ones,
+            seg_meta,
+            reordered,
+            packed,
+            h.n,
+            h.log2_m,
+            h.lane,
+        );
+        Ok((set, h.total_len))
     }
 }
 
+/// Fully parsed and structurally checked v3 fixed header.
+struct V3Header {
+    lane: LaneWidth,
+    log2_m: u32,
+    flags: u8,
+    n: usize,
+    summary_ones: u64,
+    total_len: usize,
+    /// `(offset, len)` in bytes relative to the set start, by `SEC_*`.
+    sections: [(usize, usize); SEC_COUNT],
+}
+
+/// Parse and check the v3 header and section table of the block starting
+/// at `bytes[0]` (magic and version already verified by the caller).
+/// Every section length must equal the exact value the header fields
+/// imply, be 64-byte-aligned, and fit inside `total_len` — so nothing
+/// downstream needs bounds arithmetic.
+fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, DecodeError> {
+    if bytes.len() < V3_HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    debug_assert!(bytes[0..4] == MAGIC && bytes[4] == VERSION);
+    let lane = match bytes[5] {
+        8 => LaneWidth::U8,
+        16 => LaneWidth::U16,
+        _ => return Err(DecodeError::BadHeader),
+    };
+    let log2_m = bytes[6] as u32;
+    if !(9..=32).contains(&log2_m) {
+        // m below 512 bits or beyond the hash range is never produced.
+        return Err(DecodeError::BadHeader);
+    }
+    let flags = bytes[7];
+    if flags & !(FLAG_PACKED | FLAG_WIDE_META) != 0 {
+        return Err(DecodeError::BadHeader);
+    }
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("checked"));
+    let n = usize::try_from(u64_at(8)).map_err(|_| DecodeError::Corrupt)?;
+    let summary_ones = u64_at(16);
+    let total_len = usize::try_from(u64_at(24)).map_err(|_| DecodeError::Corrupt)?;
+    if total_len % 64 != 0 || total_len < V3_HEADER_LEN {
+        return Err(DecodeError::Corrupt);
+    }
+    if bytes.len() < total_len {
+        return Err(DecodeError::Truncated);
+    }
+    let m_bytes = (1usize << log2_m) / 8;
+    let segs = (1usize << log2_m) / lane.bits();
+    let meta_entry: u128 = if flags & FLAG_WIDE_META != 0 { 8 } else { 4 };
+    let packed_len: u128 = if flags & FLAG_PACKED != 0 {
+        let width = 32 - log2_m + log2_pow2(lane.bits());
+        if width > bitpack::MAX_WIDTH {
+            // The builder's gates never pack such sets, so the flag lies.
+            return Err(DecodeError::Corrupt);
+        }
+        // required_words(n, width) * 8, in u128 because n is untrusted.
+        ((n as u128 * u128::from(width)).div_ceil(64) + 1) * 8
+    } else {
+        0
+    };
+    let expected: [u128; SEC_COUNT] = [
+        m_bytes as u128,
+        (summary_len(m_bytes) * 8) as u128,
+        segs as u128 * meta_entry,
+        (n as u128 + PAD_LEN as u128) * 4,
+        packed_len,
+    ];
+    let mut sections = [(0usize, 0usize); SEC_COUNT];
+    for (i, slot) in sections.iter_mut().enumerate() {
+        let off64 = u64_at(32 + i * 16);
+        let len64 = u64_at(32 + i * 16 + 8);
+        if u128::from(len64) != expected[i] {
+            return Err(DecodeError::Corrupt);
+        }
+        let off = usize::try_from(off64).map_err(|_| DecodeError::Corrupt)?;
+        let len = usize::try_from(len64).map_err(|_| DecodeError::Corrupt)?;
+        if off % 64 != 0 || off < V3_HEADER_LEN {
+            return Err(DecodeError::Corrupt);
+        }
+        match off.checked_add(len) {
+            Some(end) if end <= total_len => {}
+            _ => return Err(DecodeError::Corrupt),
+        }
+        *slot = (off, len);
+    }
+    Ok(V3Header {
+        lane,
+        log2_m,
+        flags,
+        n,
+        summary_ones,
+        total_len,
+        sections,
+    })
+}
+
+/// View a section of `bytes` as a typed slice.
+///
+/// # Safety
+/// `off..off + len_bytes` must be in bounds of `bytes` and the absolute
+/// address of `bytes[off]` must be aligned for `T`.
+unsafe fn sec_slice<T>(bytes: &[u8], off: usize, len_bytes: usize) -> &[T] {
+    std::slice::from_raw_parts(
+        bytes.as_ptr().add(off) as *const T,
+        len_bytes / std::mem::size_of::<T>(),
+    )
+}
+
+/// Owned decode of a v3 block: full validation via
+/// `SegmentedSet::from_decoded_parts` (which also rebuilds the packed
+/// tier from the decoded elements — stored packed bytes are never
+/// trusted).
+fn deserialize_v3(bytes: &[u8]) -> Result<(SegmentedSet, usize), DecodeError> {
+    let h = parse_v3_header(bytes)?;
+    let (boff, blen) = h.sections[SEC_BITMAP];
+    let bitmap = bytes[boff..boff + blen].to_vec();
+    let (soff, slen) = h.sections[SEC_SUMMARY];
+    let summary: Vec<u64> = bytes[soff..soff + slen]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("checked")))
+        .collect();
+    if summary.iter().map(|w| w.count_ones() as u64).sum::<u64>() != h.summary_ones {
+        return Err(DecodeError::Corrupt);
+    }
+    let (moff, mlen) = h.sections[SEC_SEGMETA];
+    // Only the size halves matter: offsets are re-derived (and checked)
+    // as prefix sums by from_decoded_parts.
+    let sizes: Vec<u32> = if h.flags & FLAG_WIDE_META != 0 {
+        bytes[moff..moff + mlen]
+            .chunks_exact(8)
+            .map(|c| (u64::from_le_bytes(c.try_into().expect("checked")) & 0xFFFF_FFFF) as u32)
+            .collect()
+    } else {
+        bytes[moff..moff + mlen]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("checked")) & 0xFF)
+            .collect()
+    };
+    let (eoff, _) = h.sections[SEC_ELEMENTS];
+    let reordered: Vec<u32> = bytes[eoff..eoff + h.n * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("checked")))
+        .collect();
+    let set =
+        SegmentedSet::from_decoded_parts(bitmap, Some(summary), sizes, reordered, h.log2_m, h.lane)
+            .ok_or(DecodeError::Corrupt)?;
+    Ok((set, h.total_len))
+}
+
+/// Owned decode of the legacy v1/v2 flat layout.
+fn deserialize_legacy(bytes: &[u8], version: u8) -> Result<(SegmentedSet, usize), DecodeError> {
+    let need = |n: usize, at: usize| {
+        if bytes.len() < at + n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    let lane = match bytes[5] {
+        8 => LaneWidth::U8,
+        16 => LaneWidth::U16,
+        _ => return Err(DecodeError::BadHeader),
+    };
+    let log2_m = bytes[6] as u32;
+    if !(9..=32).contains(&log2_m) {
+        return Err(DecodeError::BadHeader);
+    }
+    let n = u64::from_le_bytes(bytes[7..15].try_into().expect("checked")) as usize;
+    let m_bytes = (1usize << log2_m) / 8;
+    let segs = (1usize << log2_m) / lane.bits();
+    let mut at = 15;
+    need(m_bytes, at)?;
+    let bitmap = bytes[at..at + m_bytes].to_vec();
+    at += m_bytes;
+    let summary = if version >= 2 {
+        let words = summary_len(m_bytes);
+        need(words * 8, at)?;
+        let s: Vec<u64> = (0..words)
+            .map(|i| {
+                u64::from_le_bytes(
+                    bytes[at + i * 8..at + i * 8 + 8]
+                        .try_into()
+                        .expect("checked"),
+                )
+            })
+            .collect();
+        at += words * 8;
+        Some(s)
+    } else {
+        None
+    };
+    need(segs * 4, at)?;
+    let sizes: Vec<u32> = (0..segs)
+        .map(|i| {
+            u32::from_le_bytes(
+                bytes[at + i * 4..at + i * 4 + 4]
+                    .try_into()
+                    .expect("checked"),
+            )
+        })
+        .collect();
+    at += segs * 4;
+    if sizes.iter().map(|&s| s as u64).sum::<u64>() != n as u64 {
+        return Err(DecodeError::Corrupt);
+    }
+    need(n * 4, at)?;
+    let reordered: Vec<u32> = (0..n)
+        .map(|i| {
+            u32::from_le_bytes(
+                bytes[at + i * 4..at + i * 4 + 4]
+                    .try_into()
+                    .expect("checked"),
+            )
+        })
+        .collect();
+    at += n * 4;
+
+    let set = SegmentedSet::from_decoded_parts(bitmap, summary, sizes, reordered, log2_m, lane)
+        .ok_or(DecodeError::Corrupt)?;
+    Ok((set, at))
+}
+
 /// Convenience: serialize a whole collection (e.g. the per-term encodings
-/// of an inverted index) into one buffer.
+/// of an inverted index) into one buffer. The v3 framing (count word
+/// padded to 64 bytes, then 64-aligned set blocks) keeps every section of
+/// every set aligned, so the buffer is mmap-ready as written.
 pub fn serialize_many(sets: &[SegmentedSet]) -> Vec<u8> {
     let total: usize = sets.iter().map(SegmentedSet::serialized_len).sum();
-    let mut out = Vec::with_capacity(total + 8);
+    let mut out = Vec::with_capacity(total + MANY_PROLOGUE);
     out.extend_from_slice(&(sets.len() as u64).to_le_bytes());
+    out.resize(MANY_PROLOGUE, 0);
     for s in sets {
         s.serialize_into(&mut out);
     }
     out
 }
 
-/// Decode a buffer produced by [`serialize_many`].
+/// Where a many-buffer's first set block starts, by sniffing the framing:
+/// legacy buffers put a v1/v2 set header right after the count.
+fn many_first_set_offset(bytes: &[u8]) -> usize {
+    if bytes.len() >= 13 && bytes[8..12] == MAGIC && (1..=VERSION_V2).contains(&bytes[12]) {
+        8
+    } else {
+        MANY_PROLOGUE
+    }
+}
+
+/// Decode a buffer produced by [`serialize_many`] (current or legacy
+/// framing) on the owned path.
 pub fn deserialize_many(bytes: &[u8]) -> Result<Vec<SegmentedSet>, DecodeError> {
     if bytes.len() < 8 {
         return Err(DecodeError::Truncated);
     }
     let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked"));
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let start = many_first_set_offset(bytes);
+    if bytes.len() < start {
+        return Err(DecodeError::Truncated);
+    }
     // The count field is untrusted input: cap it by what the remaining
     // bytes could possibly hold (every encoded set takes at least a
     // 15-byte header) before sizing any allocation from it. A hostile
     // 8-byte count would otherwise drive `Vec::with_capacity` to abort
     // or overcommit.
     const MIN_SET_ENCODING: usize = 15;
-    if count > ((bytes.len() - 8) / MIN_SET_ENCODING) as u64 {
+    if count > ((bytes.len() - start) / MIN_SET_ENCODING) as u64 {
         return Err(DecodeError::Truncated);
     }
     let count = count as usize;
-    let mut at = 8;
+    let mut at = start;
     let mut sets = Vec::with_capacity(count);
     for _ in 0..count {
         let (set, used) = SegmentedSet::deserialize(&bytes[at..])?;
+        at += used;
+        sets.push(set);
+    }
+    Ok(sets)
+}
+
+/// Decode a mapped corpus produced by [`serialize_many`] with **zero
+/// per-set allocation**: each returned set's arrays view the mapping
+/// directly (see [`SegmentedSet::deserialize_mapped`]). Only the v3
+/// framing qualifies; legacy buffers return
+/// [`DecodeError::BadVersion`] and must use the owned [`deserialize_many`].
+pub fn deserialize_many_mapped(file: &Arc<MappedFile>) -> Result<Vec<SegmentedSet>, DecodeError> {
+    let bytes = file.bytes();
+    if bytes.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = u64::from_le_bytes(bytes[..8].try_into().expect("checked"));
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if many_first_set_offset(bytes) != MANY_PROLOGUE {
+        return Err(DecodeError::BadVersion(bytes[12]));
+    }
+    if bytes.len() < MANY_PROLOGUE {
+        return Err(DecodeError::Truncated);
+    }
+    // Untrusted count: every v3 set block is at least a header long.
+    if count > ((bytes.len() - MANY_PROLOGUE) / V3_HEADER_LEN) as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = count as usize;
+    let mut at = MANY_PROLOGUE;
+    let mut sets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (set, used) = SegmentedSet::deserialize_mapped(file, at)?;
         at += used;
         sets.push(set);
     }
@@ -264,21 +738,44 @@ mod tests {
         SegmentedSet::build(&v, &FesiaParams::auto()).unwrap()
     }
 
+    fn assert_same_set(back: &SegmentedSet, set: &SegmentedSet) {
+        assert_eq!(back.len(), set.len());
+        assert_eq!(back.bitmap_bytes(), set.bitmap_bytes());
+        assert_eq!(back.summary_words(), set.summary_words());
+        assert_eq!(back.reordered_elements(), set.reordered_elements());
+        assert_eq!(back.packed_width(), set.packed_width());
+        if let (Some(a), Some(b)) = (back.packed(), set.packed()) {
+            assert_eq!(a.words(), b.words());
+        }
+        // Behavioral equality: intersects identically.
+        assert_eq!(intersect_count(set, back), set.len());
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         for n in [0usize, 1, 100, 5_000] {
             let set = sample_set(n, 42 + n as u64);
             let bytes = set.serialize();
             assert_eq!(bytes.len(), set.serialized_len());
+            assert_eq!(bytes.len() % 64, 0, "v3 blocks are 64-byte multiples");
             let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
             assert_eq!(used, bytes.len());
             assert!(back.validate());
-            assert_eq!(back.len(), set.len());
-            assert_eq!(back.bitmap_bytes(), set.bitmap_bytes());
-            assert_eq!(back.summary_words(), set.summary_words());
-            assert_eq!(back.reordered_elements(), set.reordered_elements());
-            // Behavioral equality: intersects identically.
-            assert_eq!(intersect_count(&set, &back), set.len());
+            assert_same_set(&back, &set);
+        }
+    }
+
+    #[test]
+    fn v2_buffers_decode_and_gain_the_packed_tier() {
+        // A legacy buffer never stored a tier; decoding must rebuild the
+        // exact tier a fresh build carries.
+        for n in [0usize, 100, 5_000] {
+            let set = sample_set(n, 77 + n as u64);
+            let bytes = set.serialize_v2();
+            let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
+            assert_eq!(used, bytes.len());
+            assert!(back.validate());
+            assert_same_set(&back, &set);
         }
     }
 
@@ -291,6 +788,21 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].reordered_elements(), a.reordered_elements());
         assert_eq!(back[1].reordered_elements(), b.reordered_elements());
+        assert!(deserialize_many(&serialize_many(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn legacy_many_framing_still_decodes() {
+        let a = sample_set(200, 21);
+        let b = sample_set(300, 22);
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&2u64.to_le_bytes());
+        a.serialize_v2_into(&mut legacy);
+        b.serialize_v2_into(&mut legacy);
+        let back = deserialize_many(&legacy).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_same_set(&back[0], &a);
+        assert_same_set(&back[1], &b);
     }
 
     #[test]
@@ -314,11 +826,16 @@ mod tests {
     #[test]
     fn rejects_tampered_payload() {
         let set = sample_set(500, 7);
+        // v3: the bitmap section starts right after the fixed header.
         let mut bytes = set.serialize();
-        // Flip a bit inside the bitmap region: the element -> bit mapping
-        // no longer validates.
-        let bitmap_start = 15;
-        bytes[bitmap_start + 3] ^= 0xFF;
+        bytes[V3_HEADER_LEN + 3] ^= 0xFF;
+        assert_eq!(
+            SegmentedSet::deserialize(&bytes).unwrap_err(),
+            DecodeError::Corrupt
+        );
+        // v2: same flip at the legacy bitmap offset.
+        let mut bytes = set.serialize_v2();
+        bytes[15 + 3] ^= 0xFF;
         assert_eq!(
             SegmentedSet::deserialize(&bytes).unwrap_err(),
             DecodeError::Corrupt
@@ -331,7 +848,7 @@ mod tests {
         // rewrite the version byte. Decoding must recompute an identical
         // summary from the bitmap.
         let set = sample_set(700, 11);
-        let v2 = set.serialize();
+        let v2 = set.serialize_v2();
         let m_bytes = set.bitmap_bytes().len();
         let summary_bytes = set.summary_words().len() * 8;
         let mut v1 = Vec::with_capacity(v2.len() - summary_bytes);
@@ -348,9 +865,16 @@ mod tests {
     #[test]
     fn rejects_tampered_summary() {
         let set = sample_set(500, 13);
+        // v3: flipping summary bytes breaks the stored popcount first.
         let mut bytes = set.serialize();
-        // Flip a byte inside the summary region: the stored summary no
-        // longer matches the one recomputed from the bitmap.
+        let soff = u64::from_le_bytes(bytes[32 + 16..32 + 24].try_into().unwrap()) as usize;
+        bytes[soff] ^= 0xFF;
+        assert_eq!(
+            SegmentedSet::deserialize(&bytes).unwrap_err(),
+            DecodeError::Corrupt
+        );
+        // v2: the stored summary no longer matches the recomputed one.
+        let mut bytes = set.serialize_v2();
         let summary_start = 15 + set.bitmap_bytes().len();
         bytes[summary_start] ^= 0xFF;
         assert_eq!(
@@ -363,12 +887,124 @@ mod tests {
     fn rejects_truncated_payload() {
         let set = sample_set(500, 9);
         let bytes = set.serialize();
-        for cut in [10usize, 20, bytes.len() - 1] {
+        for cut in [10usize, 20, 64, bytes.len() - 1] {
             assert_eq!(
                 SegmentedSet::deserialize(&bytes[..cut]).unwrap_err(),
                 DecodeError::Truncated,
                 "cut={cut}"
             );
         }
+    }
+
+    #[test]
+    fn v3_sections_are_aligned_and_exact() {
+        let set = sample_set(2_000, 17);
+        let bytes = set.serialize();
+        let total = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        assert_eq!(total as usize, bytes.len());
+        let mut prev_end = V3_HEADER_LEN as u64;
+        for i in 0..SEC_COUNT {
+            let off = u64::from_le_bytes(bytes[32 + i * 16..40 + i * 16].try_into().unwrap());
+            let len = u64::from_le_bytes(bytes[40 + i * 16..48 + i * 16].try_into().unwrap());
+            assert_eq!(off % 64, 0, "section {i} misaligned");
+            assert!(off >= prev_end, "section {i} overlaps its predecessor");
+            assert!(off + len <= total, "section {i} out of bounds");
+            prev_end = off + len;
+        }
+    }
+
+    #[test]
+    fn mapped_corpus_round_trips_through_a_real_file() {
+        let sets = [
+            sample_set(0, 31),
+            sample_set(100, 32),
+            sample_set(5_000, 33),
+        ];
+        let buf = serialize_many(&sets);
+        let path = std::env::temp_dir().join(format!("fesia-v3-corpus-{}", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+        let file = Arc::new(MappedFile::open(&path).unwrap());
+        let back = deserialize_many_mapped(&file).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back.len(), sets.len());
+        for (b, s) in back.iter().zip(&sets) {
+            assert!(b.validate(), "mapped set fails validation");
+            assert_same_set(b, s);
+        }
+        // The sets stay usable after the Arc handle is dropped: each
+        // Section keeps the mapping alive.
+        drop(file);
+        assert_eq!(intersect_count(&back[1], &back[2]), {
+            let a: std::collections::BTreeSet<u32> =
+                sets[1].reordered_elements().iter().copied().collect();
+            sets[2]
+                .reordered_elements()
+                .iter()
+                .filter(|x| a.contains(x))
+                .count()
+        });
+    }
+
+    #[test]
+    fn mapped_decode_rejects_what_it_must() {
+        let set = sample_set(400, 41);
+        let buf = serialize_many(std::slice::from_ref(&set));
+        let aligned = |b: &[u8]| (b.as_ptr() as usize).is_multiple_of(8);
+
+        // Legacy framing is owned-path-only.
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&1u64.to_le_bytes());
+        set.serialize_v2_into(&mut legacy);
+        let f = Arc::new(MappedFile::from_bytes(legacy));
+        assert_eq!(
+            deserialize_many_mapped(&f).unwrap_err(),
+            DecodeError::BadVersion(VERSION_V2)
+        );
+
+        // A tampered section-table length fails the exact-length check.
+        let mut bad = buf.clone();
+        bad[MANY_PROLOGUE + 40] ^= 0x01; // BITMAP len, low byte
+        let f = Arc::new(MappedFile::from_bytes(bad));
+        if aligned(f.bytes()) {
+            assert_eq!(
+                deserialize_many_mapped(&f).unwrap_err(),
+                DecodeError::Corrupt
+            );
+        }
+
+        // A tampered segment-meta entry breaks the prefix-sum invariant.
+        let mut bad = buf.clone();
+        let set_start = MANY_PROLOGUE;
+        let moff = u64::from_le_bytes(
+            buf[set_start + 32 + 2 * 16..set_start + 40 + 2 * 16]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        bad[set_start + moff + 2] ^= 0xFF; // offset bits of a compact entry
+        let f = Arc::new(MappedFile::from_bytes(bad));
+        if aligned(f.bytes()) {
+            assert_eq!(
+                deserialize_many_mapped(&f).unwrap_err(),
+                DecodeError::Corrupt
+            );
+        }
+
+        // A misaligned base is refused outright (never UB).
+        let mut shifted = vec![0u8; 1];
+        shifted.extend_from_slice(&buf[MANY_PROLOGUE..]);
+        let f = Arc::new(MappedFile::from_bytes(shifted));
+        if !aligned(&f.bytes()[1..]) {
+            assert_eq!(
+                SegmentedSet::deserialize_mapped(&f, 1).unwrap_err(),
+                DecodeError::Corrupt
+            );
+        }
+
+        // Truncation inside the first set block.
+        let f = Arc::new(MappedFile::from_bytes(buf[..buf.len() - 1].to_vec()));
+        assert_eq!(
+            deserialize_many_mapped(&f).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 }

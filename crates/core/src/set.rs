@@ -2,8 +2,10 @@
 
 use crate::error::{validate_input, BuildError, MAX_ELEMENT};
 use crate::hash;
-use crate::layout::build_layout;
+use crate::layout::{build_layout, pack_residuals};
+use crate::mmap::Section;
 use crate::params::FesiaParams;
+use fesia_simd::bitpack;
 use fesia_simd::mask::{build_block_summary, LaneWidth, SUMMARY_BLOCK_BYTES};
 use fesia_simd::util::log2_pow2;
 
@@ -27,11 +29,11 @@ pub(crate) const PAD_LEN: usize = 32;
 /// mean population is below 1) use 4-byte entries; larger or collision-
 /// heavy sets fall back to 8-byte entries.
 #[derive(Debug, Clone)]
-enum SegMeta {
+pub(crate) enum SegMeta {
     /// `offset << 8 | size` in a `u32` (offset < 2^24, size < 256).
-    Compact(Vec<u32>),
+    Compact(Section<u32>),
     /// `offset << 32 | size` in a `u64`.
-    Wide(Vec<u64>),
+    Wide(Section<u64>),
 }
 
 impl SegMeta {
@@ -40,6 +42,17 @@ impl SegMeta {
         match self {
             SegMeta::Compact(v) => v.len(),
             SegMeta::Wide(v) => v.len(),
+        }
+    }
+
+    /// Hint that `entry(i)` will be read soon. The metadata array is the
+    /// first random access of every surviving segment's sweep iteration,
+    /// so hiding its miss matters as much as hiding the data stream's.
+    #[inline]
+    fn prefetch_entry(&self, i: usize) {
+        match self {
+            SegMeta::Compact(v) => fesia_simd::prefetch::prefetch_read(&v[i]),
+            SegMeta::Wide(v) => fesia_simd::prefetch::prefetch_read(&v[i]),
         }
     }
 
@@ -65,6 +78,43 @@ impl SegMeta {
     }
 }
 
+/// The compressed storage tier: every segment's elements re-encoded as
+/// fixed-width hash residuals and bitpacked into one contiguous stream
+/// (see [`crate::layout::pack_residuals`] for the transform and the gates
+/// deciding when a set carries one). Segment `i`'s run starts at bit
+/// `seg_offset(i) * width`, so the existing segment metadata locates it
+/// with no extra bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PackedTier {
+    words: Section<u64>,
+    width: u32,
+}
+
+impl PackedTier {
+    /// Wrap an existing (typically mapped) packed stream.
+    pub(crate) fn from_section(words: Section<u64>, width: u32) -> PackedTier {
+        PackedTier { words, width }
+    }
+
+    /// Residual width in bits.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The packed words, including the trailing over-read pad word.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Size of the packed stream in bytes (including the pad word).
+    #[inline]
+    pub fn stream_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
 /// A set of `u32` values encoded as a segmented bitmap (paper §III-B).
 ///
 /// Built once offline, then intersected many times online. The encoding
@@ -81,16 +131,19 @@ impl SegMeta {
 /// reserved as padding sentinels for the SIMD kernels.
 #[derive(Debug, Clone)]
 pub struct SegmentedSet {
-    bitmap: Vec<u8>,
+    bitmap: Section<u8>,
     /// One bit per 512-bit bitmap block (the two-level bitmap's coarse
     /// level); built during layout, persisted by the serializer.
-    summary: Vec<u64>,
+    summary: Section<u64>,
     /// Cached popcount of `summary` — the block density feeds the pruned
     /// scan's auto-selection on every intersection, so it must not cost a
     /// pass over the summary each time.
     summary_ones: u64,
     seg_meta: SegMeta,
-    reordered: Vec<u32>,
+    reordered: Section<u32>,
+    /// The compressed tier, when the set qualifies for one (see
+    /// [`PackedTier`]); the planner decides per pair whether to use it.
+    packed: Option<PackedTier>,
     n: usize,
     log2_m: u32,
     lane: LaneWidth,
@@ -111,6 +164,17 @@ impl SegmentedSet {
             "bitmap floor guarantees 64B blocks"
         );
 
+        let packed = pack_residuals(
+            &layout.reordered,
+            &layout.seg_offsets,
+            log2_m,
+            log2_pow2(s_bits),
+        )
+        .map(|(words, width)| PackedTier {
+            words: words.into(),
+            width,
+        });
+
         let mut reordered = layout.reordered;
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
         let compact_ok = sorted.len() < (1 << 24) && layout.seg_sizes.iter().all(|&s| s < 256);
@@ -121,7 +185,8 @@ impl SegmentedSet {
                     .iter()
                     .zip(&layout.seg_offsets)
                     .map(|(&size, &off)| (off << 8) | size)
-                    .collect(),
+                    .collect::<Vec<u32>>()
+                    .into(),
             )
         } else {
             SegMeta::Wide(
@@ -130,17 +195,19 @@ impl SegmentedSet {
                     .iter()
                     .zip(&layout.seg_offsets)
                     .map(|(&size, &off)| ((off as u64) << 32) | size as u64)
-                    .collect(),
+                    .collect::<Vec<u64>>()
+                    .into(),
             )
         };
 
         let summary_ones = layout.summary.iter().map(|w| w.count_ones() as u64).sum();
         Ok(SegmentedSet {
-            bitmap: layout.bitmap,
-            summary: layout.summary,
+            bitmap: layout.bitmap.into(),
+            summary: layout.summary.into(),
             summary_ones,
             seg_meta,
-            reordered,
+            reordered: reordered.into(),
+            packed,
             n: sorted.len(),
             log2_m,
             lane: params.segment,
@@ -174,33 +241,58 @@ impl SegmentedSet {
         };
         let summary_ones = summary.iter().map(|w| w.count_ones() as u64).sum();
         let n = reordered.len();
+        // Prefix-sum the (attacker-controlled) sizes into offsets before
+        // anything indexes with them; a sum that misses `n` can only
+        // describe a corrupt buffer.
+        let mut seg_offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0u64;
+        for &size in &sizes {
+            seg_offsets.push(acc as u32);
+            acc += u64::from(size);
+            if acc > n as u64 {
+                return None;
+            }
+        }
+        seg_offsets.push(acc as u32);
+        if acc != n as u64 {
+            return None;
+        }
+        // The compressed tier is always rebuilt from the decoded elements
+        // (never trusted from the buffer): the gates and residual order are
+        // deterministic functions of the set's own contents, so a decode
+        // carries exactly the tier a fresh build would — for v1/v2 buffers
+        // that never stored one just as much as for v3.
+        let packed = pack_residuals(&reordered, &seg_offsets, log2_m, log2_pow2(lane.bits())).map(
+            |(words, width)| PackedTier {
+                words: words.into(),
+                width,
+            },
+        );
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
         let compact_ok = n < (1 << 24) && sizes.iter().all(|&s| s < 256);
-        let mut acc = 0u64;
-        let entries = sizes.iter().map(|&size| {
-            let off = acc;
-            acc += size as u64;
-            (off, size)
-        });
+        let entries = seg_offsets[..sizes.len()].iter().zip(&sizes);
         let seg_meta = if compact_ok {
             SegMeta::Compact(
                 entries
-                    .map(|(off, size)| ((off as u32) << 8) | size)
-                    .collect(),
+                    .map(|(&off, &size)| (off << 8) | size)
+                    .collect::<Vec<u32>>()
+                    .into(),
             )
         } else {
             SegMeta::Wide(
                 entries
-                    .map(|(off, size)| (off << 32) | size as u64)
-                    .collect(),
+                    .map(|(&off, &size)| (u64::from(off) << 32) | u64::from(size))
+                    .collect::<Vec<u64>>()
+                    .into(),
             )
         };
         let set = SegmentedSet {
-            bitmap,
-            summary,
+            bitmap: bitmap.into(),
+            summary: summary.into(),
             summary_ones,
             seg_meta,
-            reordered,
+            reordered: reordered.into(),
+            packed,
             n,
             log2_m,
             lane,
@@ -209,6 +301,37 @@ impl SegmentedSet {
             Some(set)
         } else {
             None
+        }
+    }
+
+    /// Assemble a set directly from pre-validated sections — the zero-copy
+    /// back end of the v3 mapped decoder. Performs **no** validation; the
+    /// caller (and only caller, [`crate::serialize::deserialize_mapped`])
+    /// is responsible for every structural check, because running
+    /// [`SegmentedSet::validate`]'s recomputations here would defeat the
+    /// allocation-free contract of the mapped path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_sections(
+        bitmap: Section<u8>,
+        summary: Section<u64>,
+        summary_ones: u64,
+        seg_meta: SegMeta,
+        reordered: Section<u32>,
+        packed: Option<PackedTier>,
+        n: usize,
+        log2_m: u32,
+        lane: LaneWidth,
+    ) -> SegmentedSet {
+        SegmentedSet {
+            bitmap,
+            summary,
+            summary_ones,
+            seg_meta,
+            reordered,
+            packed,
+            n,
+            log2_m,
+            lane,
         }
     }
 
@@ -308,6 +431,25 @@ impl SegmentedSet {
         self.seg_meta.entry(i)
     }
 
+    /// Prefetch the metadata entry for segment `i` (see
+    /// [`SegMeta::prefetch_entry`]).
+    #[inline]
+    pub(crate) fn prefetch_seg_entry(&self, i: usize) {
+        self.seg_meta.prefetch_entry(i)
+    }
+
+    /// The packed per-segment metadata (the serializer persists it as-is).
+    #[inline]
+    pub(crate) fn seg_meta(&self) -> &SegMeta {
+        &self.seg_meta
+    }
+
+    /// Cached popcount of the summary level.
+    #[inline]
+    pub(crate) fn summary_ones(&self) -> u64 {
+        self.summary_ones
+    }
+
     /// Population of segment `i`.
     #[inline]
     pub fn seg_size(&self, i: usize) -> usize {
@@ -332,6 +474,19 @@ impl SegmentedSet {
         &self.reordered[..self.n]
     }
 
+    /// The compressed tier, when this set qualifies for one.
+    #[inline]
+    pub fn packed(&self) -> Option<&PackedTier> {
+        self.packed.as_ref()
+    }
+
+    /// Residual width of the compressed tier, if present — the planner's
+    /// per-set compression signal.
+    #[inline]
+    pub fn packed_width(&self) -> Option<u32> {
+        self.packed.as_ref().map(|p| p.width)
+    }
+
     /// Membership test via the bitmap filter plus a segment scan — the
     /// per-element primitive behind the paper's skewed-input strategy
     /// (§VI, "Input with dramatically different sizes").
@@ -347,12 +502,13 @@ impl SegmentedSet {
         self.segment(p / self.lane.bits()).binary_search(&x).is_ok()
     }
 
-    /// Total heap footprint of the encoding in bytes.
+    /// Total footprint of the encoding in bytes (owned or mapped).
     pub fn memory_bytes(&self) -> usize {
         self.bitmap.len()
             + self.summary.len() * 8
             + self.seg_meta.heap_bytes()
             + self.reordered.len() * 4
+            + self.packed.as_ref().map_or(0, PackedTier::stream_bytes)
     }
 
     /// Check every structural invariant; `true` when consistent.
@@ -362,7 +518,11 @@ impl SegmentedSet {
         self.bitmap.len().is_power_of_two()
             && self.bitmap.len() >= 64
             && self.bitmap_bits() == (1usize << self.log2_m)
-            && self.summary == build_block_summary(&self.bitmap)
+            && self.summary[..] == build_block_summary(&self.bitmap)[..]
+            && self.packed.as_ref().is_none_or(|p| {
+                p.width == 32 - self.log2_m + log2_pow2(self.lane.bits())
+                    && p.words.len() == bitpack::required_words(self.n, p.width)
+            })
             && self.summary_ones
                 == self
                     .summary
@@ -508,6 +668,29 @@ mod tests {
         // And a normal set stays compact.
         let small = SegmentedSet::build(&(0..1000).collect::<Vec<_>>(), &params()).unwrap();
         assert!(matches!(small.seg_meta, SegMeta::Compact(_)));
+    }
+
+    #[test]
+    fn packed_tier_built_when_gates_pass() {
+        let elements: Vec<u32> = (0..2000u32).map(|i| i * 3 + 1).collect();
+        let set = SegmentedSet::build(&elements, &params()).unwrap();
+        let tier = set
+            .packed()
+            .expect("a 2000-element set should carry a tier");
+        assert_eq!(
+            tier.width(),
+            32 - set.log2_m() + log2_pow2(set.lane().bits())
+        );
+        assert_eq!(
+            tier.words().len(),
+            bitpack::required_words(set.len(), tier.width())
+        );
+        assert!(tier.stream_bytes() < set.len() * 4, "tier must be smaller");
+        assert!(set.validate());
+        // Tiny sets carry no tier.
+        let small = SegmentedSet::build(&[1, 2, 3], &params()).unwrap();
+        assert!(small.packed().is_none());
+        assert!(small.validate());
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! segment width)` candidates on caller-supplied representative workloads
 //! and returns the fastest configuration.
 
-use crate::kernels::KernelTable;
-use crate::params::{FesiaParams, PipelineParams, PruneParams};
+use crate::kernels::{KernelTable, UnpackJob, OVERREAD};
+use crate::params::{CompressParams, FesiaParams, PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::LaneWidth;
 use fesia_simd::timer::CycleTimer;
@@ -300,6 +300,56 @@ pub fn calibrate(quick: bool) -> crate::plan::MachineProfile {
         }
     }
     profile.gallop_max_len = ceiling;
+
+    // 4. Compressed-tier cost constants. Decode speed: unpack every
+    // segment of a dense built set (small bits/element keeps most
+    // segments populated, so the per-segment dispatch overhead is
+    // amortized the way real survivor sweeps amortize it). Bandwidth:
+    // stream an out-of-cache buffer — the traffic the packed tier saves.
+    let cn = if quick { 50_000 } else { 400_000 };
+    let dense = FesiaParams::auto().with_bits_per_element(2.0);
+    let cset = SegmentedSet::build(&calibration_sample(cn, 29, u32::MAX), &dense).unwrap();
+    if let Some(tier) = cset.packed() {
+        let words = tier.words().as_ptr();
+        let width = tier.width();
+        let log2_s = cset.lane().bits().trailing_zeros();
+        let mut out = vec![0u32; cn + OVERREAD];
+        let cycles = min_cycles(reps, || {
+            for i in 0..cset.num_segments() {
+                let (off, k) = cset.seg_entry(i);
+                if k == 0 {
+                    continue;
+                }
+                let job = UnpackJob {
+                    bit_base: off as u64 * u64::from(width),
+                    k,
+                    width,
+                    log2_m: cset.log2_m(),
+                    log2_s,
+                    seg_index: i as u32,
+                };
+                // SAFETY: the job describes a real segment of this set's
+                // stream; `out` holds the whole reordered array + slack.
+                unsafe { table.unpack_segment(words, job, out.as_mut_ptr().add(off)) };
+            }
+            out[0] as usize
+        });
+        let decode_mc = (cycles * 1000 / cn as u64).clamp(50, 20_000);
+        let bytes: usize = if quick { 8 << 20 } else { 32 << 20 };
+        let buf: Vec<u32> = (0..bytes / 4).map(|i| i as u32).collect();
+        let bw_cycles = min_cycles(reps, || {
+            let mut acc = 0u64;
+            for &v in &buf {
+                acc = acc.wrapping_add(u64::from(v));
+            }
+            acc as usize
+        });
+        let bw_mc = (bw_cycles * 1000 / bytes as u64).clamp(10, 5_000);
+        profile.compress = CompressParams::default()
+            .with_decode_millicycles(decode_mc)
+            .with_bandwidth_millicycles(bw_mc);
+    }
+
     profile
 }
 
@@ -379,6 +429,9 @@ mod tests {
         assert_eq!(p.version, crate::plan::PROFILE_VERSION);
         let back = crate::plan::MachineProfile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+        // Phase 4 always measures on a packable calibration set.
+        assert!((50..=20_000).contains(&p.compress.decode_millicycles_per_elem));
+        assert!((10..=5_000).contains(&p.compress.bandwidth_millicycles_per_byte));
     }
 
     #[test]

@@ -369,6 +369,14 @@ define_metrics! {
             "Times a pool worker went to sleep on the wake condvar.",
         exec_worker_wakes:
             "Times a pool worker woke from the wake condvar.",
+        plan_compressed:
+            "Planner decisions that selected the compressed-tier two-phase form.",
+        intersect_compressed:
+            "Two-phase intersections dispatched in the compressed form.",
+        compressed_segments_decoded:
+            "Segments unpacked from bitpacked residual streams by the compressed step 2.",
+        compressed_bytes_saved:
+            "Bytes of raw-element memory traffic the compressed step 2 avoided by reading packed streams instead.",
     }
     histograms {
         intersect_cycles:

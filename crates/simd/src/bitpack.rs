@@ -1,0 +1,150 @@
+//! Fixed-width bit packing of `u32` values into little-endian `u64` words.
+//!
+//! The compressed segment tier stores each reordered element as a
+//! `width`-bit *residual* (see `fesia-core`'s `layout` module for the
+//! residual transform); this module owns the width-generic bit plumbing:
+//! packing a slice of values at a fixed width, random access to one packed
+//! value, and a scalar bulk unpack. The SIMD unpack prologues in the
+//! kernel backends read the same layout directly.
+//!
+//! # Layout
+//!
+//! Value `i` occupies bits `[i * width, (i + 1) * width)` of the packed
+//! stream, LSB-first within each `u64` word, words in index order. A value
+//! may straddle two adjacent words. [`required_words`] always reserves one
+//! trailing pad word beyond the last occupied bit so that vectorized
+//! readers may over-read a full 64-bit word (or an unaligned 32-bit gather
+//! window) past any in-bounds bit offset without leaving the allocation.
+
+use crate::util::div_ceil;
+
+/// Largest residual width the compressed tier will store. Wider residuals
+/// save less than one byte per element over raw `u32` storage, so packing
+/// is declined beyond this point (and the SIMD unpack's 32-bit gather
+/// window requires `shift + width <= 32` for bit shifts up to 7).
+pub const MAX_WIDTH: u32 = 24;
+
+/// Number of `u64` words needed to pack `n` values at `width` bits,
+/// including one trailing pad word for vectorized over-read.
+///
+/// # Panics
+/// Panics if `width` is 0 or exceeds [`MAX_WIDTH`].
+pub const fn required_words(n: usize, width: u32) -> usize {
+    assert!(width >= 1 && width <= MAX_WIDTH);
+    div_ceil(n * width as usize, 64) + 1
+}
+
+/// Pack `values` at `width` bits each (values must fit in `width` bits).
+///
+/// # Panics
+/// Panics if `width` is out of range or any value needs more bits.
+pub fn pack(values: &[u32], width: u32) -> Vec<u64> {
+    assert!((1..=MAX_WIDTH).contains(&width), "width out of range");
+    let mask = (1u64 << width) - 1;
+    let mut words = vec![0u64; required_words(values.len(), width)];
+    for (i, &v) in values.iter().enumerate() {
+        assert!(
+            u64::from(v) <= mask,
+            "value {v} does not fit in {width} bits"
+        );
+        let bit = i * width as usize;
+        let (w, s) = (bit >> 6, (bit & 63) as u32);
+        words[w] |= u64::from(v) << s;
+        if s + width > 64 {
+            // The straddle shift is 64 - s; s > 64 - width >= 40 here, so
+            // the shift count stays strictly inside 1..=23 — never 64.
+            words[w + 1] |= u64::from(v) >> (64 - s);
+        }
+    }
+    words
+}
+
+/// Read packed value `i`.
+///
+/// # Panics
+/// Panics (via slice indexing) if the packed stream is shorter than
+/// [`required_words`]`(i + 1, width)` or `width` is out of range.
+#[inline]
+pub fn get(words: &[u64], width: u32, i: usize) -> u32 {
+    debug_assert!((1..=MAX_WIDTH).contains(&width));
+    let mask = (1u64 << width) - 1;
+    let bit = i * width as usize;
+    let (w, s) = (bit >> 6, (bit & 63) as u32);
+    let mut v = words[w] >> s;
+    if s + width > 64 {
+        v |= words[w + 1] << (64 - s);
+    }
+    (v & mask) as u32
+}
+
+/// Scalar bulk unpack of the first `n` packed values into `out[..n]`.
+///
+/// # Panics
+/// Panics if `out` is shorter than `n` or the packed stream is too short.
+pub fn unpack_into(words: &[u64], width: u32, n: usize, out: &mut [u32]) {
+    assert!(out.len() >= n, "output buffer too short");
+    for (i, slot) in out.iter_mut().enumerate().take(n) {
+        *slot = get(words, width, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut state = 0x1234_5678_9abc_def1u64;
+        for width in 1..=MAX_WIDTH {
+            let mask = (1u64 << width) - 1;
+            let values: Vec<u32> = (0..257)
+                .map(|_| (xorshift(&mut state) & mask) as u32)
+                .collect();
+            let words = pack(&values, width);
+            assert_eq!(words.len(), required_words(values.len(), width));
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(get(&words, width, i), v, "width={width} i={i}");
+            }
+            let mut out = vec![0u32; values.len()];
+            unpack_into(&words, width, values.len(), &mut out);
+            assert_eq!(out, values, "width={width}");
+        }
+    }
+
+    #[test]
+    fn straddling_values_survive() {
+        // width 9: value 7 occupies bits 63..72 — straddles words 0 and 1.
+        let values: Vec<u32> = (0..16).map(|i| 0x1FF - i).collect();
+        let words = pack(&values, 9);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(get(&words, 9, i), v);
+        }
+    }
+
+    #[test]
+    fn empty_input_still_reserves_the_pad_word() {
+        assert_eq!(required_words(0, 8), 1);
+        assert_eq!(pack(&[], 8).len(), 1);
+    }
+
+    #[test]
+    fn pad_word_is_always_present() {
+        // 8 values x 8 bits = exactly one word of payload, plus the pad.
+        assert_eq!(required_words(8, 8), 2);
+        // 7 values x 9 bits = 63 bits, still one payload word + pad.
+        assert_eq!(required_words(7, 9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let _ = pack(&[256], 8);
+    }
+}

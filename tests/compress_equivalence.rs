@@ -1,0 +1,172 @@
+//! Compressed-tier equivalence: `FESIA_COMPRESS=on|off|auto` (the runtime
+//! knob [`fesia_core::set_compress_params`]) only chooses *which step-2
+//! form* runs — never the answer. Every knob setting must reproduce the
+//! reference count on every input shape, including sets too small to
+//! carry a packed tier (where forcing compression must silently fall
+//! back) and large sparse pairs where the tier genuinely engages.
+
+use fesia_core::{CompressParams, FesiaParams, KernelTable, SegmentedSet, SetSummary};
+use fesia_datagen::{sorted_distinct, SplitMix64};
+use std::sync::Mutex;
+
+/// `set_compress_params` is process-global; tests that flip it serialize
+/// here (mirrors `plan_equivalence::MODE_LOCK`).
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+const KNOBS: [Option<bool>; 3] = [None, Some(true), Some(false)];
+
+fn knob_name(k: Option<bool>) -> &'static str {
+    match k {
+        None => "auto",
+        Some(true) => "on",
+        Some(false) => "off",
+    }
+}
+
+fn sorted_set(rng: &mut SplitMix64, max_len: usize, universe: u32) -> Vec<u32> {
+    let n = rng.below(max_len as u64 + 1) as usize;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert(rng.below(universe as u64) as u32);
+    }
+    set.into_iter().collect()
+}
+
+fn reference_count(a: &[u32], b: &[u32]) -> usize {
+    let bs: std::collections::HashSet<u32> = b.iter().copied().collect();
+    a.iter().filter(|x| bs.contains(x)).count()
+}
+
+/// The adversarial input shapes: (label, a, b).
+fn case_shapes(seed: u64) -> Vec<(&'static str, Vec<u32>, Vec<u32>)> {
+    let mut rng = SplitMix64::new(0xC0DE ^ (seed << 8));
+    let random_a = sorted_set(&mut rng, 4_000, 60_000);
+    let random_b = sorted_set(&mut rng, 4_000, 60_000);
+    let skew_small = sorted_set(&mut rng, 64, 1 << 20);
+    let skew_large = sorted_set(&mut rng, 20_000, 1 << 20);
+    let identical = sorted_set(&mut rng, 2_000, 100_000);
+    let disjoint_a: Vec<u32> = (0..1_500).map(|i| i * 2).collect();
+    let disjoint_b: Vec<u32> = (0..1_500).map(|i| i * 2 + 1).collect();
+    vec![
+        ("random", random_a, random_b),
+        ("skewed", skew_small, skew_large),
+        ("identical", identical.clone(), identical),
+        ("disjoint", disjoint_a, disjoint_b),
+        (
+            "empty-left",
+            Vec::new(),
+            sorted_set(&mut rng, 3_000, 50_000),
+        ),
+        ("empty-both", Vec::new(), Vec::new()),
+    ]
+}
+
+/// Run `f` with the compress knob forced to each setting in turn,
+/// restoring the saved params afterwards even on panic-free exit.
+fn with_knob<F: FnMut(Option<bool>)>(mut f: F) {
+    let saved = fesia_core::compress_params();
+    for knob in KNOBS {
+        fesia_core::set_compress_params(CompressParams::default().with_forced(knob));
+        f(knob);
+    }
+    fesia_core::set_compress_params(saved);
+}
+
+#[test]
+fn every_compress_knob_matches_reference_counts() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let table = KernelTable::auto();
+    let params = FesiaParams::auto();
+    for seed in 0..10u64 {
+        for (label, av, bv) in case_shapes(seed) {
+            let a = SegmentedSet::build(&av, &params).unwrap();
+            let b = SegmentedSet::build(&bv, &params).unwrap();
+            let want = reference_count(&av, &bv);
+            with_knob(|knob| {
+                assert_eq!(
+                    fesia_core::intersect_count_with(&a, &b, &table),
+                    want,
+                    "seed={seed} case={label} compress={}",
+                    knob_name(knob)
+                );
+                assert_eq!(
+                    fesia_core::auto_count_with(&a, &b, &table),
+                    want,
+                    "seed={seed} case={label} compress={} (auto entry)",
+                    knob_name(knob)
+                );
+            });
+        }
+    }
+}
+
+/// Large sparse pairs where the packed tier actually engages under
+/// `auto` and `on`: the compressed sweep must agree with `off` exactly,
+/// and with materialization ([`fesia_core::intersect`]) too.
+#[test]
+fn engaged_tier_agrees_with_uncompressed_on_large_sparse_pairs() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let table = KernelTable::auto();
+    let params = FesiaParams::auto();
+    let mut rng = SplitMix64::new(0x5EED);
+    for trial in 0..3 {
+        let n = 1 << 19;
+        let av = sorted_distinct(n, 1 << 26, &mut rng);
+        let bv = sorted_distinct(n, 1 << 26, &mut rng);
+        let a = SegmentedSet::build(&av, &params).unwrap();
+        let b = SegmentedSet::build(&bv, &params).unwrap();
+        assert!(
+            a.packed().is_some() && b.packed().is_some(),
+            "trial={trial}: default geometry should pack at this size"
+        );
+        // The auto heuristic must engage for this shape — otherwise the
+        // "on == auto" leg below would not exercise the compressed sweep.
+        assert!(fesia_core::should_compress_summaries(
+            &SetSummary::of(&a),
+            &SetSummary::of(&b),
+            &CompressParams::default(),
+        ));
+        let want = reference_count(&av, &bv);
+        with_knob(|knob| {
+            assert_eq!(
+                fesia_core::intersect_count_with(&a, &b, &table),
+                want,
+                "trial={trial} compress={}",
+                knob_name(knob)
+            );
+        });
+        // Materialization is independent of the counting tier but must
+        // agree with it.
+        assert_eq!(fesia_core::intersect(&a, &b).len(), want, "trial={trial}");
+    }
+}
+
+/// Serialization round-trips (owned and zero-copy mapped) preserve the
+/// packed tier, and decoded sets answer identically under every knob.
+#[test]
+fn roundtripped_sets_agree_under_every_knob() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let table = KernelTable::auto();
+    let params = FesiaParams::auto();
+    let mut rng = SplitMix64::new(0xBEEF);
+    let av = sorted_distinct(1 << 18, 1 << 25, &mut rng);
+    let bv = sorted_distinct(1 << 18, 1 << 25, &mut rng);
+    let a0 = SegmentedSet::build(&av, &params).unwrap();
+    let b0 = SegmentedSet::build(&bv, &params).unwrap();
+    let want = reference_count(&av, &bv);
+
+    let (a1, _) = SegmentedSet::deserialize(&a0.serialize()).unwrap();
+    let file = std::sync::Arc::new(fesia_core::MappedFile::from_bytes(b0.serialize()));
+    let (b1, _) = SegmentedSet::deserialize_mapped(&file, 0).expect("aligned in-memory mapping");
+    assert_eq!(a1.packed().is_some(), a0.packed().is_some());
+    assert_eq!(b1.packed().is_some(), b0.packed().is_some());
+
+    with_knob(|knob| {
+        assert_eq!(
+            fesia_core::intersect_count_with(&a1, &b1, &table),
+            want,
+            "decoded pair, compress={}",
+            knob_name(knob)
+        );
+    });
+}

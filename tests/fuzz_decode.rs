@@ -3,8 +3,9 @@
 //! read out of bounds, and never produce a structurally invalid set —
 //! the decoder either returns `Err` or a set that passes `validate()`.
 
-use fesia_core::{deserialize_many, serialize_many, FesiaParams, SegmentedSet};
+use fesia_core::{deserialize_many, serialize_many, FesiaParams, MappedFile, SegmentedSet};
 use fesia_datagen::{sorted_distinct, SplitMix64};
+use std::sync::Arc;
 
 fn sample(n: usize, seed: u64) -> Vec<u8> {
     let mut rng = SplitMix64::new(seed);
@@ -208,6 +209,174 @@ fn many_round_trips_including_empty() {
     assert_eq!(back[0].len(), 0);
     assert_eq!(back[1].len(), 3);
     assert!(back[1].contains(2));
+}
+
+/// The zero-copy decoder trusts section *content* but must reject every
+/// structurally hostile header or section table without panicking or
+/// reading out of bounds. Flip every byte of the v3 fixed part (header +
+/// section table fill the first 128 bytes) through both decode paths.
+#[test]
+fn v3_section_table_flips_never_panic() {
+    let bytes = sample(500, 37);
+    assert_eq!(bytes[4], 3, "sample should serialize as v3");
+    for pos in 0..128.min(bytes.len()) {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut m = bytes.clone();
+            m[pos] ^= flip;
+            match SegmentedSet::deserialize(&m) {
+                Err(_) => {}
+                Ok((set, used)) => {
+                    assert!(set.validate(), "owned pos={pos} flip={flip:#x}");
+                    assert!(used <= m.len());
+                }
+            }
+            // The mapped decoder trusts section *content* (a flipped
+            // offset may select different-but-in-bounds bytes), so the
+            // contract here is weaker than `validate()`: decode must not
+            // panic and the set must be structurally usable.
+            let file = Arc::new(MappedFile::from_bytes(m));
+            match SegmentedSet::deserialize_mapped(&file, 0) {
+                Err(_) => {}
+                Ok((set, used)) => {
+                    assert!(used <= file.len(), "mapped pos={pos} flip={flip:#x}");
+                    let _ = set.len();
+                    let _ = fesia_core::intersect_count(&set, &set);
+                }
+            }
+        }
+    }
+}
+
+/// Section-table forgeries beyond single-byte flips: offsets/lengths that
+/// overlap, point past the buffer, wrap around `usize`, or shrink the
+/// elements section below what the segment metadata implies.
+#[test]
+fn v3_hostile_section_tables_are_rejected() {
+    let bytes = sample(400, 41);
+    // The table lives at bytes 32..112: five (offset u64, len u64) pairs.
+    let forgeries: &[(usize, u64)] = &[
+        (32, u64::MAX),               // bitmap offset wraps
+        (40, u64::MAX - 7),           // bitmap length wraps
+        (48, 0),                      // summary offset inside the header
+        (56, 1 << 40),                // summary length absurd
+        (64, bytes.len() as u64),     // seg-meta offset at EOF
+        (72, 8),                      // seg-meta length mismatching n
+        (80, 64),                     // elements offset overlapping summary
+        (88, 4),                      // elements length below n
+        (96, bytes.len() as u64 * 2), // packed offset past EOF
+        (104, u64::MAX / 2),          // packed length wraps
+    ];
+    for &(pos, val) in forgeries {
+        let mut m = bytes.clone();
+        m[pos..pos + 8].copy_from_slice(&val.to_le_bytes());
+        match SegmentedSet::deserialize(&m) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "owned pos={pos} val={val}"),
+        }
+        let file = Arc::new(MappedFile::from_bytes(m));
+        match SegmentedSet::deserialize_mapped(&file, 0) {
+            Err(_) => {}
+            // Content is trusted on this path; structural use must hold.
+            Ok((set, _)) => {
+                let _ = fesia_core::intersect_count(&set, &set);
+            }
+        }
+    }
+}
+
+/// Every truncation of a v3 buffer through the mapped path, plus `at`
+/// offsets pointing anywhere (aligned or not, in bounds or not).
+#[test]
+fn mapped_truncations_and_offsets_never_panic() {
+    let bytes = sample(300, 43);
+    let n = bytes.len();
+    for cut in 0..n {
+        let file = Arc::new(MappedFile::from_bytes(bytes[..cut].to_vec()));
+        match SegmentedSet::deserialize_mapped(&file, 0) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "cut={cut}"),
+        }
+    }
+    let file = Arc::new(MappedFile::from_bytes(bytes));
+    let mut rng = SplitMix64::new(47);
+    let offsets: Vec<usize> = (0..64)
+        .chain((0..100).map(|_| rng.below(2 * n as u64) as usize))
+        .chain([n - 1, n, n + 1, usize::MAX])
+        .collect();
+    for at in offsets {
+        match SegmentedSet::deserialize_mapped(&file, at) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.validate(), "at={at}"),
+        }
+    }
+}
+
+/// Random garbage stamped with a valid v3 magic/version must never get
+/// past the mapped decoder's structural checks with an invalid set.
+#[test]
+fn mapped_garbage_with_valid_magic_never_panics() {
+    let mut rng = SplitMix64::new(53);
+    for trial in 0..200 {
+        let len = 15 + rng.below(4_000) as usize;
+        let mut buf: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        buf[0..4].copy_from_slice(b"FSIA");
+        buf[4] = 3;
+        let file = Arc::new(MappedFile::from_bytes(buf));
+        match SegmentedSet::deserialize_mapped(&file, 0) {
+            Err(_) => {}
+            Ok((set, _)) => {
+                let _ = fesia_core::intersect_count(&set, &set);
+                let _ = trial;
+            }
+        }
+    }
+}
+
+/// The owned decoder copies into fresh allocations, so it must accept a
+/// v3 buffer at any byte alignment (mapped views may legitimately refuse).
+#[test]
+fn misaligned_buffers_decode_on_the_owned_path() {
+    let bytes = sample(250, 59);
+    let (want, _) = SegmentedSet::deserialize(&bytes).unwrap();
+    for shift in 1..8 {
+        let mut shifted = vec![0u8; shift];
+        shifted.extend_from_slice(&bytes);
+        let (set, used) = SegmentedSet::deserialize(&shifted[shift..]).unwrap();
+        assert_eq!(used, bytes.len(), "shift={shift}");
+        assert_eq!(set.len(), want.len(), "shift={shift}");
+        assert!(set.validate(), "shift={shift}");
+    }
+}
+
+/// A v2 buffer decoded and re-serialized must produce a v3 set that is
+/// indistinguishable in every intersection path — the compressed tier the
+/// re-encode gains changes representation, never answers.
+#[test]
+fn v2_to_v3_reencode_preserves_behavior() {
+    let mut rng = SplitMix64::new(61);
+    let av = sorted_distinct(2_500, 1 << 20, &mut rng);
+    let bv = sorted_distinct(2_500, 1 << 20, &mut rng);
+    let params = FesiaParams::auto();
+    let a0 = SegmentedSet::build(&av, &params).unwrap();
+    let b0 = SegmentedSet::build(&bv, &params).unwrap();
+    let (a2, _) = SegmentedSet::deserialize(&a0.serialize_v2()).unwrap();
+    let v3 = a2.serialize();
+    assert_eq!(v3[4], 3);
+    let (a3, used) = SegmentedSet::deserialize(&v3).unwrap();
+    assert_eq!(used, v3.len());
+    // And through the zero-copy path of the same buffer.
+    let file = Arc::new(MappedFile::from_bytes(v3));
+    let (am, _) = SegmentedSet::deserialize_mapped(&file, 0).expect("mapped decode of re-encode");
+    for x in [&a2, &a3, &am] {
+        assert_eq!(
+            fesia_core::intersect_count(x, &b0),
+            fesia_core::intersect_count(&a0, &b0)
+        );
+        assert_eq!(
+            fesia_core::intersect(x, &b0),
+            fesia_core::intersect(&a0, &b0)
+        );
+    }
 }
 
 #[test]
