@@ -58,6 +58,78 @@ pub fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Materializing merge union (two-pointer, common elements emitted once).
+pub fn union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Materializing merge difference `a \ b`.
+pub fn difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Materializing merge symmetric difference `a △ b`.
+pub fn xor(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +159,22 @@ mod tests {
         assert_eq!(scalar_count(&a, &b), 0);
         assert_eq!(branchless_count(&a, &a), 100);
         assert_eq!(intersect(&a, &a), a);
+    }
+
+    #[test]
+    fn algebra_oracles_match_naive_sets() {
+        let a = [1u32, 3, 5, 7, 9, 11];
+        let b = [2u32, 3, 4, 7, 10, 11, 12];
+        assert_eq!(union(&a, &b), vec![1, 2, 3, 4, 5, 7, 9, 10, 11, 12]);
+        assert_eq!(difference(&a, &b), vec![1, 5, 9]);
+        assert_eq!(difference(&b, &a), vec![2, 4, 10, 12]);
+        assert_eq!(xor(&a, &b), vec![1, 2, 4, 5, 9, 10, 12]);
+        // Identities on empty / identical inputs.
+        assert_eq!(union(&[], &a), a.to_vec());
+        assert_eq!(union(&a, &[]), a.to_vec());
+        assert_eq!(union(&a, &a), a.to_vec());
+        assert!(difference(&a, &a).is_empty());
+        assert!(xor(&a, &a).is_empty());
+        assert_eq!(xor(&[], &b), b.to_vec());
     }
 }

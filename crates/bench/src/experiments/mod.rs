@@ -2,6 +2,7 @@
 //! (the per-experiment index lives in DESIGN.md §4).
 
 pub mod ablation;
+pub mod algebra;
 pub mod batch;
 pub mod compress;
 pub mod fig10;
@@ -47,6 +48,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "fig13" => fig13::run(scale),
         "fig14" => fig14::run(scale),
         "ablation" => ablation::run(scale),
+        "algebra" => algebra::run(scale),
         "batch" => batch::run(scale),
         "plan" => plan::run(scale),
         "prune" => prune::run(scale),
@@ -62,7 +64,8 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 pub fn run_all(scale: Scale) -> String {
     let ids = [
         "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "compress", "obs",
+        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "compress", "algebra",
+        "obs",
     ];
     let mut out = String::new();
     for id in ids {

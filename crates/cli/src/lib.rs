@@ -16,8 +16,13 @@ usage:
   fesia stats A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
                             [--threads N] [--json]
   fesia intersect A.fsia B.fsia
+  fesia algebra and|or|andnot|xor A.fsia B.fsia
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
   fesia tune [--quick] [--profile PATH]
+
+Boolean queries: `algebra` materializes A AND B (intersection), A OR B
+(union), A ANDNOT B (difference), or A XOR B (symmetric difference),
+one value per line, sorted ascending.
 
 Text inputs: one u32 per line; '#' comments and blank lines ignored.
 `tune` calibrates strategy crossovers on this machine and writes a
@@ -340,9 +345,40 @@ fn cmd_intersect(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let a = load_set(pa)?;
     let b = load_set(pb)?;
+    // One value per line can be millions of lines; without buffering
+    // every `writeln!` is a separate write syscall on a raw stdout.
+    let mut out = std::io::BufWriter::new(out);
     for v in fesia_core::intersect(&a, &b) {
         writeln!(out, "{v}")?;
     }
+    out.flush()?;
+    Ok(())
+}
+
+fn cmd_algebra(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [opname, pa, pb] = args else {
+        return Err(CliError::Usage(
+            "algebra needs an operator (and|or|andnot|xor) and two .fsia files".into(),
+        ));
+    };
+    let op = match opname.as_str() {
+        "and" => fesia_core::SetOp::Intersect,
+        "or" => fesia_core::SetOp::Union,
+        "andnot" => fesia_core::SetOp::Difference,
+        "xor" => fesia_core::SetOp::Xor,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown operator `{other}` (and|or|andnot|xor)"
+            )))
+        }
+    };
+    let a = load_set(pa)?;
+    let b = load_set(pb)?;
+    let mut out = std::io::BufWriter::new(out);
+    for v in fesia_core::set_op(&a, &b, op) {
+        writeln!(out, "{v}")?;
+    }
+    out.flush()?;
     Ok(())
 }
 
@@ -442,6 +478,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("count") => cmd_count(&args[1..], out),
         Some("stats") => cmd_stats(&args[1..], out),
         Some("intersect") => cmd_intersect(&args[1..], out),
+        Some("algebra") => cmd_algebra(&args[1..], out),
         Some("kway") => cmd_kway(&args[1..], out),
         Some("tune") => cmd_tune(&args[1..], out),
         Some("--help") | Some("-h") => {
@@ -528,6 +565,35 @@ mod tests {
         let mut out = Vec::new();
         run(&s(&["intersect", &fa, &fb]), &mut out).unwrap();
         assert_eq!(String::from_utf8_lossy(&out).trim(), "21");
+
+        // Boolean queries: each operator against the merge oracles.
+        let lines = |out: &[u8]| -> Vec<u32> {
+            String::from_utf8_lossy(out)
+                .lines()
+                .map(|l| l.parse().unwrap())
+                .collect()
+        };
+        let va = vec![1u32, 4, 15, 21, 32, 34];
+        let vb = vec![2u32, 6, 12, 16, 21, 23];
+        for (opname, want) in [
+            ("and", fesia_baselines::merge::intersect(&va, &vb)),
+            ("or", fesia_baselines::merge::union(&va, &vb)),
+            ("andnot", fesia_baselines::merge::difference(&va, &vb)),
+            ("xor", fesia_baselines::merge::xor(&va, &vb)),
+        ] {
+            let mut out = Vec::new();
+            run(&s(&["algebra", opname, &fa, &fb]), &mut out).unwrap();
+            assert_eq!(lines(&out), want, "op={opname}");
+        }
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&s(&["algebra", "nand", &fa, &fb]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["algebra", "and", &fa]), &mut out),
+            Err(CliError::Usage(_))
+        ));
 
         let mut out = Vec::new();
         run(&s(&["kway", &fa, &fb, &fa]), &mut out).unwrap();

@@ -192,7 +192,7 @@ impl DecodeScratch {
     }
 }
 
-fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
+pub(crate) fn check_compatible(a: &SegmentedSet, b: &SegmentedSet) {
     assert_eq!(
         a.lane(),
         b.lane(),
@@ -811,40 +811,14 @@ pub fn intersect_count(a: &SegmentedSet, b: &SegmentedSet) -> usize {
 /// Materialize `A ∩ B`, sorted ascending.
 ///
 /// FESIA discovers matches in segment (hash) order; the small result is
-/// sorted before returning. The per-segment step uses the SIMD
-/// broadcast-membership extractor
-/// ([`crate::kernels::extract::extract_into`]) — materialization is not on
-/// the paper's measured path (its benchmarks count, as do ours).
+/// sorted before returning. This is the materializing face of the same
+/// planner that drives [`auto_count`]: the pair is costed by
+/// [`IntersectPlanner::plan_materialize`] and executed through the
+/// visitor kernels ([`crate::kernels::visit`]), so the pruned scan, the
+/// hash probe, and the galloping fallback all apply here too (the seed's
+/// version bypassed the planner entirely and always ran the plain scan).
 pub fn intersect(a: &SegmentedSet, b: &SegmentedSet) -> Vec<u32> {
-    check_compatible(a, b);
-    let table = default_table();
-    let level = table.level();
-    let lane = a.lane();
-    let mut out = Vec::new();
-    let mut emit = |sa: &[u32], sb: &[u32]| {
-        crate::kernels::extract::extract_into(level, sa, sb, &mut out);
-    };
-    if a.bitmap_bits() == b.bitmap_bits() {
-        for_each_nonzero_lane(level, lane, a.bitmap_bytes(), b.bitmap_bytes(), |i| {
-            emit(a.segment(i), b.segment(i));
-        });
-    } else {
-        let (large, small) = if a.bitmap_bits() > b.bitmap_bits() {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        let seg_mask = small.num_segments() - 1;
-        for_each_nonzero_lane_folded(
-            level,
-            lane,
-            large.bitmap_bytes(),
-            small.bitmap_bytes(),
-            |i| emit(large.segment(i), small.segment(i & seg_mask)),
-        );
-    }
-    out.sort_unstable();
-    out
+    crate::algebra::intersect(a, b)
 }
 
 /// `FESIAhash` (paper §VI, "Input with dramatically different sizes"):
@@ -907,39 +881,48 @@ pub fn auto_count_planned(
     execute_plan_count(a, b, table, plan)
 }
 
-/// Galloping sorted-merge fallback: sort copies of both element lists
-/// (the segmented layout stores them hash-reordered) and intersect with
-/// exponential search from the smaller side. `O(n1 log n2)` with no
+thread_local! {
+    /// Reusable sorted-probe target for [`gallop_count`]: the smaller
+    /// side's elements, sorted. Allocated once per thread and grown to
+    /// the largest small-side seen, so steady-state calls allocate
+    /// nothing.
+    static GALLOP_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Galloping sorted-merge fallback: `O(n_large · log n_small)` with no
 /// bitmap work at all — only profitable on tiny pairs, which is why auto
 /// mode gates it behind the calibrated `gallop_max_len` ceiling.
+///
+/// Only the search *target* needs to be sorted, and only the smaller
+/// side needs to be the target: the smaller list is copied sorted into
+/// reusable per-thread scratch, and the larger side's elements are
+/// probed as stored (hash order), each with an independent exponential
+/// search from the front. The seed's version cloned *and sorted both*
+/// full lists on every call; the probe side never needed either.
 pub fn gallop_count(a: &SegmentedSet, b: &SegmentedSet) -> usize {
-    let mut sa: Vec<u32> = a.reordered_elements().to_vec();
-    let mut sb: Vec<u32> = b.reordered_elements().to_vec();
-    sa.sort_unstable();
-    sb.sort_unstable();
-    let (small, large) = if sa.len() <= sb.len() {
-        (&sa, &sb)
-    } else {
-        (&sb, &sa)
-    };
-    let mut count = 0usize;
-    let mut lo = 0usize;
-    for &x in small.iter() {
-        lo = gallop_find(large, lo, x);
-        if lo == large.len() {
-            break;
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    GALLOP_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        if scratch.capacity() != 0 {
+            fesia_obs::metrics().scratch_reused.inc();
         }
-        if large[lo] == x {
-            count += 1;
-            lo += 1;
+        scratch.clear();
+        scratch.extend_from_slice(small.reordered_elements());
+        scratch.sort_unstable();
+        let mut count = 0usize;
+        for &x in large.reordered_elements() {
+            let lo = gallop_find(&scratch, 0, x);
+            if lo < scratch.len() && scratch[lo] == x {
+                count += 1;
+            }
         }
-    }
-    count
+        count
+    })
 }
 
 /// First index `>= from` whose element is `>= x` (exponential search +
 /// binary finish), assuming `hay[from..]` is sorted.
-fn gallop_find(hay: &[u32], from: usize, x: u32) -> usize {
+pub(crate) fn gallop_find(hay: &[u32], from: usize, x: u32) -> usize {
     let n = hay.len();
     if from >= n || hay[from] >= x {
         return from;

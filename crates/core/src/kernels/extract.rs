@@ -1,135 +1,24 @@
 //! Materializing segment intersection: emit the matching *values*, not
 //! just their count.
 //!
-//! The paper's benchmarks (and ours) count; materialization is the API
-//! convenience path. It still vectorizes well: each element of the smaller
+//! This is now a thin compatibility wrapper over the visitor kernel
+//! layer ([`super::visit`]): the SIMD bodies that used to live here are
+//! the `intersect` body of [`super::visit::segment_op_visit`], consumed
+//! through an [`super::visit::EmitVisitor`]. Each element of the smaller
 //! run is broadcast and compared against whole blocks of the larger run —
 //! and because a match's value *is* the broadcast element, no lane
-//! extraction or shuffle table is needed, just a `push` on a non-zero
-//! mask. All loads here are bounds-checked (scalar tails / masked loads),
-//! so this path is entirely safe-slice based with no over-read contract.
+//! extraction or shuffle table is needed. All loads are bounds-checked
+//! (scalar tails / masked loads), so this path is entirely safe-slice
+//! based with no over-read contract.
 
+use super::visit::{intersect_visit, EmitVisitor};
 use fesia_simd::SimdLevel;
-
-/// Scalar sorted-merge extraction (the reference and fallback).
-fn merge_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-}
-
-#[cfg(target_arch = "x86_64")]
-mod x86 {
-    use core::arch::x86_64::*;
-
-    /// # Safety
-    /// Requires SSE4.2.
-    #[target_feature(enable = "sse4.2")]
-    pub unsafe fn extract_sse(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        const V: usize = 4;
-        let blocks = b.len() / V;
-        let tail = &b[blocks * V..];
-        for &x in a {
-            let vx = _mm_set1_epi32(x as i32);
-            let mut found = false;
-            for blk in 0..blocks {
-                let vb = _mm_loadu_si128(b.as_ptr().add(blk * V) as *const __m128i);
-                if _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vx, vb))) != 0 {
-                    found = true;
-                    break;
-                }
-            }
-            if found || tail.contains(&x) {
-                out.push(x);
-            }
-        }
-    }
-
-    /// # Safety
-    /// Requires AVX2.
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn extract_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        const V: usize = 8;
-        let blocks = b.len() / V;
-        let tail = &b[blocks * V..];
-        for &x in a {
-            let vx = _mm256_set1_epi32(x as i32);
-            let mut found = false;
-            for blk in 0..blocks {
-                let vb = _mm256_loadu_si256(b.as_ptr().add(blk * V) as *const __m256i);
-                if _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vx, vb))) != 0 {
-                    found = true;
-                    break;
-                }
-            }
-            if found || tail.contains(&x) {
-                out.push(x);
-            }
-        }
-    }
-
-    /// # Safety
-    /// Requires AVX-512 F.
-    #[target_feature(enable = "avx512f")]
-    pub unsafe fn extract_avx512(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-        const V: usize = 16;
-        let blocks = b.len() / V;
-        let tail_len = b.len() - blocks * V;
-        let tail_mask: __mmask16 = (1u16 << tail_len).wrapping_sub(1);
-        for &x in a {
-            let vx = _mm512_set1_epi32(x as i32);
-            let mut found = false;
-            for blk in 0..blocks {
-                let vb = _mm512_loadu_si512(b.as_ptr().add(blk * V) as *const _);
-                if _mm512_cmpeq_epi32_mask(vx, vb) != 0 {
-                    found = true;
-                    break;
-                }
-            }
-            if !found && tail_len > 0 {
-                // Masked load: lanes beyond the tail read as zero and the
-                // compare is masked, so no out-of-bounds access occurs.
-                let vb =
-                    _mm512_maskz_loadu_epi32(tail_mask, b.as_ptr().add(blocks * V) as *const i32);
-                found = _mm512_mask_cmpeq_epi32_mask(tail_mask, vx, vb) != 0;
-            }
-            if found {
-                out.push(x);
-            }
-        }
-    }
-}
 
 /// Append `a ∩ b` to `out`, in the order of `a` (ascending, since segment
 /// runs are sorted). Safe for any slices; SIMD is used when available and
 /// the probe side is iterated from the smaller run.
 pub fn extract_into(level: SimdLevel, a: &[u32], b: &[u32], out: &mut Vec<u32>) {
-    assert!(level.is_available(), "SIMD level {level} not available");
-    let (probe, target) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    if probe.is_empty() {
-        return;
-    }
-    match level {
-        SimdLevel::Scalar => merge_into(probe, target, out),
-        #[cfg(target_arch = "x86_64")]
-        // SAFETY: availability asserted above; helpers take safe slices.
-        SimdLevel::Sse => unsafe { x86::extract_sse(probe, target, out) },
-        #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { x86::extract_avx2(probe, target, out) },
-        #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx512 => unsafe { x86::extract_avx512(probe, target, out) },
-        #[cfg(not(target_arch = "x86_64"))]
-        _ => merge_into(probe, target, out),
-    }
+    intersect_visit(level, a, b, &mut EmitVisitor(out));
 }
 
 #[cfg(test)]
@@ -137,9 +26,7 @@ mod tests {
     use super::*;
 
     fn reference(a: &[u32], b: &[u32]) -> Vec<u32> {
-        let mut out = Vec::new();
-        merge_into(a, b, &mut out);
-        out
+        a.iter().filter(|x| b.contains(x)).copied().collect()
     }
 
     #[test]

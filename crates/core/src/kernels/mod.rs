@@ -34,6 +34,7 @@
 
 pub mod extract;
 pub(crate) mod scalar;
+pub mod visit;
 
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod avx2;

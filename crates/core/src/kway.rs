@@ -242,6 +242,60 @@ pub fn kway_intersect(sets: &[&SegmentedSet]) -> Vec<u32> {
     kway_intersect_with(sets, default_table())
 }
 
+/// Materialize `L1 ∪ … ∪ Lk`, sorted ascending.
+///
+/// The two-set case runs the planner-driven [`crate::algebra::union`]
+/// (Or-scan, probe, or gallop per the cost model); larger arities seed
+/// the accumulator with that pairwise union and fold the remaining sets
+/// in with linear sorted merges ([`crate::kernels::visit::union_visit`])
+/// — a union's output only grows, so after the first pair the
+/// accumulator, not the set encoding, dominates and a merge is optimal.
+///
+/// ```
+/// use fesia_core::{FesiaParams, SegmentedSet};
+/// let p = FesiaParams::auto();
+/// let a = SegmentedSet::build(&[1, 2], &p).unwrap();
+/// let b = SegmentedSet::build(&[2, 5], &p).unwrap();
+/// let c = SegmentedSet::build(&[3], &p).unwrap();
+/// assert_eq!(fesia_core::kway_union(&[&a, &b, &c]), vec![1, 2, 3, 5]);
+/// ```
+///
+/// # Panics
+/// Panics if `sets` is empty or the segment widths differ.
+pub fn kway_union(sets: &[&SegmentedSet]) -> Vec<u32> {
+    assert!(!sets.is_empty(), "k-way union of zero sets");
+    fesia_obs::metrics().kway_calls.inc();
+    let lane = sets[0].lane();
+    assert!(
+        sets.iter().all(|s| s.lane() == lane),
+        "sets must be built with the same segment width"
+    );
+    let mut acc = match sets.len() {
+        1 => {
+            let mut v = sets[0].reordered_elements().to_vec();
+            v.sort_unstable();
+            return v;
+        }
+        _ => crate::algebra::union(sets[0], sets[1]),
+    };
+    let mut sorted = Vec::new();
+    let mut merged = Vec::new();
+    for s in &sets[2..] {
+        sorted.clear();
+        sorted.extend_from_slice(s.reordered_elements());
+        sorted.sort_unstable();
+        merged.clear();
+        merged.reserve(acc.len() + sorted.len());
+        crate::kernels::visit::union_visit(
+            &acc,
+            &sorted,
+            &mut crate::kernels::visit::EmitVisitor(&mut merged),
+        );
+        std::mem::swap(&mut acc, &mut merged);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +409,31 @@ mod tests {
             assert_eq!(got, refs_sorted, "k={k}");
             assert_eq!(got.len(), kway_count(&set_refs), "k={k}");
         }
+    }
+
+    #[test]
+    fn kway_union_matches_reference() {
+        let p = FesiaParams::auto();
+        for k in [1usize, 2, 3, 5] {
+            let lists: Vec<Vec<u32>> = (0..k as u64)
+                .map(|s| gen_sorted(800, 61 + s, 6_000))
+                .collect();
+            let mut want: Vec<u32> = lists.iter().flatten().copied().collect();
+            want.sort_unstable();
+            want.dedup();
+            let sets: Vec<SegmentedSet> = lists
+                .iter()
+                .map(|l| SegmentedSet::build(l, &p).unwrap())
+                .collect();
+            let set_refs: Vec<&SegmentedSet> = sets.iter().collect();
+            assert_eq!(kway_union(&set_refs), want, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sets")]
+    fn kway_union_empty_input_panics() {
+        let _ = kway_union(&[]);
     }
 
     #[test]

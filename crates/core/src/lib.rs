@@ -29,6 +29,10 @@
 //! * [`hash_probe_count`] — the hash-style strategy for heavily skewed
 //!   inputs (`FESIAhash`), and [`auto_count`] which picks a strategy from
 //!   the size ratio as §VI prescribes.
+//! * [`algebra`] — planner-driven materializing set algebra:
+//!   [`intersect()`], [`union()`], [`difference()`], [`xor()`], all
+//!   sharing one visitor-kernel body per operation
+//!   ([`kernels::visit`]).
 //! * [`kway_count`] — k-way intersection over `k` bitmaps.
 //! * [`par_intersect_count`] — multicore partitioning of the segment space.
 //! * [`plan::IntersectPlanner`] — the unified cost model every entry
@@ -36,6 +40,7 @@
 //!   persisted machine profile (`fesia tune`), `FESIA_*` environment
 //!   knobs, and runtime setters.
 
+pub mod algebra;
 pub mod batch;
 pub mod dynamic;
 pub mod error;
@@ -54,8 +59,11 @@ pub mod stats;
 pub mod tuning;
 pub mod u64set;
 
-pub use batch::{batch_count, batch_count_pairs, batch_count_pairs_on};
-pub use dynamic::{dynamic_intersect_count, DynamicSet};
+pub use algebra::{difference, execute_plan_op, set_op, set_op_count, set_op_planned, union, xor};
+pub use batch::{
+    batch_count, batch_count_pairs, batch_count_pairs_on, batch_op_pairs, batch_op_pairs_on,
+};
+pub use dynamic::{dynamic_intersect_count, dynamic_set_op, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
     auto_count, auto_count_planned, auto_count_with, compress_params, execute_plan_count,
@@ -66,12 +74,17 @@ pub use intersect::{
     intersect_count_with, pipeline_params, prune_params, set_compress_params, set_pipeline_params,
     set_prune_params, Breakdown, CompressStats,
 };
+pub use kernels::visit::{CountVisitor, EmitVisitor, FnVisitor, SegmentVisitor, SetOp};
 pub use kernels::KernelTable;
 pub use kway::{
     kway_count, kway_count_planned, kway_count_with, kway_intersect, kway_intersect_with,
+    kway_union,
 };
 pub use mmap::{MappedFile, Section};
-pub use parallel::{par_intersect_count, par_intersect_count_on, par_intersect_count_with};
+pub use parallel::{
+    par_intersect_count, par_intersect_count_on, par_intersect_count_with, par_set_op,
+    par_set_op_on,
+};
 pub use params::{CompressParams, FesiaParams, PipelineParams, PruneParams};
 pub use plan::{
     default_profile_path, gallop_max_len, plan_mode, profile_status, set_gallop_max_len,
@@ -84,5 +97,5 @@ pub use stats::{bit_collision_rate, filter_stats, survivor_segments, FilterStats
 pub use tuning::{calibrate, should_prune, tune, tune_grid, tune_pipeline, TuneResult};
 pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};
 
-pub use fesia_simd::mask::LaneWidth;
+pub use fesia_simd::mask::{LaneWidth, MaskOp};
 pub use fesia_simd::SimdLevel;

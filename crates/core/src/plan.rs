@@ -26,6 +26,7 @@
 //!
 //! Every plan decision is recorded in the `fesia-obs` `plan_*` counters.
 
+use crate::kernels::visit::SetOp;
 use crate::params::{self, CompressParams, PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
 use std::path::{Path, PathBuf};
@@ -667,6 +668,55 @@ impl IntersectPlanner {
         self.plan_merge(a, b)
     }
 
+    /// Plan a *materializing* pair for `op` — the same strategy family as
+    /// [`IntersectPlanner::plan_pair`] plus an output-size cost term:
+    /// materializing emits (and finally sorts) up to
+    /// [`SetOp::max_output`] elements on top of reading both inputs, so
+    /// gallop admission charges the pair for its output, and the AND-only
+    /// step-1 optimizations (summary pruning, the compressed hash-domain
+    /// compare) degrade to the pipelined Or-scan for the non-intersect
+    /// ops, which must visit every segment that is non-empty on either
+    /// side.
+    pub fn plan_materialize(&self, a: &SetSummary, b: &SetSummary, op: SetOp) -> IntersectPlan {
+        match self.mode {
+            PlanMode::HashProbe => return IntersectPlan::HashProbe,
+            PlanMode::Gallop => return IntersectPlan::GallopFallback,
+            PlanMode::Auto => {}
+            _ => return self.merge_for_op(a, b, op),
+        }
+        let (small, large) = if a.len <= b.len { (a, b) } else { (b, a) };
+        if large.len == 0 {
+            return IntersectPlan::HashProbe;
+        }
+        if (small.len as f64) < crate::intersect::SKEW_HASH_THRESHOLD * large.len as f64 {
+            return IntersectPlan::HashProbe;
+        }
+        if self.gallop_max_len > 0
+            && a.len + b.len + op.max_output(a.len, b.len) <= self.gallop_max_len
+        {
+            return IntersectPlan::GallopFallback;
+        }
+        self.merge_for_op(a, b, op)
+    }
+
+    /// Merge-family plan adjusted for the op's step-1 scan: pruning and
+    /// compression are sound only under the AND combiner, so for the
+    /// Or-scan ops those plans fall back to the pipelined sweep (which
+    /// buffers exactly the segments the Or-scan visits).
+    fn merge_for_op(&self, a: &SetSummary, b: &SetSummary, op: SetOp) -> IntersectPlan {
+        let plan = self.plan_merge(a, b);
+        if op == SetOp::Intersect {
+            return plan;
+        }
+        match plan {
+            IntersectPlan::Pruned { prefetch_distance }
+            | IntersectPlan::Compressed { prefetch_distance } => {
+                IntersectPlan::Pipelined { prefetch_distance }
+            }
+            other => other,
+        }
+    }
+
     /// Order a k-way intersection: ascending by length, so the most
     /// selective operands lead the fold and anchor verification.
     pub fn plan_kway(&self, lens: &[usize]) -> KwayPlan {
@@ -825,6 +875,65 @@ mod tests {
         assert_eq!(p.plan_pair(&a, &b), IntersectPlan::GallopFallback);
         p.mode = PlanMode::Pruned;
         assert!(matches!(p.plan_pair(&a, &b), IntersectPlan::Pruned { .. }));
+    }
+
+    #[test]
+    fn materializing_plans_are_sound_per_op() {
+        let p = auto_planner();
+        const ALL: [SetOp; 4] = [
+            SetOp::Intersect,
+            SetOp::Union,
+            SetOp::Difference,
+            SetOp::Xor,
+        ];
+        // AND-only step-1 forms survive for intersection but degrade to
+        // the pipelined Or-scan for the other ops.
+        let sparse = summary(1 << 20, 1 << 22, 0.3);
+        assert!(matches!(
+            p.plan_materialize(&sparse, &sparse, SetOp::Intersect),
+            IntersectPlan::Pruned { .. }
+        ));
+        for op in [SetOp::Union, SetOp::Difference, SetOp::Xor] {
+            assert!(
+                matches!(
+                    p.plan_materialize(&sparse, &sparse, op),
+                    IntersectPlan::Pipelined { .. }
+                ),
+                "{op:?}"
+            );
+        }
+        // Heavy skew routes every op to the probe strategy.
+        let tiny = summary(100, 64, 1.0);
+        let big = summary(100_000, 1 << 18, 1.0);
+        for op in ALL {
+            assert_eq!(
+                p.plan_materialize(&tiny, &big, op),
+                IntersectPlan::HashProbe
+            );
+        }
+        // Gallop admission charges the pair for its output: a union's
+        // worst case is twice an intersection's, so the same ceiling
+        // admits the intersect but not the union.
+        let mut g = p;
+        g.gallop_max_len = 3_500;
+        let small = summary(1_000, 4096, 1.0);
+        assert_eq!(
+            g.plan_materialize(&small, &small, SetOp::Intersect),
+            IntersectPlan::GallopFallback
+        );
+        assert_eq!(
+            g.plan_materialize(&small, &small, SetOp::Union),
+            IntersectPlan::Plain
+        );
+        // Forced modes pass through for every op.
+        let mut f = p;
+        f.mode = PlanMode::Gallop;
+        for op in ALL {
+            assert_eq!(
+                f.plan_materialize(&small, &big, op),
+                IntersectPlan::GallopFallback
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::csr::CsrGraph;
 use fesia_baselines::SliceIntersector;
+use fesia_core::{FesiaParams, SegmentedSet};
 
 /// Jaccard similarity of two vertices' neighborhoods:
 /// `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|` (0 when both are isolated).
@@ -41,22 +42,37 @@ pub struct Candidate {
     pub jaccard: f64,
 }
 
+/// The distance-two frontier of `u`: `∪_{w ∈ N(u)} N(w)`, ascending and
+/// deduplicated, computed as a FESIA k-way union over the encoded
+/// neighborhoods ([`fesia_core::kway_union`]). This is the candidate set
+/// of every neighborhood-based recommender: only these vertices can share
+/// a neighbor with `u`.
+pub fn neighborhood_union(g: &CsrGraph, u: u32) -> Vec<u32> {
+    fesia_obs::metrics().graph_neighborhood_unions.inc();
+    let params = FesiaParams::auto();
+    let sets: Vec<SegmentedSet> = g
+        .neighbors(u)
+        .iter()
+        .map(|&w| g.neighbors(w))
+        .filter(|n| !n.is_empty())
+        .map(|n| SegmentedSet::build(n, &params).expect("adjacency lists are sorted node ids"))
+        .collect();
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    let refs: Vec<&SegmentedSet> = sets.iter().collect();
+    fesia_core::kway_union(&refs)
+}
+
 /// Top-k link predictions for `u`: non-adjacent vertices at distance two,
 /// ranked by common-neighbor count (ties by Jaccard, then id).
 ///
 /// Distance-two candidates are exactly the vertices whose recommendation
-/// score can be non-zero, so the candidate set is `∪_{w ∈ N(u)} N(w)`.
+/// score can be non-zero, so the candidate set is [`neighborhood_union`].
 pub fn recommend(g: &CsrGraph, u: u32, k: usize, method: &dyn SliceIntersector) -> Vec<Candidate> {
-    let mut candidates: Vec<u32> = g
-        .neighbors(u)
-        .iter()
-        .flat_map(|&w| g.neighbors(w).iter().copied())
-        .filter(|&v| v != u)
-        .collect();
-    candidates.sort_unstable();
-    candidates.dedup();
-    // Drop existing neighbors.
-    candidates.retain(|v| g.neighbors(u).binary_search(v).is_err());
+    let mut candidates = neighborhood_union(g, u);
+    // Drop the query vertex and its existing neighbors.
+    candidates.retain(|&v| v != u && g.neighbors(u).binary_search(&v).is_err());
 
     let mut scored: Vec<Candidate> = candidates
         .into_iter()
@@ -146,6 +162,26 @@ mod tests {
                 assert_eq!(a.common, b.common, "method={}", m.name());
             }
         }
+    }
+
+    #[test]
+    fn neighborhood_union_matches_flat_merge() {
+        let g = crate::generate::barabasi_albert(400, 3, 11);
+        let before = fesia_obs::metrics().graph_neighborhood_unions.get();
+        for u in [0u32, 7, 133, 399] {
+            let mut want: Vec<u32> = g
+                .neighbors(u)
+                .iter()
+                .flat_map(|&w| g.neighbors(w).iter().copied())
+                .collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(neighborhood_union(&g, u), want, "u={u}");
+        }
+        assert_eq!(
+            fesia_obs::metrics().graph_neighborhood_unions.get() - before,
+            4
+        );
     }
 
     #[test]

@@ -28,5 +28,6 @@ pub mod query;
 
 pub use corpus::{CorpusParams, InvertedIndex};
 pub use query::{
-    generate_queries, reference_kway, run_queries_baseline, FesiaIndex, Query, QueryGenParams,
+    generate_queries, reference_kway, run_queries_baseline, BooleanQuery, FesiaIndex, Query,
+    QueryGenParams,
 };

@@ -137,6 +137,20 @@ pub fn run_queries_baseline(
     (total, start.elapsed())
 }
 
+/// A boolean keyword query over the index: documents containing every
+/// `must` term AND (when `should` is non-empty) at least one `should`
+/// term, minus every `must_not` term. A query with neither `must` nor
+/// `should` terms matches nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BooleanQuery {
+    /// Terms every matching document must contain (AND).
+    pub must: Vec<u32>,
+    /// Terms of which a matching document must contain at least one (OR).
+    pub should: Vec<u32>,
+    /// Terms no matching document may contain (NOT).
+    pub must_not: Vec<u32>,
+}
+
 /// Posting lists pre-encoded as FESIA segmented sets (the offline phase
 /// whose construction time §VII-F reports separately).
 pub struct FesiaIndex {
@@ -258,6 +272,50 @@ impl FesiaIndex {
             .map(|&i| sets[i])
             .collect();
         fesia_core::kway_intersect_with(&ordered, table)
+    }
+
+    /// Answer a [`BooleanQuery`] with the matching document ids
+    /// (ascending). The AND clause runs through the planner-ordered k-way
+    /// intersection, the OR clause through [`fesia_core::kway_union`], and
+    /// exclusions are resolved by probing candidates against the encoded
+    /// posting-list filters — the NOT side is never materialized.
+    pub fn run_boolean(&self, query: &BooleanQuery, table: &KernelTable) -> Vec<u32> {
+        fesia_obs::metrics().index_boolean_queries.inc();
+        // A single must/must_not pair is exactly one set-level difference;
+        // hand it to the planner whole so it can pick hash-probe or gallop
+        // for skewed posting lengths.
+        if query.must.len() == 1 && query.should.is_empty() && query.must_not.len() == 1 {
+            return fesia_core::difference(self.set(query.must[0]), self.set(query.must_not[0]));
+        }
+        let must: Vec<&SegmentedSet> = query.must.iter().map(|&t| self.set(t)).collect();
+        let should: Vec<&SegmentedSet> = query.should.iter().map(|&t| self.set(t)).collect();
+        let mut acc: Vec<u32> = if !must.is_empty() {
+            let lens: Vec<usize> = must.iter().map(|s| s.len()).collect();
+            let ordered: Vec<&SegmentedSet> = fesia_core::IntersectPlanner::current()
+                .plan_kway(&lens)
+                .order
+                .iter()
+                .map(|&i| must[i])
+                .collect();
+            fesia_core::kway_intersect_with(&ordered, table)
+        } else if !should.is_empty() {
+            fesia_core::kway_union(&should)
+        } else {
+            return Vec::new();
+        };
+        if !must.is_empty() && !should.is_empty() {
+            // The AND clause already shrank the candidate set; probing each
+            // survivor against the should-filters beats materializing the
+            // (potentially corpus-sized) OR of the should-postings.
+            acc.retain(|&d| should.iter().any(|s| s.contains(d)));
+        }
+        for ex in query.must_not.iter().map(|&t| self.set(t)) {
+            if acc.is_empty() {
+                break;
+            }
+            acc.retain(|&d| !ex.contains(d));
+        }
+        acc
     }
 }
 
@@ -408,6 +466,87 @@ mod tests {
         let mid = bad.len() / 2;
         bad[mid] ^= 0x5A;
         assert!(FesiaIndex::deserialize(&bad).is_err());
+    }
+
+    /// Naive boolean evaluation straight off the raw posting lists.
+    fn reference_boolean(idx: &InvertedIndex, q: &BooleanQuery) -> Vec<u32> {
+        use std::collections::BTreeSet;
+        let posting = |t: u32| idx.posting(t).iter().copied().collect::<BTreeSet<u32>>();
+        let mut acc: BTreeSet<u32> = if let Some((&first, rest)) = q.must.split_first() {
+            let mut s = posting(first);
+            for &t in rest {
+                let p = posting(t);
+                s.retain(|d| p.contains(d));
+            }
+            s
+        } else if !q.should.is_empty() {
+            let mut s = BTreeSet::new();
+            for &t in &q.should {
+                s.extend(posting(t));
+            }
+            s
+        } else {
+            return Vec::new();
+        };
+        if !q.must.is_empty() && !q.should.is_empty() {
+            let mut any = BTreeSet::new();
+            for &t in &q.should {
+                any.extend(posting(t));
+            }
+            acc.retain(|d| any.contains(d));
+        }
+        for &t in &q.must_not {
+            let p = posting(t);
+            acc.retain(|d| !p.contains(d));
+        }
+        acc.into_iter().collect()
+    }
+
+    #[test]
+    fn boolean_queries_match_the_naive_reference() {
+        let idx = test_index();
+        let fidx = FesiaIndex::build(&idx, &FesiaParams::auto());
+        let table = KernelTable::auto();
+        let mut rng = fesia_datagen::SplitMix64::new(0xB001);
+        let eligible: Vec<u32> = (0..idx.num_terms() as u32)
+            .filter(|&t| idx.doc_freq(t) >= 16)
+            .collect();
+        let mut pick = |n: usize| -> Vec<u32> {
+            let mut out = Vec::new();
+            while out.len() < n {
+                let t = eligible[rng.below(eligible.len() as u64) as usize];
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+            out
+        };
+        let before = fesia_obs::metrics().index_boolean_queries.get();
+        let mut ran = 0u64;
+        for (n_must, n_should, n_not) in [
+            (2, 0, 0),
+            (1, 0, 1),
+            (2, 2, 1),
+            (0, 3, 1),
+            (3, 0, 2),
+            (0, 0, 1),
+        ] {
+            let q = BooleanQuery {
+                must: pick(n_must),
+                should: pick(n_should),
+                must_not: pick(n_not),
+            };
+            assert_eq!(
+                fidx.run_boolean(&q, &table),
+                reference_boolean(&idx, &q),
+                "must={n_must} should={n_should} not={n_not}"
+            );
+            ran += 1;
+        }
+        assert_eq!(
+            fesia_obs::metrics().index_boolean_queries.get() - before,
+            ran
+        );
     }
 
     #[test]

@@ -377,6 +377,18 @@ define_metrics! {
             "Segments unpacked from bitpacked residual streams by the compressed step 2.",
         compressed_bytes_saved:
             "Bytes of raw-element memory traffic the compressed step 2 avoided by reading packed streams instead.",
+        algebra_union:
+            "Materializing union operations executed through the planner-driven set-algebra path.",
+        algebra_difference:
+            "Materializing difference operations executed through the planner-driven set-algebra path.",
+        algebra_xor:
+            "Materializing symmetric-difference operations executed through the planner-driven set-algebra path.",
+        algebra_emitted:
+            "Elements emitted by materializing set-algebra operations (all four ops).",
+        index_boolean_queries:
+            "Boolean (AND/OR/NOT) queries executed against a FESIA index.",
+        graph_neighborhood_unions:
+            "Two-hop neighborhood unions computed over a FESIA-encoded graph.",
     }
     histograms {
         intersect_cycles:

@@ -36,6 +36,51 @@ pub const SUMMARY_BLOCK_BYTES: usize = 64;
 /// shallow enough that lines are not evicted before use.
 const PRUNE_PREFETCH_DIST: usize = 16;
 
+/// How step 1 combines the two bitmaps before the non-zero-lane extract.
+///
+/// `And` is the paper's intersection filter. The other combiners support
+/// the materializing set-algebra ops: an `Or` scan visits every segment
+/// that is non-empty on *either* side, which is the sound driver for
+/// union / difference / xor at the element level (element-level ANDNOT or
+/// XOR scans would be unsound — two distinct elements can hash to the
+/// same bit position, making the lanes equal on both sides even though
+/// the symmetric difference is non-empty). `AndNotB` and `Xor` are still
+/// provided for bitmap-level consumers and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskOp {
+    /// `a & b` — lanes where both sides have bits (intersection filter).
+    And,
+    /// `a | b` — lanes where either side has bits (union superset scan).
+    Or,
+    /// `a & !b` — lanes where `a` has bits that `b` lacks.
+    AndNotB,
+    /// `a ^ b` — lanes where the sides differ.
+    Xor,
+}
+
+impl MaskOp {
+    /// Apply the combiner to one 64-bit word pair.
+    #[inline(always)]
+    pub fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            MaskOp::And => a & b,
+            MaskOp::Or => a | b,
+            MaskOp::AndNotB => a & !b,
+            MaskOp::Xor => a ^ b,
+        }
+    }
+
+    /// Short lowercase name (for logs and bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            MaskOp::And => "and",
+            MaskOp::Or => "or",
+            MaskOp::AndNotB => "andnot",
+            MaskOp::Xor => "xor",
+        }
+    }
+}
+
 /// Which segment-lane width the bitmap uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneWidth {
@@ -94,7 +139,14 @@ pub fn nonzero_u16_flags(w: u64) -> u64 {
 // ---------------------------------------------------------------------------
 
 #[inline(always)]
-fn scalar_impl<F: FnMut(usize)>(lane: LaneWidth, a: &[u8], b: &[u8], small_mask: usize, f: &mut F) {
+fn scalar_impl<F: FnMut(usize)>(
+    op: MaskOp,
+    lane: LaneWidth,
+    a: &[u8],
+    b: &[u8],
+    small_mask: usize,
+    f: &mut F,
+) {
     debug_assert_eq!(a.len() % 8, 0);
     let words = a.len() / 8;
     for wi in 0..words {
@@ -102,7 +154,7 @@ fn scalar_impl<F: FnMut(usize)>(lane: LaneWidth, a: &[u8], b: &[u8], small_mask:
         let off_b = off_a & small_mask;
         let wa = u64::from_le_bytes(a[off_a..off_a + 8].try_into().unwrap());
         let wb = u64::from_le_bytes(b[off_b..off_b + 8].try_into().unwrap());
-        let v = wa & wb;
+        let v = op.apply_u64(wa, wb);
         if v == 0 {
             continue;
         }
@@ -131,6 +183,7 @@ mod x86 {
     /// `small_mask + 1` must be a power of two multiple of 16 covering `b`.
     #[target_feature(enable = "sse4.2")]
     pub unsafe fn sse_impl<F: FnMut(usize)>(
+        op: MaskOp,
         lane: LaneWidth,
         a: &[u8],
         b: &[u8],
@@ -143,7 +196,13 @@ mod x86 {
             let off = bi * 16;
             let va = _mm_loadu_si128(a.as_ptr().add(off) as *const __m128i);
             let vb = _mm_loadu_si128(b.as_ptr().add(off & small_mask) as *const __m128i);
-            let v = _mm_and_si128(va, vb);
+            let v = match op {
+                MaskOp::And => _mm_and_si128(va, vb),
+                MaskOp::Or => _mm_or_si128(va, vb),
+                // andnot computes !first & second, so the operands swap.
+                MaskOp::AndNotB => _mm_andnot_si128(vb, va),
+                MaskOp::Xor => _mm_xor_si128(va, vb),
+            };
             match lane {
                 LaneWidth::U8 => {
                     let zmask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)) as u32;
@@ -168,6 +227,7 @@ mod x86 {
     /// Requires AVX2. Same slice preconditions with 32-byte blocks.
     #[target_feature(enable = "avx2")]
     pub unsafe fn avx2_impl<F: FnMut(usize)>(
+        op: MaskOp,
         lane: LaneWidth,
         a: &[u8],
         b: &[u8],
@@ -180,7 +240,12 @@ mod x86 {
             let off = bi * 32;
             let va = _mm256_loadu_si256(a.as_ptr().add(off) as *const __m256i);
             let vb = _mm256_loadu_si256(b.as_ptr().add(off & small_mask) as *const __m256i);
-            let v = _mm256_and_si256(va, vb);
+            let v = match op {
+                MaskOp::And => _mm256_and_si256(va, vb),
+                MaskOp::Or => _mm256_or_si256(va, vb),
+                MaskOp::AndNotB => _mm256_andnot_si256(vb, va),
+                MaskOp::Xor => _mm256_xor_si256(va, vb),
+            };
             match lane {
                 LaneWidth::U8 => {
                     let zmask = _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)) as u32;
@@ -204,6 +269,7 @@ mod x86 {
     /// Requires AVX-512 F+BW. Same slice preconditions with 64-byte blocks.
     #[target_feature(enable = "avx512f,avx512bw")]
     pub unsafe fn avx512_impl<F: FnMut(usize)>(
+        op: MaskOp,
         lane: LaneWidth,
         a: &[u8],
         b: &[u8],
@@ -215,7 +281,12 @@ mod x86 {
             let off = bi * 64;
             let va = _mm512_loadu_si512(a.as_ptr().add(off) as *const _);
             let vb = _mm512_loadu_si512(b.as_ptr().add(off & small_mask) as *const _);
-            let v = _mm512_and_si512(va, vb);
+            let v = match op {
+                MaskOp::And => _mm512_and_si512(va, vb),
+                MaskOp::Or => _mm512_or_si512(va, vb),
+                MaskOp::AndNotB => _mm512_andnot_si512(vb, va),
+                MaskOp::Xor => _mm512_xor_si512(va, vb),
+            };
             match lane {
                 LaneWidth::U8 => {
                     let nz = _mm512_test_epi8_mask(v, v);
@@ -240,6 +311,7 @@ mod x86 {
 
 fn dispatch<F: FnMut(usize)>(
     level: SimdLevel,
+    op: MaskOp,
     lane: LaneWidth,
     a: &[u8],
     b: &[u8],
@@ -256,13 +328,13 @@ fn dispatch<F: FnMut(usize)>(
         "SIMD level {level} not available on this CPU"
     );
     match level {
-        SimdLevel::Scalar => scalar_impl(lane, a, b, small_mask, &mut f),
+        SimdLevel::Scalar => scalar_impl(op, lane, a, b, small_mask, &mut f),
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Sse => unsafe { x86::sse_impl(lane, a, b, small_mask, &mut f) },
+        SimdLevel::Sse => unsafe { x86::sse_impl(op, lane, a, b, small_mask, &mut f) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { x86::avx2_impl(lane, a, b, small_mask, &mut f) },
+        SimdLevel::Avx2 => unsafe { x86::avx2_impl(op, lane, a, b, small_mask, &mut f) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx512 => unsafe { x86::avx512_impl(lane, a, b, small_mask, &mut f) },
+        SimdLevel::Avx512 => unsafe { x86::avx512_impl(op, lane, a, b, small_mask, &mut f) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar level reported available on non-x86_64"),
     }
@@ -281,8 +353,25 @@ pub fn for_each_nonzero_lane<F: FnMut(usize)>(
     b: &[u8],
     f: F,
 ) {
+    for_each_nonzero_lane_op(level, MaskOp::And, lane, a, b, f);
+}
+
+/// [`for_each_nonzero_lane`] with an explicit bitmap combiner: combine two
+/// equal-length bitmaps with `op` and invoke `f(segment_index)` for every
+/// non-zero `s`-bit lane of the result.
+///
+/// # Panics
+/// Panics on the preconditions of [`for_each_nonzero_lane`].
+pub fn for_each_nonzero_lane_op<F: FnMut(usize)>(
+    level: SimdLevel,
+    op: MaskOp,
+    lane: LaneWidth,
+    a: &[u8],
+    b: &[u8],
+    f: F,
+) {
     assert_eq!(a.len(), b.len(), "bitmaps must have equal length");
-    dispatch(level, lane, a, b, usize::MAX, f);
+    dispatch(level, op, lane, a, b, usize::MAX, f);
 }
 
 /// AND a large bitmap against a smaller power-of-two bitmap that logically
@@ -300,6 +389,23 @@ pub fn for_each_nonzero_lane_folded<F: FnMut(usize)>(
     small: &[u8],
     f: F,
 ) {
+    for_each_nonzero_lane_folded_op(level, MaskOp::And, lane, large, small, f);
+}
+
+/// [`for_each_nonzero_lane_folded`] with an explicit bitmap combiner: the
+/// small bitmap logically tiles the large one and each large lane is
+/// combined with its folded small lane via `op`.
+///
+/// # Panics
+/// Panics on the preconditions of [`for_each_nonzero_lane_folded`].
+pub fn for_each_nonzero_lane_folded_op<F: FnMut(usize)>(
+    level: SimdLevel,
+    op: MaskOp,
+    lane: LaneWidth,
+    large: &[u8],
+    small: &[u8],
+    f: F,
+) {
     assert!(
         small.len().is_power_of_two() && small.len() >= 64,
         "small bitmap must be a power of two of at least 64 bytes"
@@ -308,7 +414,7 @@ pub fn for_each_nonzero_lane_folded<F: FnMut(usize)>(
         large.len() >= small.len(),
         "large bitmap shorter than small"
     );
-    dispatch(level, lane, large, small, small.len() - 1, f);
+    dispatch(level, op, lane, large, small, small.len() - 1, f);
 }
 
 // ---------------------------------------------------------------------------
@@ -372,14 +478,18 @@ fn replicate_low_bits(pattern: u64, bits: usize) -> u64 {
 /// availability (asserted once by [`dispatch_pruned`]).
 #[inline(always)]
 fn scan_block<F: FnMut(usize)>(level: SimdLevel, lane: LaneWidth, a: &[u8], b: &[u8], f: &mut F) {
+    // Summary pruning is sound only for the AND combiner (a block that is
+    // zero on either side cannot contribute an intersection lane, but it
+    // can still contribute OR / ANDNOT / XOR lanes), so the pruned scan is
+    // hardwired to MaskOp::And.
     match level {
-        SimdLevel::Scalar => scalar_impl(lane, a, b, usize::MAX, f),
+        SimdLevel::Scalar => scalar_impl(MaskOp::And, lane, a, b, usize::MAX, f),
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Sse => unsafe { x86::sse_impl(lane, a, b, usize::MAX, f) },
+        SimdLevel::Sse => unsafe { x86::sse_impl(MaskOp::And, lane, a, b, usize::MAX, f) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx2 => unsafe { x86::avx2_impl(lane, a, b, usize::MAX, f) },
+        SimdLevel::Avx2 => unsafe { x86::avx2_impl(MaskOp::And, lane, a, b, usize::MAX, f) },
         #[cfg(target_arch = "x86_64")]
-        SimdLevel::Avx512 => unsafe { x86::avx512_impl(lane, a, b, usize::MAX, f) },
+        SimdLevel::Avx512 => unsafe { x86::avx512_impl(MaskOp::And, lane, a, b, usize::MAX, f) },
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar level reported available on non-x86_64"),
     }
@@ -532,7 +642,13 @@ pub fn for_each_nonzero_lane_folded_pruned<F: FnMut(usize)>(
 mod tests {
     use super::*;
 
-    fn reference_lanes(lane: LaneWidth, a: &[u8], b: &[u8], small_mask: usize) -> Vec<usize> {
+    fn reference_lanes_op(
+        op: MaskOp,
+        lane: LaneWidth,
+        a: &[u8],
+        b: &[u8],
+        small_mask: usize,
+    ) -> Vec<usize> {
         let lb = lane.bytes();
         let mut out = Vec::new();
         for seg in 0..a.len() / lb {
@@ -540,7 +656,7 @@ mod tests {
             for k in 0..lb {
                 let ai = seg * lb + k;
                 let bi = ((seg * lb) & small_mask) + k;
-                if a[ai] & b[bi] != 0 {
+                if op.apply_u64(a[ai] as u64, b[bi] as u64) & 0xff != 0 {
                     nonzero = true;
                 }
             }
@@ -550,6 +666,12 @@ mod tests {
         }
         out
     }
+
+    fn reference_lanes(lane: LaneWidth, a: &[u8], b: &[u8], small_mask: usize) -> Vec<usize> {
+        reference_lanes_op(MaskOp::And, lane, a, b, small_mask)
+    }
+
+    const ALL_OPS: [MaskOp; 4] = [MaskOp::And, MaskOp::Or, MaskOp::AndNotB, MaskOp::Xor];
 
     fn pseudo_random_bytes(len: usize, seed: u64, density_shift: u32) -> Vec<u8> {
         // SplitMix64-driven bytes, sparsified so most lanes are zero.
@@ -633,6 +755,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn all_ops_match_reference_same_size() {
+        for &len in &[64usize, 128, 512, 4096] {
+            let a = pseudo_random_bytes(len, 5, 2);
+            let b = pseudo_random_bytes(len, 13, 2);
+            for op in ALL_OPS {
+                for lane in [LaneWidth::U8, LaneWidth::U16] {
+                    let expect = reference_lanes_op(op, lane, &a, &b, usize::MAX);
+                    for level in SimdLevel::available_levels() {
+                        let mut got = Vec::new();
+                        for_each_nonzero_lane_op(level, op, lane, &a, &b, |i| got.push(i));
+                        got.sort_unstable();
+                        assert_eq!(
+                            got, expect,
+                            "op={op:?} level={level} lane={lane:?} len={len}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ops_match_reference_folded() {
+        let large = pseudo_random_bytes(1024, 17, 1);
+        for &small_len in &[64usize, 128, 256] {
+            let small = pseudo_random_bytes(small_len, 23, 1);
+            for op in ALL_OPS {
+                for lane in [LaneWidth::U8, LaneWidth::U16] {
+                    let expect = reference_lanes_op(op, lane, &large, &small, small_len - 1);
+                    for level in SimdLevel::available_levels() {
+                        let mut got = Vec::new();
+                        for_each_nonzero_lane_folded_op(level, op, lane, &large, &small, |i| {
+                            got.push(i)
+                        });
+                        got.sort_unstable();
+                        assert_eq!(
+                            got, expect,
+                            "op={op:?} level={level} lane={lane:?} small={small_len}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_scan_covers_both_sides_and_andnot_is_asymmetric() {
+        let mut a = vec![0u8; 128];
+        let mut b = vec![0u8; 128];
+        a[3] = 1; // lane 3 only in a
+        b[70] = 1; // lane 70 only in b
+        a[100] = 2;
+        b[100] = 2; // lane 100 in both
+        let lanes = |op| {
+            let mut got = Vec::new();
+            for_each_nonzero_lane_op(SimdLevel::Scalar, op, LaneWidth::U8, &a, &b, |i| {
+                got.push(i)
+            });
+            got
+        };
+        assert_eq!(lanes(MaskOp::And), vec![100]);
+        assert_eq!(lanes(MaskOp::Or), vec![3, 70, 100]);
+        assert_eq!(lanes(MaskOp::AndNotB), vec![3]);
+        assert_eq!(lanes(MaskOp::Xor), vec![3, 70]);
     }
 
     #[test]

@@ -68,6 +68,20 @@ if [[ "${1:-}" == "--smoke" ]]; then
     }
     echo "compress gates OK (counts match, auto-decline overhead ${overhead}%)"
 
+    echo "== tier1: repro algebra --scale smoke =="
+    ./target/release/repro algebra --scale smoke
+    echo "== tier1: algebra gates (BENCH_algebra.json) =="
+    grep -q '"results_match": true' BENCH_algebra.json || {
+        echo "tier1: FAIL — a materialized set operation disagreed with the merge oracle"
+        exit 1
+    }
+    ratio=$(sed -n 's/.*"intersect_overhead_ratio": \([0-9.]*\).*/\1/p' BENCH_algebra.json | head -1)
+    awk -v r="$ratio" 'BEGIN { exit !(r <= 2.0) }' || {
+        echo "tier1: FAIL — materializing intersect ${ratio}x slower than the count path (> 2.0x)"
+        exit 1
+    }
+    echo "algebra gates OK (results match, materialize/count ratio ${ratio}x)"
+
     echo "== tier1: fesia tune --quick round-trip =="
     profile=$(mktemp -t fesia-profile-XXXXXX.json)
     ./target/release/fesia tune --quick --profile "$profile" | grep -q "reload verified" || {

@@ -1,0 +1,211 @@
+//! Set-algebra equivalence: every materializing operation, on every
+//! backend shape, is element-identical to the sorted-merge oracles in
+//! `fesia_baselines::merge`.
+//!
+//! The visitor-based executor ([`fesia_core::set_op`]) shares one body per
+//! operation across every plan the [`fesia_core::IntersectPlanner`] can
+//! pick, so forcing each strategy in turn must reproduce the oracle's
+//! exact output (not just its length) on randomized overlap, heavy skew,
+//! disjoint ranges, identical sets, and empty operands — including folded
+//! pairs (mismatched bitmap sizes) and packed-tier sets. Inputs come from
+//! a seeded [`SplitMix64`] stream, so a failure names the seed that
+//! replays it.
+
+use fesia_baselines::merge;
+use fesia_core::{FesiaParams, PlanMode, SegmentedSet, SetOp};
+use fesia_datagen::SplitMix64;
+use std::sync::Mutex;
+
+/// `set_plan_mode` is process-global; tests that flip it serialize here.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+const OPS: [SetOp; 4] = [
+    SetOp::Intersect,
+    SetOp::Union,
+    SetOp::Difference,
+    SetOp::Xor,
+];
+
+fn sorted_set(rng: &mut SplitMix64, max_len: usize, universe: u32) -> Vec<u32> {
+    let n = rng.below(max_len as u64 + 1) as usize;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < n {
+        set.insert(rng.below(universe as u64) as u32);
+    }
+    set.into_iter().collect()
+}
+
+fn oracle(op: SetOp, a: &[u32], b: &[u32]) -> Vec<u32> {
+    match op {
+        SetOp::Intersect => merge::intersect(a, b),
+        SetOp::Union => merge::union(a, b),
+        SetOp::Difference => merge::difference(a, b),
+        SetOp::Xor => merge::xor(a, b),
+    }
+}
+
+/// The adversarial input shapes: (label, a, b).
+fn case_shapes(seed: u64) -> Vec<(&'static str, Vec<u32>, Vec<u32>)> {
+    let mut rng = SplitMix64::new(0xA16E ^ (seed << 8));
+    let random_a = sorted_set(&mut rng, 4_000, 60_000);
+    let random_b = sorted_set(&mut rng, 4_000, 60_000);
+    let skew_small = sorted_set(&mut rng, 64, 1 << 20);
+    let skew_large = sorted_set(&mut rng, 20_000, 1 << 20);
+    let identical = sorted_set(&mut rng, 2_000, 100_000);
+    let disjoint_a: Vec<u32> = (0..1_500).map(|i| i * 2).collect();
+    let disjoint_b: Vec<u32> = (0..1_500).map(|i| i * 2 + 1).collect();
+    vec![
+        ("random", random_a, random_b),
+        ("skewed", skew_small, skew_large),
+        ("identical", identical.clone(), identical),
+        ("disjoint", disjoint_a, disjoint_b),
+        (
+            "empty-left",
+            Vec::new(),
+            sorted_set(&mut rng, 3_000, 50_000),
+        ),
+        ("empty-both", Vec::new(), Vec::new()),
+    ]
+}
+
+#[test]
+fn materialized_intersection_length_matches_count() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fesia_core::set_plan_mode(PlanMode::Auto);
+    let params = FesiaParams::auto();
+    for seed in 0..8u64 {
+        for (label, av, bv) in case_shapes(seed) {
+            let a = SegmentedSet::build(&av, &params).unwrap();
+            let b = SegmentedSet::build(&bv, &params).unwrap();
+            assert_eq!(
+                fesia_core::intersect(&a, &b).len(),
+                fesia_core::intersect_count(&a, &b),
+                "seed={seed} case={label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_op_matches_the_merge_oracle_under_every_forced_plan() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let params = FesiaParams::auto();
+    for seed in 0..8u64 {
+        for (label, av, bv) in case_shapes(seed) {
+            let a = SegmentedSet::build(&av, &params).unwrap();
+            let b = SegmentedSet::build(&bv, &params).unwrap();
+            for op in OPS {
+                let want = oracle(op, &av, &bv);
+                fesia_core::set_plan_mode(PlanMode::Auto);
+                assert_eq!(
+                    fesia_core::set_op(&a, &b, op),
+                    want,
+                    "seed={seed} case={label} op={} mode=auto",
+                    op.name()
+                );
+                assert_eq!(
+                    fesia_core::set_op_count(&a, &b, op),
+                    want.len(),
+                    "seed={seed} case={label} op={} count",
+                    op.name()
+                );
+                for mode in PlanMode::FORCED {
+                    fesia_core::set_plan_mode(mode);
+                    assert_eq!(
+                        fesia_core::set_op(&a, &b, op),
+                        want,
+                        "seed={seed} case={label} op={} mode={}",
+                        op.name(),
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+    fesia_core::set_plan_mode(PlanMode::Auto);
+}
+
+#[test]
+fn folded_pairs_with_mismatched_bitmaps_agree() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fesia_core::set_plan_mode(PlanMode::Auto);
+    let params = FesiaParams::auto();
+    // A denser bitmap for the same data forces `bitmap_bits` apart even at
+    // comparable lengths; length skew alone also folds (bits scale with n).
+    let dense = params.with_bits_per_element(params.bits_per_element * 4.0);
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64::new(0xF01D ^ seed);
+        // Keep both sides well above the bitmap-size floor so the 4×
+        // density gap is guaranteed to produce different bitmap sizes.
+        let mut av = sorted_set(&mut rng, 2_000, 200_000);
+        let mut bv = sorted_set(&mut rng, 2_000, 200_000);
+        while av.len() < 1_000 {
+            av = sorted_set(&mut rng, 2_000, 200_000);
+        }
+        while bv.len() < 1_000 {
+            bv = sorted_set(&mut rng, 2_000, 200_000);
+        }
+        let a = SegmentedSet::build(&av, &params).unwrap();
+        let b = SegmentedSet::build(&bv, &dense).unwrap();
+        assert_ne!(
+            a.bitmap_bits(),
+            b.bitmap_bits(),
+            "seed={seed}: the case must actually fold"
+        );
+        for op in OPS {
+            assert_eq!(
+                fesia_core::set_op(&a, &b, op),
+                oracle(op, &av, &bv),
+                "seed={seed} op={} folded",
+                op.name()
+            );
+            // Folding is asymmetric inside the executor (large drives the
+            // sweep), so both argument orders must hold.
+            assert_eq!(
+                fesia_core::set_op(&b, &a, op),
+                oracle(op, &bv, &av),
+                "seed={seed} op={} folded (swapped)",
+                op.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_tier_sets_agree_with_the_oracle() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let params = FesiaParams::auto();
+    let mut rng = SplitMix64::new(0x9ACC);
+    for round in 0..4u64 {
+        // Large enough to clear the packed-tier admission gates.
+        let av = sorted_set(&mut rng, 12_000, 1 << 18);
+        let bv = sorted_set(&mut rng, 12_000, 1 << 18);
+        let a = SegmentedSet::build(&av, &params).unwrap();
+        let b = SegmentedSet::build(&bv, &params).unwrap();
+        assert!(
+            a.packed().is_some() && b.packed().is_some(),
+            "round={round}: inputs must carry a compressed tier"
+        );
+        for op in OPS {
+            let want = oracle(op, &av, &bv);
+            fesia_core::set_plan_mode(PlanMode::Auto);
+            assert_eq!(
+                fesia_core::set_op(&a, &b, op),
+                want,
+                "round={round} op={} packed auto",
+                op.name()
+            );
+            for mode in PlanMode::FORCED {
+                fesia_core::set_plan_mode(mode);
+                assert_eq!(
+                    fesia_core::set_op(&a, &b, op),
+                    want,
+                    "round={round} op={} packed mode={}",
+                    op.name(),
+                    mode.name()
+                );
+            }
+        }
+    }
+    fesia_core::set_plan_mode(PlanMode::Auto);
+}
