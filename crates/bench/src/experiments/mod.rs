@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod algebra;
 pub mod batch;
 pub mod compress;
+pub mod containers;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -53,6 +54,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "plan" => plan::run(scale),
         "prune" => prune::run(scale),
         "compress" => compress::run(scale),
+        "containers" => containers::run(scale),
         "obs" => obs::run(scale),
         "memory" => memory::run(scale),
         _ => return None,
@@ -63,8 +65,26 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
 /// `fig14` are included even though [`ALL`] lists the cheap set first.
 pub fn run_all(scale: Scale) -> String {
     let ids = [
-        "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "table3",
-        "fig13", "fig14", "ablation", "memory", "batch", "plan", "prune", "compress", "algebra",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table3",
+        "fig13",
+        "fig14",
+        "ablation",
+        "memory",
+        "batch",
+        "plan",
+        "prune",
+        "compress",
+        "containers",
+        "algebra",
         "obs",
     ];
     let mut out = String::new();

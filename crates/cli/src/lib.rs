@@ -10,7 +10,7 @@ use std::path::Path;
 pub const USAGE: &str = "\
 usage:
   fesia build INPUT.txt OUTPUT.fsia [--bits-per-element F] [--segment 8|16]
-  fesia info SET.fsia
+  fesia info SET.fsia [--json]
   fesia count A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
                             [--threads N]
   fesia stats A.fsia B.fsia [--method fesia|auto|hash|scalar|shuffling|galloping]
@@ -146,11 +146,73 @@ fn cmd_build(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let [path] = args else {
-        return Err(CliError::Usage("info needs exactly one .fsia file".into()));
+/// The `info --json` document: every scalar the text report prints, plus
+/// the per-container range/cardinality histogram, machine-readable for
+/// corpus audits and the smoke gates.
+fn info_json(path: &str, set: &SegmentedSet, out: &mut dyn Write) -> Result<(), CliError> {
+    let packed = match set.packed() {
+        Some(tier) => format!(
+            "{{\"width\": {}, \"stream_bytes\": {}, \"ratio_vs_raw\": {:.2}}}",
+            tier.width(),
+            tier.stream_bytes(),
+            (4 * set.len()) as f64 / tier.stream_bytes().max(1) as f64
+        ),
+        None => "null".to_string(),
     };
+    let container = match (set.container(), set.container_stats()) {
+        (Some(tier), Some(c)) => format!(
+            "{{\"ranges\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}}, \
+             \"cardinality\": {{\"array\": {}, \"bitmap\": {}, \"run\": {}}}, \
+             \"dense_fraction\": {:.4}, \"memory_bytes\": {}}}",
+            c.ranges_array,
+            c.ranges_bitmap,
+            c.ranges_run,
+            c.card_array,
+            c.card_bitmap,
+            c.card_run,
+            c.dense_fraction(),
+            tier.memory_bytes()
+        ),
+        _ => "null".to_string(),
+    };
+    let planner = fesia_core::IntersectPlanner::current();
+    let sum = fesia_core::SetSummary::of(set);
+    writeln!(
+        out,
+        "{{\n  \"file\": \"{path}\",\n  \"elements\": {},\n  \"bitmap_bits\": {},\n  \
+         \"segment_bits\": {},\n  \"segments\": {},\n  \"memory_bytes\": {},\n  \
+         \"serialized_bytes\": {},\n  \"packed\": {packed},\n  \"container\": {container},\n  \
+         \"summary_blocks\": {},\n  \"summary_density\": {:.4},\n  \
+         \"planner\": {{\"mode\": \"{}\", \"plan_vs_self\": \"{}\"}}\n}}",
+        set.len(),
+        set.bitmap_bits(),
+        set.lane().bits(),
+        set.num_segments(),
+        set.memory_bytes(),
+        set.serialized_len(),
+        set.summary_blocks(),
+        set.summary_density(),
+        planner.mode.name(),
+        planner.plan_pair(&sum, &sum).name(),
+    )?;
+    Ok(())
+}
+
+fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut json = false;
+    let mut path: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = &path.ok_or_else(|| CliError::Usage("info needs exactly one .fsia file".into()))?;
     let set = load_set(path)?;
+    if json {
+        return info_json(path, &set, out);
+    }
     writeln!(out, "file:            {path}")?;
     writeln!(out, "elements:        {}", set.len())?;
     writeln!(out, "bitmap bits (m): {}", set.bitmap_bits())?;
@@ -170,6 +232,18 @@ fn cmd_info(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             )?;
         }
         None => writeln!(out, "packed tier:     none")?,
+    }
+    match set.container_stats() {
+        Some(c) => writeln!(
+            out,
+            "container tier:  {} ranges ({} array / {} bitmap / {} run), {:.1}% dense",
+            c.ranges(),
+            c.ranges_array,
+            c.ranges_bitmap,
+            c.ranges_run,
+            c.dense_fraction() * 100.0
+        )?,
+        None => writeln!(out, "container tier:  none")?,
     }
     let populated = (0..set.num_segments())
         .filter(|&i| set.seg_size(i) > 0)
@@ -460,6 +534,17 @@ fn cmd_tune(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         back.compress.decode_millicycles_per_elem,
         back.compress.bandwidth_millicycles_per_byte
     )?;
+    writeln!(
+        out,
+        "container: forced={} min_elements={} dense_pct={}",
+        match back.container.forced {
+            Some(true) => "on",
+            Some(false) => "off",
+            None => "auto",
+        },
+        back.container.min_elements,
+        back.container.min_dense_pct
+    )?;
     writeln!(out, "gallop_max_len: {}", back.gallop_max_len)?;
     writeln!(
         out,
@@ -698,6 +783,61 @@ mod tests {
         ));
         assert!(matches!(
             run(&s(&["tune", "--profile"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn info_json_reports_tiers_and_histogram() {
+        let dir = tmpdir();
+        // A run-heavy set past the container build floor: consecutive
+        // values classify as one run range per 65536-value window.
+        let t = dir.join("dense.txt");
+        std::fs::write(
+            &t,
+            (0..5000u32)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        )
+        .unwrap();
+        let f = dir.join("dense.fsia").to_string_lossy().to_string();
+        run(&s(&["build", t.to_str().unwrap(), &f]), &mut Vec::new()).unwrap();
+
+        let mut out = Vec::new();
+        run(&s(&["info", &f]), &mut out).unwrap();
+        let info = String::from_utf8_lossy(&out);
+        assert!(info.contains("container tier:  1 ranges"), "{info}");
+        assert!(info.contains("1 run"), "{info}");
+        assert!(info.contains("100.0% dense"), "{info}");
+
+        let mut out = Vec::new();
+        run(&s(&["info", &f, "--json"]), &mut out).unwrap();
+        let json = String::from_utf8_lossy(&out);
+        assert!(
+            json.trim().starts_with('{') && json.trim().ends_with('}'),
+            "{json}"
+        );
+        assert!(json.contains("\"elements\": 5000"), "{json}");
+        assert!(json.contains("\"run\": 1"), "{json}");
+        assert!(json.contains("\"dense_fraction\": 1.0000"), "{json}");
+        assert!(json.contains("\"planner\""), "{json}");
+
+        // A tiny set carries neither tier: both report null.
+        let t2 = dir.join("tiny.txt");
+        std::fs::write(&t2, "1\n2\n3\n").unwrap();
+        let f2 = dir.join("tiny.fsia").to_string_lossy().to_string();
+        run(&s(&["build", t2.to_str().unwrap(), &f2]), &mut Vec::new()).unwrap();
+        let mut out = Vec::new();
+        run(&s(&["info", &f2, "--json"]), &mut out).unwrap();
+        let json = String::from_utf8_lossy(&out);
+        assert!(json.contains("\"packed\": null"), "{json}");
+        assert!(json.contains("\"container\": null"), "{json}");
+
+        // Flag typos are usage errors.
+        assert!(matches!(
+            run(&s(&["info", &f, "--jsonx"]), &mut Vec::new()),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_dir_all(&dir).ok();

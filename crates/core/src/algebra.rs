@@ -183,6 +183,20 @@ pub fn execute_plan_op<V: SegmentVisitor>(
             m.plan_compressed.inc();
             scan_materialize(a, b, op, Some((prefetch_distance, false)), v);
         }
+        IntersectPlan::Container => {
+            m.plan_container.inc();
+            // Sound for every op — the directory's word bitmaps are exact
+            // value-domain bitmaps, not hashed filters. Directory-less
+            // sets fall back to the plain scan rather than failing.
+            match (a.container(), b.container()) {
+                (Some(ca), Some(cb)) => {
+                    m.intersect_container.inc();
+                    let level = crate::intersect::default_table().level();
+                    crate::container::op_visit(op, ca, cb, level, v);
+                }
+                _ => scan_materialize(a, b, op, None, v),
+            }
+        }
         IntersectPlan::HashProbe => {
             probe_materialize(a, b, op, v);
         }
@@ -548,6 +562,8 @@ mod tests {
                 IntersectPlan::Compressed {
                     prefetch_distance: 4,
                 },
+                // Directory-less pair: exercises the container fallback.
+                IntersectPlan::Container,
                 IntersectPlan::HashProbe,
                 IntersectPlan::GallopFallback,
             ] {

@@ -2,7 +2,7 @@
 //! strategy selection for skewed inputs (§VI).
 
 use crate::kernels::{KernelTable, UnpackJob, OVERREAD};
-use crate::params::{CompressParams, PipelineParams, PruneParams};
+use crate::params::{CompressParams, ContainerParams, PipelineParams, PruneParams};
 use crate::plan::{IntersectPlan, IntersectPlanner, PlanMode, SetSummary};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::{
@@ -133,6 +133,42 @@ pub fn compress_params() -> CompressParams {
 pub fn set_compress_params(p: CompressParams) {
     crate::plan::ensure_init();
     store_compress(p);
+}
+
+/// `ContainerParams::forced` packed like [`PRUNE_MODE`]: 0 = auto,
+/// 1 = on, 2 = off.
+static CONTAINER_MODE: AtomicUsize = AtomicUsize::new(0);
+static CONTAINER_MIN_ELEMENTS: AtomicUsize = AtomicUsize::new(1 << 15);
+static CONTAINER_DENSE_PCT: AtomicUsize = AtomicUsize::new(40);
+
+/// Raw store of the container knobs, with no initialization check (see
+/// [`store_pipeline`]).
+pub(crate) fn store_container(p: ContainerParams) {
+    CONTAINER_MODE.store(prune_mode_encode(p.forced), Ordering::Relaxed);
+    CONTAINER_MIN_ELEMENTS.store(p.min_elements, Ordering::Relaxed);
+    CONTAINER_DENSE_PCT.store(p.min_dense_pct as usize, Ordering::Relaxed);
+}
+
+/// The process-wide [`ContainerParams`] governing the planner's choice of
+/// the per-range container dispatch (word kernels over exact value-domain
+/// bitmaps instead of the hashed segment merge).
+pub fn container_params() -> ContainerParams {
+    crate::plan::ensure_init();
+    ContainerParams {
+        forced: match CONTAINER_MODE.load(Ordering::Relaxed) {
+            1 => Some(true),
+            2 => Some(false),
+            _ => None,
+        },
+        min_elements: CONTAINER_MIN_ELEMENTS.load(Ordering::Relaxed),
+        min_dense_pct: CONTAINER_DENSE_PCT.load(Ordering::Relaxed) as u32,
+    }
+}
+
+/// Replace the process-wide [`ContainerParams`].
+pub fn set_container_params(p: ContainerParams) {
+    crate::plan::ensure_init();
+    store_container(p);
 }
 
 thread_local! {
@@ -322,6 +358,23 @@ pub fn execute_plan_count(
                 }
                 n
             })
+        }
+        IntersectPlan::Container => {
+            m.plan_container.inc();
+            // The planner only picks this plan when both sides report a
+            // container directory; an explicit plan on directory-less
+            // sets falls back to the interleaved form rather than
+            // failing.
+            let (Some(ca), Some(cb)) = (a.container(), b.container()) else {
+                return intersect_count_interleaved_with(a, b, table);
+            };
+            let sampled = m.intersect_container.inc() & fesia_obs::SAMPLE_MASK == 0;
+            let timer = sampled.then(CycleTimer::start);
+            let n = crate::container::intersect_count(ca, cb, table.level());
+            if let Some(t) = timer {
+                m.intersect_cycles.record(t.elapsed_cycles());
+            }
+            n
         }
         IntersectPlan::Plain => {
             m.plan_plain.inc();

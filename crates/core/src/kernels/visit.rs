@@ -15,6 +15,7 @@
 //! no over-read contract here.
 
 use fesia_simd::mask::MaskOp;
+use fesia_simd::util::SetBits;
 use fesia_simd::SimdLevel;
 
 /// A materializing set-algebra operation over two sets.
@@ -83,6 +84,21 @@ pub trait SegmentVisitor {
             self.visit(v);
         }
     }
+
+    /// Receive a value-domain word bitmap: bit `i` of `words[w]` encodes
+    /// the element `base + 64*w + i`. This is the bulk output path of the
+    /// container tier's word-bitmap ranges; the default decodes set bits
+    /// ascending via [`SegmentVisitor::visit`], counting consumers
+    /// override it with a popcount sweep.
+    #[inline]
+    fn visit_words(&mut self, base: u32, words: &[u64]) {
+        for (wi, &w) in words.iter().enumerate() {
+            let word_base = base + (wi as u32) * 64;
+            for bit in SetBits(w) {
+                self.visit(word_base + bit);
+            }
+        }
+    }
 }
 
 /// Counts elements without storing them.
@@ -97,6 +113,10 @@ impl SegmentVisitor for CountVisitor {
     #[inline]
     fn visit_run(&mut self, values: &[u32]) {
         self.0 += values.len();
+    }
+    #[inline]
+    fn visit_words(&mut self, _base: u32, words: &[u64]) {
+        self.0 += words.iter().map(|w| w.count_ones() as usize).sum::<usize>();
     }
 }
 
@@ -400,6 +420,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn visit_words_decodes_bits_ascending_and_counts() {
+        let words = [0b101u64, 0, 1 << 63];
+        let mut got = Vec::new();
+        EmitVisitor(&mut got).visit_words(1000, &words);
+        assert_eq!(got, vec![1000, 1002, 1000 + 2 * 64 + 63]);
+        let mut cnt = CountVisitor::default();
+        cnt.visit_words(0, &words);
+        assert_eq!(cnt.0, 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! worked Example 1 (`h(x) = x mod 12`, `m = 12`, `s = 4`), which our tests
 //! reproduce bit for bit.
 
+use crate::container;
 use crate::hash::fmix32;
 use fesia_simd::bitpack;
 use fesia_simd::mask::build_block_summary;
@@ -166,6 +167,91 @@ pub fn pack_residuals(
     }
     debug_assert_eq!(flat.len(), n);
     Some((bitpack::pack(&flat, width), width))
+}
+
+/// Build the container tier from the sorted (strictly ascending) element
+/// array: partition the value domain into 65536-value ranges, classify
+/// each populated range by `container::classify` (smallest of sorted-`u16`
+/// array, 1024-word value bitmap, run list), and pack the directory plus
+/// the three payload sections.
+///
+/// Returns `None` — no tier — below
+/// [`container::CONTAINER_MIN_BUILD`] elements, where the whole set is
+/// cache-resident and the directory is pure overhead. Like the packed
+/// tier, the gate depends only on the set's contents, so every decode
+/// path reproduces the same tier decision deterministically.
+pub fn build_container_tier(sorted: &[u32]) -> Option<container::ContainerTier> {
+    use container::{classify, encode_dir_entry, encode_run, ContainerKind, WORDS_PER_RANGE};
+    if sorted.len() < container::CONTAINER_MIN_BUILD {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+    let mut dir: Vec<u64> = Vec::new();
+    let mut values: Vec<u16> = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
+    let mut runs: Vec<u32> = Vec::new();
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let key = sorted[i] >> container::RANGE_SHIFT;
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] >> container::RANGE_SHIFT == key {
+            j += 1;
+        }
+        let range = &sorted[i..j];
+        // Count maximal runs in one pass over the low 16 bits.
+        let mut nruns = 1usize;
+        for w in range.windows(2) {
+            if w[1] != w[0] + 1 {
+                nruns += 1;
+            }
+        }
+        let card = range.len();
+        let (offset, len, kind) = match classify(card, nruns) {
+            ContainerKind::Array => {
+                let off = values.len();
+                values.extend(range.iter().map(|&v| v as u16));
+                (off, card, ContainerKind::Array)
+            }
+            ContainerKind::Bitmap => {
+                let off = words.len();
+                words.resize(off + WORDS_PER_RANGE, 0);
+                for &v in range {
+                    words[off + ((v & 0xffff) >> 6) as usize] |= 1u64 << (v & 63);
+                }
+                (off, WORDS_PER_RANGE, ContainerKind::Bitmap)
+            }
+            ContainerKind::Run => {
+                let off = runs.len();
+                let mut start = range[0] as u16;
+                let mut len = 1u32;
+                for w in range.windows(2) {
+                    if w[1] == w[0] + 1 {
+                        len += 1;
+                    } else {
+                        runs.push(encode_run(start, len));
+                        start = w[1] as u16;
+                        len = 1;
+                    }
+                }
+                runs.push(encode_run(start, len));
+                (off, runs.len() - off, ContainerKind::Run)
+            }
+        };
+        dir.extend(encode_dir_entry(
+            key,
+            kind,
+            card as u32,
+            offset as u32,
+            len as u32,
+        ));
+        i = j;
+    }
+    Some(container::ContainerTier::from_parts(
+        dir.into(),
+        values.into(),
+        words.into(),
+        runs.into(),
+    ))
 }
 
 impl Layout {

@@ -42,6 +42,7 @@
 
 pub mod algebra;
 pub mod batch;
+pub mod container;
 pub mod dynamic;
 pub mod error;
 pub mod hash;
@@ -63,16 +64,18 @@ pub use algebra::{difference, execute_plan_op, set_op, set_op_count, set_op_plan
 pub use batch::{
     batch_count, batch_count_pairs, batch_count_pairs_on, batch_op_pairs, batch_op_pairs_on,
 };
+pub use container::{ContainerKind, ContainerStats, ContainerTier};
 pub use dynamic::{dynamic_intersect_count, dynamic_set_op, DynamicSet};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
-    auto_count, auto_count_planned, auto_count_with, compress_params, execute_plan_count,
-    gallop_count, hash_probe_count, intersect, intersect_count, intersect_count_breakdown,
-    intersect_count_breakdown_compressed, intersect_count_breakdown_pruned,
-    intersect_count_compressed_with, intersect_count_interleaved_with,
-    intersect_count_pipelined_with, intersect_count_planned, intersect_count_pruned_with,
-    intersect_count_with, pipeline_params, prune_params, set_compress_params, set_pipeline_params,
-    set_prune_params, Breakdown, CompressStats,
+    auto_count, auto_count_planned, auto_count_with, compress_params, container_params,
+    execute_plan_count, gallop_count, hash_probe_count, intersect, intersect_count,
+    intersect_count_breakdown, intersect_count_breakdown_compressed,
+    intersect_count_breakdown_pruned, intersect_count_compressed_with,
+    intersect_count_interleaved_with, intersect_count_pipelined_with, intersect_count_planned,
+    intersect_count_pruned_with, intersect_count_with, pipeline_params, prune_params,
+    set_compress_params, set_container_params, set_pipeline_params, set_prune_params, Breakdown,
+    CompressStats,
 };
 pub use kernels::visit::{CountVisitor, EmitVisitor, FnVisitor, SegmentVisitor, SetOp};
 pub use kernels::KernelTable;
@@ -85,11 +88,12 @@ pub use parallel::{
     par_intersect_count, par_intersect_count_on, par_intersect_count_with, par_set_op,
     par_set_op_on,
 };
-pub use params::{CompressParams, FesiaParams, PipelineParams, PruneParams};
+pub use params::{CompressParams, ContainerParams, FesiaParams, PipelineParams, PruneParams};
 pub use plan::{
     default_profile_path, gallop_max_len, plan_mode, profile_status, set_gallop_max_len,
-    set_plan_mode, should_compress_summaries, should_prune_summaries, IntersectPlan,
-    IntersectPlanner, KwayPlan, MachineProfile, PlanMode, SetSummary, PROFILE_VERSION,
+    set_plan_mode, should_compress_summaries, should_container_summaries, should_prune_summaries,
+    IntersectPlan, IntersectPlanner, KwayPlan, MachineProfile, PlanMode, SetSummary,
+    PROFILE_VERSION,
 };
 pub use serialize::{deserialize_many, deserialize_many_mapped, serialize_many, DecodeError};
 pub use set::{PackedTier, SegmentedSet};

@@ -27,7 +27,7 @@
 //! Every plan decision is recorded in the `fesia-obs` `plan_*` counters.
 
 use crate::kernels::visit::SetOp;
-use crate::params::{self, CompressParams, PipelineParams, PruneParams};
+use crate::params::{self, CompressParams, ContainerParams, PipelineParams, PruneParams};
 use crate::set::SegmentedSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +114,12 @@ pub enum IntersectPlan {
         /// Phase-2 lookahead in survivor entries.
         prefetch_distance: usize,
     },
+    /// Operate directly on both sides' per-range container directories
+    /// ([`crate::ContainerTier`]): dense ranges run 64-bit word kernels
+    /// over exact value-domain bitmaps, so — unlike every hashed-bitmap
+    /// plan — this shape is sound for all four set operations without
+    /// degradation. Both operands must carry a directory.
+    Container,
     /// Probe the smaller set's elements against the larger set's bitmap.
     HashProbe,
     /// Sort both element lists and run a galloping merge (Lemire-style
@@ -130,6 +136,7 @@ impl IntersectPlan {
             IntersectPlan::Pipelined { .. } => "pipelined",
             IntersectPlan::Pruned { .. } => "pruned",
             IntersectPlan::Compressed { .. } => "compressed",
+            IntersectPlan::Container => "container",
             IntersectPlan::HashProbe => "hash",
             IntersectPlan::GallopFallback => "gallop",
         }
@@ -159,6 +166,11 @@ pub struct SetSummary {
     /// compressed-dispatch signal (both how much traffic compression
     /// saves and whether it is available at all).
     pub packed_width: Option<u32>,
+    /// Fraction of elements living in dense (word-bitmap or run) ranges
+    /// of the container directory, when the set carries one — the
+    /// container-dispatch signal (both whether the directory exists and
+    /// whether word kernels would do most of the work).
+    pub container_dense: Option<f64>,
 }
 
 impl SetSummary {
@@ -169,6 +181,7 @@ impl SetSummary {
             bitmap_bytes: s.bitmap_bytes().len(),
             summary_density: s.summary_density(),
             packed_width: s.packed_width(),
+            container_dense: s.container_stats().map(|c| c.dense_fraction()),
         }
     }
 
@@ -229,6 +242,28 @@ pub fn should_compress_summaries(a: &SetSummary, b: &SetSummary, p: &CompressPar
     saved_bytes * p.bandwidth_millicycles_per_byte > combined as u64 * p.decode_millicycles_per_elem
 }
 
+/// Whether the per-range container dispatch should run for a pair with
+/// these summaries under `p`. Requires both sides to carry a container
+/// directory (forcing cannot conjure one); beyond that, forced overrides
+/// short-circuit, and auto mode asks two questions: is the pair big
+/// enough that the directory walk amortizes, and does the *less* dense
+/// side still keep most of its elements in word-op-friendly ranges? The
+/// minimum (not the average) gates because a matched range pair runs word
+/// kernels only when the sparser side's container converts cheaply.
+pub fn should_container_summaries(a: &SetSummary, b: &SetSummary, p: &ContainerParams) -> bool {
+    let (da, db) = match (a.container_dense, b.container_dense) {
+        (Some(da), Some(db)) => (da, db),
+        _ => return false,
+    };
+    if let Some(forced) = p.forced {
+        return forced;
+    }
+    if a.len + b.len < p.min_elements {
+        return false;
+    }
+    da.min(db) * 100.0 >= p.min_dense_pct as f64
+}
+
 // ---------------------------------------------------------------------------
 // Machine profile (versioned, persisted by `fesia tune`)
 // ---------------------------------------------------------------------------
@@ -249,6 +284,8 @@ pub struct MachineProfile {
     pub prune: PruneParams,
     /// Calibrated compressed-tier dispatch knobs.
     pub compress: CompressParams,
+    /// Calibrated per-range container dispatch knobs.
+    pub container: ContainerParams,
     /// Largest combined element count for which auto mode picks the
     /// galloping fallback; 0 disables it (the default — on every machine
     /// measured so far the segmented merge wins even on tiny pairs).
@@ -262,6 +299,7 @@ impl Default for MachineProfile {
             pipeline: PipelineParams::default(),
             prune: PruneParams::default(),
             compress: CompressParams::default(),
+            container: ContainerParams::default(),
             gallop_max_len: 0,
         }
     }
@@ -281,7 +319,9 @@ impl MachineProfile {
              \"prune_forced\": \"{}\",\n  \"prune_min_bitmap_bytes\": {},\n  \
              \"prune_max_survivor_pct\": {},\n  \"compress_forced\": \"{}\",\n  \
              \"compress_min_elements\": {},\n  \"compress_decode_mc\": {},\n  \
-             \"compress_bw_mc\": {},\n  \"gallop_max_len\": {}\n}}\n",
+             \"compress_bw_mc\": {},\n  \"container_forced\": \"{}\",\n  \
+             \"container_min_elements\": {},\n  \"container_dense_pct\": {},\n  \
+             \"gallop_max_len\": {}\n}}\n",
             self.version,
             self.pipeline.enabled,
             self.pipeline.prefetch_distance,
@@ -293,6 +333,9 @@ impl MachineProfile {
             self.compress.min_elements,
             self.compress.decode_millicycles_per_elem,
             self.compress.bandwidth_millicycles_per_byte,
+            tri(self.container.forced),
+            self.container.min_elements,
+            self.container.min_dense_pct,
             self.gallop_max_len,
         )
     }
@@ -376,6 +419,25 @@ impl MachineProfile {
                     p.compress.bandwidth_millicycles_per_byte = value
                         .parse()
                         .map_err(|_| format!("bad compress_bw_mc `{value}`"))?;
+                }
+                "container_forced" => {
+                    p.container.forced = match value.as_str() {
+                        "auto" => None,
+                        "on" => Some(true),
+                        "off" => Some(false),
+                        other => return Err(format!("bad container_forced `{other}`")),
+                    };
+                }
+                "container_min_elements" => {
+                    p.container.min_elements = value
+                        .parse()
+                        .map_err(|_| format!("bad container_min_elements `{value}`"))?;
+                }
+                "container_dense_pct" => {
+                    let pct: u32 = value
+                        .parse()
+                        .map_err(|_| format!("bad container_dense_pct `{value}`"))?;
+                    p.container.min_dense_pct = pct.min(100);
                 }
                 "gallop_max_len" => {
                     p.gallop_max_len = value
@@ -488,6 +550,7 @@ pub(crate) fn ensure_init() {
         let mut pipeline = PipelineParams::default();
         let mut prune = PruneParams::default();
         let mut compress = CompressParams::default();
+        let mut container = ContainerParams::default();
         let status = match default_profile_path() {
             None => "none (no FESIA_PROFILE and no HOME)".to_string(),
             Some(path) if !path.exists() => format!("none ({} not found)", path.display()),
@@ -496,6 +559,7 @@ pub(crate) fn ensure_init() {
                     pipeline = profile.pipeline;
                     prune = profile.prune;
                     compress = profile.compress;
+                    container = profile.container;
                     GALLOP_MAX_LEN.store(profile.gallop_max_len, Ordering::Relaxed);
                     fesia_obs::metrics().plan_profile_loads.inc();
                     format!("loaded v{} ({})", profile.version, path.display())
@@ -511,6 +575,7 @@ pub(crate) fn ensure_init() {
         crate::intersect::store_pipeline(pipeline.with_env_overrides());
         crate::intersect::store_prune(prune.with_env_overrides());
         crate::intersect::store_compress(compress.with_env_overrides());
+        crate::intersect::store_container(container.with_env_overrides());
         if let Some(v) = params::env::raw("FESIA_PLAN") {
             match PlanMode::parse(&v) {
                 Some(m) => PLAN_MODE.store(mode_encode(m), Ordering::Relaxed),
@@ -584,6 +649,8 @@ pub struct IntersectPlanner {
     pub prune: PruneParams,
     /// Compressed-tier dispatch knobs in effect.
     pub compress: CompressParams,
+    /// Per-range container dispatch knobs in effect.
+    pub container: ContainerParams,
     /// Gallop admission ceiling (combined elements; 0 = never in auto).
     pub gallop_max_len: usize,
 }
@@ -598,6 +665,7 @@ impl IntersectPlanner {
             pipeline: crate::intersect::pipeline_params(),
             prune: crate::intersect::prune_params(),
             compress: crate::intersect::compress_params(),
+            container: crate::intersect::container_params(),
             gallop_max_len: gallop_max_len(),
         }
     }
@@ -621,7 +689,13 @@ impl IntersectPlanner {
             }
             PlanMode::Auto | PlanMode::HashProbe | PlanMode::Gallop => {}
         }
-        if should_compress_summaries(a, b, &self.compress) {
+        if should_container_summaries(a, b, &self.container) {
+            // Containers outrank every hashed-bitmap shape: when most
+            // elements sit in dense value-domain ranges, word kernels
+            // replace both the step-1 scan and the per-segment compares,
+            // and (unlike compression/pruning) stay exact for all ops.
+            IntersectPlan::Container
+        } else if should_compress_summaries(a, b, &self.compress) {
             // Compression outranks pruning: both target the same
             // out-of-cache regime, but the decode path keeps step 1's
             // survivor collection (so pruning's win is mostly subsumed)
@@ -702,7 +776,9 @@ impl IntersectPlanner {
     /// Merge-family plan adjusted for the op's step-1 scan: pruning and
     /// compression are sound only under the AND combiner, so for the
     /// Or-scan ops those plans fall back to the pipelined sweep (which
-    /// buffers exactly the segments the Or-scan visits).
+    /// buffers exactly the segments the Or-scan visits). The container
+    /// plan is exempt — its word bitmaps are exact value-domain bitmaps,
+    /// not hashed filters, so it survives for every op.
     fn merge_for_op(&self, a: &SetSummary, b: &SetSummary, op: SetOp) -> IntersectPlan {
         let plan = self.plan_merge(a, b);
         if op == SetOp::Intersect {
@@ -737,6 +813,14 @@ mod tests {
             bitmap_bytes,
             summary_density: density,
             packed_width: None,
+            container_dense: None,
+        }
+    }
+
+    fn container_summary(len: usize, bitmap_bytes: usize, dense: f64) -> SetSummary {
+        SetSummary {
+            container_dense: Some(dense),
+            ..summary(len, bitmap_bytes, 1.0)
         }
     }
 
@@ -753,6 +837,7 @@ mod tests {
             pipeline: PipelineParams::default(),
             prune: PruneParams::default(),
             compress: CompressParams::default(),
+            container: ContainerParams::default(),
             gallop_max_len: 0,
         }
     }
@@ -859,6 +944,59 @@ mod tests {
     }
 
     #[test]
+    fn container_plan_follows_density_and_availability() {
+        let p = auto_planner();
+        // A big dense-ranged pair -> container, outranking every other
+        // shape (this pair would otherwise be pruned).
+        let dense = container_summary(1 << 20, 1 << 22, 0.9);
+        assert_eq!(p.plan_pair(&dense, &dense), IntersectPlan::Container);
+        // No directory on one side -> never container.
+        let raw = summary(1 << 20, 1 << 22, 0.3);
+        assert!(matches!(
+            p.plan_pair(&dense, &raw),
+            IntersectPlan::Pruned { .. }
+        ));
+        // A sparse directory (arrays everywhere) stays on the merge.
+        let sparse = container_summary(1 << 20, 1 << 22, 0.1);
+        assert_ne!(p.plan_pair(&sparse, &sparse), IntersectPlan::Container);
+        // The *less* dense side gates: one dense side cannot carry a pair
+        // whose other side is mostly arrays.
+        assert_ne!(p.plan_pair(&dense, &sparse), IntersectPlan::Container);
+        // Below the size floor the segmented merge wins.
+        let small = container_summary(1 << 13, 1 << 14, 0.9);
+        assert_ne!(p.plan_pair(&small, &small), IntersectPlan::Container);
+        // Forcing overrides the model both ways — but cannot conjure a
+        // missing directory.
+        let mut forced_on = p;
+        forced_on.container.forced = Some(true);
+        assert_eq!(
+            forced_on.plan_merge(&sparse, &sparse),
+            IntersectPlan::Container
+        );
+        assert_ne!(forced_on.plan_merge(&dense, &raw), IntersectPlan::Container);
+        let mut forced_off = p;
+        forced_off.container.forced = Some(false);
+        assert_ne!(
+            forced_off.plan_pair(&dense, &dense),
+            IntersectPlan::Container
+        );
+        // Container survives materializing plans for every op (exact
+        // value-domain bitmaps, unlike the hashed step-1 shapes).
+        for op in [
+            SetOp::Intersect,
+            SetOp::Union,
+            SetOp::Difference,
+            SetOp::Xor,
+        ] {
+            assert_eq!(
+                p.plan_materialize(&dense, &dense, op),
+                IntersectPlan::Container,
+                "{op:?}"
+            );
+        }
+    }
+
+    #[test]
     fn forced_modes_override_everything() {
         let mut p = auto_planner();
         let a = summary(100, 64, 1.0);
@@ -960,6 +1098,10 @@ mod tests {
                 .with_min_elements(777)
                 .with_decode_millicycles(1234)
                 .with_bandwidth_millicycles(567),
+            container: ContainerParams::default()
+                .with_forced(Some(true))
+                .with_min_elements(2048)
+                .with_min_dense_pct(55),
             gallop_max_len: 99,
             ..MachineProfile::default()
         };
@@ -995,6 +1137,7 @@ mod tests {
             pipeline: PipelineParams::default().with_prefetch_distance(32),
             prune: PruneParams::default().with_min_bitmap_bytes(777),
             compress: CompressParams::default().with_min_elements(31),
+            container: ContainerParams::default().with_min_dense_pct(61),
             gallop_max_len: 12,
         };
         profile.save(&path).unwrap();
@@ -1011,6 +1154,10 @@ mod tests {
         assert_eq!(sum.bitmap_bytes, s.bitmap_bytes().len());
         assert!((sum.summary_density - s.summary_density()).abs() < 1e-12);
         assert_eq!(sum.packed_width, s.packed_width());
+        assert_eq!(
+            sum.container_dense,
+            s.container_stats().map(|c| c.dense_fraction())
+        );
         let empty = SetSummary::of(&SegmentedSet::build(&[], &FesiaParams::auto()).unwrap());
         assert_eq!(empty.skew(&sum), 0.0 / 1.0);
         assert_eq!(empty.skew(&empty), 1.0);

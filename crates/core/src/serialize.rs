@@ -2,43 +2,57 @@
 //!
 //! The segmented bitmap is an *offline*-built structure (the paper reports
 //! 77.7 s to encode WebDocs); a database or search engine builds it once
-//! and memory-maps or loads it at query time. Version 3 is designed for
-//! exactly that: every array a set needs at query time sits at a
-//! 64-byte-aligned offset, so a corpus file can be `mmap`'d and decoded
-//! with **zero per-set heap allocation** ([`SegmentedSet::deserialize_mapped`]).
+//! and memory-maps or loads it at query time. Versions 3 and 4 are
+//! designed for exactly that: every array a set needs at query time sits
+//! at a 64-byte-aligned offset, so a corpus file can be `mmap`'d and
+//! decoded with **zero per-set heap allocation**
+//! ([`SegmentedSet::deserialize_mapped`]).
 //!
 //! ```text
-//! v3 set block (all integers little-endian, offsets relative to set start)
+//! v4 set block (all integers little-endian, offsets relative to set start)
 //!
 //!   0   magic        b"FSIA"                          4 bytes
-//!   4   version      u8  (3)
+//!   4   version      u8  (4)
 //!   5   lane         u8  (8 or 16)
 //!   6   log2_m       u8
-//!   7   flags        u8  (bit0 = has packed tier, bit1 = wide seg meta)
+//!   7   flags        u8  (bit0 = has packed tier, bit1 = wide seg meta,
+//!                         bit2 = has container tier)
 //!   8   n            u64
 //!  16   summary_ones u64
 //!  24   total_len    u64 (whole block, multiple of 64)
-//!  32   section table: 5 x { offset u64, len u64 }
+//!  32   section table: 9 x { offset u64, len u64 }
 //!         [0] BITMAP    m/8 bytes
 //!         [1] SUMMARY   one u64 word per 64 bitmap blocks
 //!         [2] SEGMETA   packed (offset,size) entries, 4 or 8 bytes each
 //!         [3] ELEMENTS  (n + PAD_LEN) x u32, sentinel tail included
 //!         [4] PACKED    bitpacked residual stream (len 0 when absent)
-//! 112   zero pad to 128
-//! 128   sections, each 64-byte-aligned, zero padding between
+//!         [5] CDIR      container directory, 2 u64 words per range
+//!         [6] CVALUES   array-container payloads, sorted u16 values
+//!         [7] CWORDS    bitmap-container payloads, 1024 u64 words each
+//!         [8] CRUNS     run-container payloads, one u32 per run
+//! 176   zero pad to 192
+//! 192   sections, each 64-byte-aligned, zero padding between
 //! ```
 //!
-//! Versions 1 and 2 (the flat `header | bitmap | summary | sizes |
-//! elements` layout written by [`SegmentedSet::serialize_v2`]) still
-//! decode on the owned path; the compressed tier is rebuilt from the
-//! decoded elements in every case, so legacy corpora gain it for free.
-//! The mapped path is v3-only and little-endian-only: it reinterprets
-//! file bytes in place and trusts section *content* (bitmap bits, element
-//! values, packed words) after structural checks — corruption there can
-//! only yield wrong intersection counts, never out-of-bounds access.
+//! Version 3 is the same layout with a 5-entry table (no container
+//! sections) and a 128-byte header; [`SegmentedSet::serialize_v3`] still
+//! writes it for migration corpora, and both the owned and the mapped
+//! decoder accept it. Versions 1 and 2 (the flat `header | bitmap |
+//! summary | sizes | elements` layout written by
+//! [`SegmentedSet::serialize_v2`]) still decode on the owned path. The
+//! compressed and container tiers are rebuilt from the decoded elements
+//! on every owned decode, so legacy corpora gain them for free. The
+//! mapped path is v3/v4- and little-endian-only: it reinterprets file
+//! bytes in place and trusts section *content* (bitmap bits, element
+//! values, packed words) after structural checks — the container sections
+//! are the exception, fully validated by
+//! [`crate::container`]'s tier check so a hostile directory can never
+//! index a payload out of bounds — corruption elsewhere can only yield
+//! wrong intersection counts, never out-of-bounds access.
 
 use std::sync::Arc;
 
+use crate::container::{self, ContainerTier};
 use crate::error::BuildError;
 use crate::mmap::{MappedFile, Section};
 use crate::params::FesiaParams;
@@ -50,15 +64,19 @@ use fesia_simd::util::log2_pow2;
 /// Format magic.
 const MAGIC: [u8; 4] = *b"FSIA";
 /// Current format version.
-const VERSION: u8 = 3;
+const VERSION: u8 = 4;
+/// Previous sectioned layout (5-entry table, no container sections).
+const VERSION_V3: u8 = 3;
 /// Last version of the legacy flat layout.
 const VERSION_V2: u8 = 2;
 
-/// Header (32) + section table (80) + pad (16); also the first section's
-/// offset, so the fixed part fills exactly two cache lines.
+/// v3 fixed part: header (32) + section table (80) + pad (16); also the
+/// first section's offset, so it fills exactly two cache lines.
 const V3_HEADER_LEN: usize = 128;
-/// Prologue of a v3 [`serialize_many`] buffer: count u64 + zero pad, so
-/// the first set block starts 64-byte-aligned.
+/// v4 fixed part: header (32) + section table (144) + pad (16).
+const V4_HEADER_LEN: usize = 192;
+/// Prologue of a sectioned [`serialize_many`] buffer: count u64 + zero
+/// pad, so the first set block starts 64-byte-aligned.
 const MANY_PROLOGUE: usize = 64;
 
 /// Set carries a packed residual tier (section 4 non-empty).
@@ -66,13 +84,22 @@ const FLAG_PACKED: u8 = 1;
 /// Segment metadata entries are 8-byte (`offset << 32 | size`) rather
 /// than the compact 4-byte (`offset << 8 | size`) form.
 const FLAG_WIDE_META: u8 = 2;
+/// Set carries a container tier (sections 5–8, v4 only).
+const FLAG_CONTAINER: u8 = 4;
 
 const SEC_BITMAP: usize = 0;
 const SEC_SUMMARY: usize = 1;
 const SEC_SEGMETA: usize = 2;
 const SEC_ELEMENTS: usize = 3;
 const SEC_PACKED: usize = 4;
-const SEC_COUNT: usize = 5;
+/// Number of sections in a v3 table.
+const SEC_COUNT_V3: usize = 5;
+const SEC_CDIR: usize = 5;
+const SEC_CVALUES: usize = 6;
+const SEC_CWORDS: usize = 7;
+const SEC_CRUNS: usize = 8;
+/// Number of sections in a v4 table.
+const SEC_COUNT: usize = 9;
 
 /// Why a byte buffer could not be decoded into a [`SegmentedSet`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,8 +134,22 @@ fn align64(x: u64) -> u64 {
     (x + 63) & !63
 }
 
-/// Byte length of each section for `set`, indexed by `SEC_*`.
-fn v3_section_lens(set: &SegmentedSet) -> [u64; SEC_COUNT] {
+/// Byte length of each section for `set`, indexed by `SEC_*`. The
+/// container lens are zero when the set carries no tier or when writing
+/// the v3 layout (which has no container sections).
+fn section_lens(set: &SegmentedSet, v4: bool) -> [u64; SEC_COUNT] {
+    let (dlen, vlen, wlen, rlen) = match set.container() {
+        Some(c) if v4 => {
+            let (dir, values, words, runs) = c.sections();
+            (
+                dir.len() as u64 * 8,
+                values.len() as u64 * 2,
+                words.len() as u64 * 8,
+                runs.len() as u64 * 4,
+            )
+        }
+        _ => (0, 0, 0, 0),
+    };
     [
         set.bitmap_bytes().len() as u64,
         (set.summary_words().len() * 8) as u64,
@@ -118,15 +159,21 @@ fn v3_section_lens(set: &SegmentedSet) -> [u64; SEC_COUNT] {
         },
         ((set.len() + PAD_LEN) * 4) as u64,
         set.packed().map_or(0, |p| p.stream_bytes() as u64),
+        dlen,
+        vlen,
+        wlen,
+        rlen,
     ]
 }
 
 /// Place the sections: each 64-byte-aligned, in table order, starting at
-/// [`V3_HEADER_LEN`]. Returns the offsets and the (64-aligned) total.
-fn v3_layout(lens: &[u64; SEC_COUNT]) -> ([u64; SEC_COUNT], u64) {
+/// the version's header length. Returns the offsets and the (64-aligned)
+/// total. v3 places (and writes) only the first [`SEC_COUNT_V3`] slots.
+fn block_layout(lens: &[u64; SEC_COUNT], v4: bool) -> ([u64; SEC_COUNT], u64) {
     let mut offsets = [0u64; SEC_COUNT];
-    let mut off = V3_HEADER_LEN as u64;
-    for (slot, &len) in offsets.iter_mut().zip(lens) {
+    let count = if v4 { SEC_COUNT } else { SEC_COUNT_V3 };
+    let mut off = if v4 { V4_HEADER_LEN } else { V3_HEADER_LEN } as u64;
+    for (slot, &len) in offsets.iter_mut().zip(lens).take(count) {
         *slot = off;
         off = align64(off + len);
     }
@@ -134,14 +181,34 @@ fn v3_layout(lens: &[u64; SEC_COUNT]) -> ([u64; SEC_COUNT], u64) {
 }
 
 impl SegmentedSet {
-    /// Append the v3 binary encoding of this set to `out`.
+    /// Append the binary encoding of this set (current version) to `out`.
     pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        self.serialize_versioned(out, true)
+    }
+
+    /// Append the previous (v3) sectioned encoding to `out` — kept for
+    /// producing corpora older readers accept; it simply has no container
+    /// sections, so the tier is rebuilt on owned decode and absent on
+    /// mapped decode.
+    pub fn serialize_v3_into(&self, out: &mut Vec<u8>) {
+        self.serialize_versioned(out, false)
+    }
+
+    /// The previous (v3) sectioned encoding as a fresh buffer.
+    pub fn serialize_v3(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_v3_into(&mut out);
+        out
+    }
+
+    fn serialize_versioned(&self, out: &mut Vec<u8>, v4: bool) {
         let start = out.len();
-        let lens = v3_section_lens(self);
-        let (offsets, total) = v3_layout(&lens);
+        let lens = section_lens(self, v4);
+        let (offsets, total) = block_layout(&lens, v4);
+        let count = if v4 { SEC_COUNT } else { SEC_COUNT_V3 };
         out.reserve(total as usize);
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(if v4 { VERSION } else { VERSION_V3 });
         out.push(self.lane().bits() as u8);
         out.push(self.log2_m() as u8);
         let mut flags = 0u8;
@@ -151,11 +218,14 @@ impl SegmentedSet {
         if matches!(self.seg_meta(), SegMeta::Wide(_)) {
             flags |= FLAG_WIDE_META;
         }
+        if v4 && self.container().is_some() {
+            flags |= FLAG_CONTAINER;
+        }
         out.push(flags);
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.summary_ones().to_le_bytes());
         out.extend_from_slice(&total.to_le_bytes());
-        for (off, len) in offsets.iter().zip(&lens) {
+        for (off, len) in offsets.iter().zip(&lens).take(count) {
             out.extend_from_slice(&off.to_le_bytes());
             out.extend_from_slice(&len.to_le_bytes());
         }
@@ -191,6 +261,27 @@ impl SegmentedSet {
                 out.extend_from_slice(&w.to_le_bytes());
             }
         }
+        if v4 {
+            if let Some(c) = self.container() {
+                let (dir, values, words, runs) = c.sections();
+                out.resize(start + offsets[SEC_CDIR] as usize, 0);
+                for &w in dir {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                out.resize(start + offsets[SEC_CVALUES] as usize, 0);
+                for &v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.resize(start + offsets[SEC_CWORDS] as usize, 0);
+                for &w in words {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                out.resize(start + offsets[SEC_CRUNS] as usize, 0);
+                for &r in runs {
+                    out.extend_from_slice(&r.to_le_bytes());
+                }
+            }
+        }
         out.resize(start + total as usize, 0);
     }
 
@@ -213,7 +304,7 @@ impl SegmentedSet {
     /// Exact length of [`SegmentedSet::serialize`]'s output (a multiple
     /// of 64).
     pub fn serialized_len(&self) -> usize {
-        v3_layout(&v3_section_lens(self)).1 as usize
+        block_layout(&section_lens(self, true), true).1 as usize
     }
 
     /// Append the legacy version-2 flat encoding to `out` — kept for
@@ -255,12 +346,12 @@ impl SegmentedSet {
         }
         match bytes[4] {
             v @ 1..=VERSION_V2 => deserialize_legacy(bytes, v),
-            VERSION => deserialize_v3(bytes),
+            VERSION_V3 | VERSION => deserialize_sectioned(bytes),
             v => Err(DecodeError::BadVersion(v)),
         }
     }
 
-    /// Decode the v3 set block at byte offset `at` of a mapped corpus,
+    /// Decode the v3/v4 set block at byte offset `at` of a mapped corpus,
     /// *without copying or allocating*: every array of the returned set is
     /// a [`Section`] view into the mapping, kept alive by the `Arc`.
     ///
@@ -268,8 +359,13 @@ impl SegmentedSet {
     /// sentinel tail, summary popcount) is fully checked in
     /// `O(#segments)`; section **content** is trusted, so a corrupted
     /// bitmap or element array yields wrong intersection results but
-    /// never unsafety. Only version-3, little-endian buffers qualify —
-    /// anything else must go through the owned [`SegmentedSet::deserialize`].
+    /// never unsafety. The v4 container sections are the exception: a
+    /// hostile directory could otherwise index payloads out of bounds, so
+    /// they pass the full [`crate::container`] tier validation (one
+    /// allocation-free pass) before being viewed. Only version-3/4,
+    /// little-endian buffers qualify — anything else must go through the
+    /// owned [`SegmentedSet::deserialize`]. v3 blocks carry no container
+    /// sections, so mapped v3 sets simply have no container tier.
     pub fn deserialize_mapped(
         file: &Arc<MappedFile>,
         at: usize,
@@ -289,10 +385,10 @@ impl SegmentedSet {
         if bytes[0..4] != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        if bytes[4] != VERSION {
+        if bytes[4] != VERSION_V3 && bytes[4] != VERSION {
             return Err(DecodeError::BadVersion(bytes[4]));
         }
-        let h = parse_v3_header(bytes)?;
+        let h = parse_header(bytes)?;
         // Every section offset is a multiple of 64, so one base check
         // aligns every typed view (u64 needs 8, u32 needs 4).
         if !(bytes.as_ptr() as usize).is_multiple_of(8) {
@@ -374,6 +470,39 @@ impl SegmentedSet {
         } else {
             None
         };
+        let container = if h.flags & FLAG_CONTAINER != 0 {
+            let (doff, dlen) = h.sections[SEC_CDIR];
+            let (voff, vlen) = h.sections[SEC_CVALUES];
+            let (woff, wlen) = h.sections[SEC_CWORDS];
+            let (roff, rlen) = h.sections[SEC_CRUNS];
+            // SAFETY: bounds and alignment established above.
+            let dir: &[u64] = unsafe { sec_slice(bytes, doff, dlen) };
+            let values: &[u16] = unsafe { sec_slice(bytes, voff, vlen) };
+            let words: &[u64] = unsafe { sec_slice(bytes, woff, wlen) };
+            let runs: &[u32] = unsafe { sec_slice(bytes, roff, rlen) };
+            // The directory's offsets index the payload sections, so a
+            // hostile one must fail here, not at query time.
+            if container::validate_tier(dir, values, words, runs, h.n).is_none() {
+                return Err(DecodeError::Corrupt);
+            }
+            // SAFETY: as for the other sections.
+            Some(ContainerTier::from_parts(
+                unsafe {
+                    Section::from_mapped(base.add(doff) as *const u64, dlen / 8, Arc::clone(file))
+                },
+                unsafe {
+                    Section::from_mapped(base.add(voff) as *const u16, vlen / 2, Arc::clone(file))
+                },
+                unsafe {
+                    Section::from_mapped(base.add(woff) as *const u64, wlen / 8, Arc::clone(file))
+                },
+                unsafe {
+                    Section::from_mapped(base.add(roff) as *const u32, rlen / 4, Arc::clone(file))
+                },
+            ))
+        } else {
+            None
+        };
         let set = SegmentedSet::from_sections(
             bitmap,
             summary,
@@ -381,6 +510,7 @@ impl SegmentedSet {
             seg_meta,
             reordered,
             packed,
+            container,
             h.n,
             h.log2_m,
             h.lane,
@@ -389,8 +519,8 @@ impl SegmentedSet {
     }
 }
 
-/// Fully parsed and structurally checked v3 fixed header.
-struct V3Header {
+/// Fully parsed and structurally checked v3/v4 fixed header.
+struct Header {
     lane: LaneWidth,
     log2_m: u32,
     flags: u8,
@@ -398,19 +528,25 @@ struct V3Header {
     summary_ones: u64,
     total_len: usize,
     /// `(offset, len)` in bytes relative to the set start, by `SEC_*`.
+    /// The container slots are `(0, 0)` for v3 blocks.
     sections: [(usize, usize); SEC_COUNT],
 }
 
-/// Parse and check the v3 header and section table of the block starting
-/// at `bytes[0]` (magic and version already verified by the caller).
-/// Every section length must equal the exact value the header fields
-/// imply, be 64-byte-aligned, and fit inside `total_len` — so nothing
+/// Parse and check the v3/v4 header and section table of the block
+/// starting at `bytes[0]` (magic and version already verified by the
+/// caller). Every non-container section length must equal the exact value
+/// the header fields imply; the container sections' lengths are
+/// data-dependent, so they are checked for element-size multiples and
+/// bounds here and for exact consumption by the tier validation. Every
+/// offset must be 64-byte-aligned and fit inside `total_len` — so nothing
 /// downstream needs bounds arithmetic.
-fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, DecodeError> {
-    if bytes.len() < V3_HEADER_LEN {
+fn parse_header(bytes: &[u8]) -> Result<Header, DecodeError> {
+    debug_assert!(bytes[0..4] == MAGIC && (bytes[4] == VERSION_V3 || bytes[4] == VERSION));
+    let v4 = bytes[4] == VERSION;
+    let header_len = if v4 { V4_HEADER_LEN } else { V3_HEADER_LEN };
+    if bytes.len() < header_len {
         return Err(DecodeError::Truncated);
     }
-    debug_assert!(bytes[0..4] == MAGIC && bytes[4] == VERSION);
     let lane = match bytes[5] {
         8 => LaneWidth::U8,
         16 => LaneWidth::U16,
@@ -422,14 +558,19 @@ fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, DecodeError> {
         return Err(DecodeError::BadHeader);
     }
     let flags = bytes[7];
-    if flags & !(FLAG_PACKED | FLAG_WIDE_META) != 0 {
+    let known = if v4 {
+        FLAG_PACKED | FLAG_WIDE_META | FLAG_CONTAINER
+    } else {
+        FLAG_PACKED | FLAG_WIDE_META
+    };
+    if flags & !known != 0 {
         return Err(DecodeError::BadHeader);
     }
     let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("checked"));
     let n = usize::try_from(u64_at(8)).map_err(|_| DecodeError::Corrupt)?;
     let summary_ones = u64_at(16);
     let total_len = usize::try_from(u64_at(24)).map_err(|_| DecodeError::Corrupt)?;
-    if total_len % 64 != 0 || total_len < V3_HEADER_LEN {
+    if total_len % 64 != 0 || total_len < header_len {
         return Err(DecodeError::Corrupt);
     }
     if bytes.len() < total_len {
@@ -449,23 +590,24 @@ fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, DecodeError> {
     } else {
         0
     };
-    let expected: [u128; SEC_COUNT] = [
+    let expected: [u128; SEC_COUNT_V3] = [
         m_bytes as u128,
         (summary_len(m_bytes) * 8) as u128,
         segs as u128 * meta_entry,
         (n as u128 + PAD_LEN as u128) * 4,
         packed_len,
     ];
+    let sec_count = if v4 { SEC_COUNT } else { SEC_COUNT_V3 };
     let mut sections = [(0usize, 0usize); SEC_COUNT];
-    for (i, slot) in sections.iter_mut().enumerate() {
+    for (i, slot) in sections.iter_mut().enumerate().take(sec_count) {
         let off64 = u64_at(32 + i * 16);
         let len64 = u64_at(32 + i * 16 + 8);
-        if u128::from(len64) != expected[i] {
+        if i < SEC_COUNT_V3 && u128::from(len64) != expected[i] {
             return Err(DecodeError::Corrupt);
         }
         let off = usize::try_from(off64).map_err(|_| DecodeError::Corrupt)?;
         let len = usize::try_from(len64).map_err(|_| DecodeError::Corrupt)?;
-        if off % 64 != 0 || off < V3_HEADER_LEN {
+        if off % 64 != 0 || off < header_len {
             return Err(DecodeError::Corrupt);
         }
         match off.checked_add(len) {
@@ -474,7 +616,32 @@ fn parse_v3_header(bytes: &[u8]) -> Result<V3Header, DecodeError> {
         }
         *slot = (off, len);
     }
-    Ok(V3Header {
+    if v4 {
+        let (dlen, vlen, wlen, rlen) = (
+            sections[SEC_CDIR].1,
+            sections[SEC_CVALUES].1,
+            sections[SEC_CWORDS].1,
+            sections[SEC_CRUNS].1,
+        );
+        if flags & FLAG_CONTAINER != 0 {
+            // The directory has two u64 words per range, at most one range
+            // per 65536-value window; payload sections must hold whole
+            // elements (bitmap payloads whole 8 KiB blocks). Exact
+            // consumption is the tier validation's job.
+            if dlen == 0
+                || !dlen.is_multiple_of(16)
+                || dlen / 16 > 1 << 16
+                || !vlen.is_multiple_of(2)
+                || !wlen.is_multiple_of(container::WORDS_PER_RANGE * 8)
+                || !rlen.is_multiple_of(4)
+            {
+                return Err(DecodeError::Corrupt);
+            }
+        } else if dlen | vlen | wlen | rlen != 0 {
+            return Err(DecodeError::Corrupt);
+        }
+    }
+    Ok(Header {
         lane,
         log2_m,
         flags,
@@ -497,12 +664,12 @@ unsafe fn sec_slice<T>(bytes: &[u8], off: usize, len_bytes: usize) -> &[T] {
     )
 }
 
-/// Owned decode of a v3 block: full validation via
-/// `SegmentedSet::from_decoded_parts` (which also rebuilds the packed
-/// tier from the decoded elements — stored packed bytes are never
-/// trusted).
-fn deserialize_v3(bytes: &[u8]) -> Result<(SegmentedSet, usize), DecodeError> {
-    let h = parse_v3_header(bytes)?;
+/// Owned decode of a v3/v4 block: full validation via
+/// `SegmentedSet::from_decoded_parts` (which also rebuilds the packed and
+/// container tiers from the decoded elements — stored tier bytes are
+/// never trusted on this path).
+fn deserialize_sectioned(bytes: &[u8]) -> Result<(SegmentedSet, usize), DecodeError> {
+    let h = parse_header(bytes)?;
     let (boff, blen) = h.sections[SEC_BITMAP];
     let bitmap = bytes[boff..boff + blen].to_vec();
     let (soff, slen) = h.sections[SEC_SUMMARY];
@@ -672,8 +839,8 @@ pub fn deserialize_many(bytes: &[u8]) -> Result<Vec<SegmentedSet>, DecodeError> 
 
 /// Decode a mapped corpus produced by [`serialize_many`] with **zero
 /// per-set allocation**: each returned set's arrays view the mapping
-/// directly (see [`SegmentedSet::deserialize_mapped`]). Only the v3
-/// framing qualifies; legacy buffers return
+/// directly (see [`SegmentedSet::deserialize_mapped`]). Only the
+/// sectioned (v3/v4) framing qualifies; legacy buffers return
 /// [`DecodeError::BadVersion`] and must use the owned [`deserialize_many`].
 pub fn deserialize_many_mapped(file: &Arc<MappedFile>) -> Result<Vec<SegmentedSet>, DecodeError> {
     let bytes = file.bytes();
@@ -690,7 +857,8 @@ pub fn deserialize_many_mapped(file: &Arc<MappedFile>) -> Result<Vec<SegmentedSe
     if bytes.len() < MANY_PROLOGUE {
         return Err(DecodeError::Truncated);
     }
-    // Untrusted count: every v3 set block is at least a header long.
+    // Untrusted count: every sectioned set block is at least a (v3)
+    // header long.
     if count > ((bytes.len() - MANY_PROLOGUE) / V3_HEADER_LEN) as u64 {
         return Err(DecodeError::Truncated);
     }
@@ -747,6 +915,10 @@ mod tests {
         if let (Some(a), Some(b)) = (back.packed(), set.packed()) {
             assert_eq!(a.words(), b.words());
         }
+        if let (Some(a), Some(b)) = (back.container(), set.container()) {
+            assert_eq!(a.sections().0, b.sections().0, "container directory");
+            assert_eq!(a.stats(), b.stats());
+        }
         // Behavioral equality: intersects identically.
         assert_eq!(intersect_count(set, back), set.len());
     }
@@ -757,7 +929,7 @@ mod tests {
             let set = sample_set(n, 42 + n as u64);
             let bytes = set.serialize();
             assert_eq!(bytes.len(), set.serialized_len());
-            assert_eq!(bytes.len() % 64, 0, "v3 blocks are 64-byte multiples");
+            assert_eq!(bytes.len() % 64, 0, "v4 blocks are 64-byte multiples");
             let (back, used) = SegmentedSet::deserialize(&bytes).unwrap();
             assert_eq!(used, bytes.len());
             assert!(back.validate());
@@ -776,6 +948,105 @@ mod tests {
             assert_eq!(used, bytes.len());
             assert!(back.validate());
             assert_same_set(&back, &set);
+        }
+    }
+
+    #[test]
+    fn v3_buffers_decode_on_both_paths() {
+        // The previous sectioned layout must keep decoding: owned decode
+        // rebuilds the container tier, mapped decode simply carries none.
+        let set = sample_set(5_000, 55);
+        assert!(set.container().is_some(), "sample is big enough for a tier");
+        let v3 = set.serialize_v3();
+        assert_eq!(v3[4], VERSION_V3);
+        let (back, used) = SegmentedSet::deserialize(&v3).unwrap();
+        assert_eq!(used, v3.len());
+        assert!(back.validate());
+        assert_same_set(&back, &set);
+        assert!(back.container().is_some(), "owned decode rebuilds the tier");
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.resize(MANY_PROLOGUE, 0);
+        set.serialize_v3_into(&mut buf);
+        let f = Arc::new(MappedFile::from_bytes(buf));
+        let mapped = deserialize_many_mapped(&f).unwrap();
+        assert_eq!(mapped.len(), 1);
+        assert!(mapped[0].container().is_none(), "v3 blocks carry no tier");
+        assert!(mapped[0].validate());
+        assert_eq!(intersect_count(&mapped[0], &set), set.len());
+    }
+
+    #[test]
+    fn v4_round_trip_preserves_the_container_tier() {
+        let set = sample_set(20_000, 91);
+        let stats = set.container().expect("tier built").stats();
+        let bytes = set.serialize();
+        assert_eq!(bytes[4], VERSION);
+        assert_ne!(bytes[7] & FLAG_CONTAINER, 0);
+        let (back, _) = SegmentedSet::deserialize(&bytes).unwrap();
+        assert_eq!(back.container().unwrap().stats(), stats);
+
+        // Mapped: the tier views the file, owning zero heap bytes.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.resize(MANY_PROLOGUE, 0);
+        buf.extend_from_slice(&bytes);
+        let f = Arc::new(MappedFile::from_bytes(buf));
+        let mapped = deserialize_many_mapped(&f).unwrap();
+        let tier = mapped[0].container().expect("mapped tier");
+        assert_eq!(tier.stats(), stats);
+        assert_eq!(tier.heap_bytes(), 0, "mapped tier owns no heap");
+        assert!(mapped[0].validate());
+    }
+
+    #[test]
+    fn mapped_decode_rejects_hostile_container_sections() {
+        let set = sample_set(20_000, 93);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.resize(MANY_PROLOGUE, 0);
+        set.serialize_into(&mut buf);
+        let aligned = |b: &[u8]| (b.as_ptr() as usize).is_multiple_of(8);
+        let table_at = |i: usize| MANY_PROLOGUE + 32 + i * 16;
+
+        // A corrupted directory word (kind tag set to an unknown value)
+        // must fail the tier validation, not panic at query time.
+        let doff = u64::from_le_bytes(
+            buf[table_at(SEC_CDIR)..table_at(SEC_CDIR) + 8]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let mut bad = buf.clone();
+        bad[MANY_PROLOGUE + doff + 2] = 0x7F; // kind byte of entry 0
+        let f = Arc::new(MappedFile::from_bytes(bad));
+        if aligned(f.bytes()) {
+            assert_eq!(
+                deserialize_many_mapped(&f).unwrap_err(),
+                DecodeError::Corrupt
+            );
+        }
+
+        // A directory length that is not a whole number of entries.
+        let mut bad = buf.clone();
+        bad[table_at(SEC_CDIR) + 8] ^= 0x08;
+        let f = Arc::new(MappedFile::from_bytes(bad));
+        if aligned(f.bytes()) {
+            assert_eq!(
+                deserialize_many_mapped(&f).unwrap_err(),
+                DecodeError::Corrupt
+            );
+        }
+
+        // Container sections present without the flag.
+        let mut bad = buf.clone();
+        bad[MANY_PROLOGUE + 7] &= !FLAG_CONTAINER;
+        let f = Arc::new(MappedFile::from_bytes(bad));
+        if aligned(f.bytes()) {
+            assert_eq!(
+                deserialize_many_mapped(&f).unwrap_err(),
+                DecodeError::Corrupt
+            );
         }
     }
 
@@ -826,9 +1097,9 @@ mod tests {
     #[test]
     fn rejects_tampered_payload() {
         let set = sample_set(500, 7);
-        // v3: the bitmap section starts right after the fixed header.
+        // v4: the bitmap section starts right after the fixed header.
         let mut bytes = set.serialize();
-        bytes[V3_HEADER_LEN + 3] ^= 0xFF;
+        bytes[V4_HEADER_LEN + 3] ^= 0xFF;
         assert_eq!(
             SegmentedSet::deserialize(&bytes).unwrap_err(),
             DecodeError::Corrupt
@@ -897,12 +1168,12 @@ mod tests {
     }
 
     #[test]
-    fn v3_sections_are_aligned_and_exact() {
+    fn sections_are_aligned_and_exact() {
         let set = sample_set(2_000, 17);
         let bytes = set.serialize();
         let total = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
         assert_eq!(total as usize, bytes.len());
-        let mut prev_end = V3_HEADER_LEN as u64;
+        let mut prev_end = V4_HEADER_LEN as u64;
         for i in 0..SEC_COUNT {
             let off = u64::from_le_bytes(bytes[32 + i * 16..40 + i * 16].try_into().unwrap());
             let len = u64::from_le_bytes(bytes[40 + i * 16..48 + i * 16].try_into().unwrap());

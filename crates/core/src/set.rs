@@ -1,8 +1,9 @@
 //! The [`SegmentedSet`]: FESIA's offline-built, SIMD-ready set encoding.
 
+use crate::container::{ContainerStats, ContainerTier};
 use crate::error::{validate_input, BuildError, MAX_ELEMENT};
 use crate::hash;
-use crate::layout::{build_layout, pack_residuals};
+use crate::layout::{build_container_tier, build_layout, pack_residuals};
 use crate::mmap::Section;
 use crate::params::FesiaParams;
 use fesia_simd::bitpack;
@@ -144,6 +145,10 @@ pub struct SegmentedSet {
     /// The compressed tier, when the set qualifies for one (see
     /// [`PackedTier`]); the planner decides per pair whether to use it.
     packed: Option<PackedTier>,
+    /// The adaptive per-range container tier, when the set is large enough
+    /// to carry one (see [`crate::container`]); the planner decides per
+    /// pair whether to use it.
+    container: Option<ContainerTier>,
     n: usize,
     log2_m: u32,
     lane: LaneWidth,
@@ -174,6 +179,7 @@ impl SegmentedSet {
             words: words.into(),
             width,
         });
+        let container = build_container_tier(sorted);
 
         let mut reordered = layout.reordered;
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
@@ -208,6 +214,7 @@ impl SegmentedSet {
             seg_meta,
             reordered: reordered.into(),
             packed,
+            container,
             n: sorted.len(),
             log2_m,
             lane: params.segment,
@@ -268,6 +275,17 @@ impl SegmentedSet {
                 width,
             },
         );
+        // The container tier is likewise rebuilt, never trusted: its input
+        // is the value-sorted element list, which the segment-grouped
+        // `reordered` order does not provide, so sort a copy.
+        let container = {
+            let mut sorted = reordered.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] >= w[1]) {
+                return None; // duplicate elements across segments
+            }
+            build_container_tier(&sorted)
+        };
         reordered.extend(std::iter::repeat_n(PAD_SENTINEL, PAD_LEN));
         let compact_ok = n < (1 << 24) && sizes.iter().all(|&s| s < 256);
         let entries = seg_offsets[..sizes.len()].iter().zip(&sizes);
@@ -293,6 +311,7 @@ impl SegmentedSet {
             seg_meta,
             reordered: reordered.into(),
             packed,
+            container,
             n,
             log2_m,
             lane,
@@ -318,6 +337,7 @@ impl SegmentedSet {
         seg_meta: SegMeta,
         reordered: Section<u32>,
         packed: Option<PackedTier>,
+        container: Option<ContainerTier>,
         n: usize,
         log2_m: u32,
         lane: LaneWidth,
@@ -329,6 +349,7 @@ impl SegmentedSet {
             seg_meta,
             reordered,
             packed,
+            container,
             n,
             log2_m,
             lane,
@@ -487,6 +508,19 @@ impl SegmentedSet {
         self.packed.as_ref().map(|p| p.width)
     }
 
+    /// The adaptive per-range container tier, when this set carries one.
+    #[inline]
+    pub fn container(&self) -> Option<&ContainerTier> {
+        self.container.as_ref()
+    }
+
+    /// Per-kind range/cardinality stats of the container tier, if present
+    /// — the planner's container density signal.
+    #[inline]
+    pub fn container_stats(&self) -> Option<ContainerStats> {
+        self.container.as_ref().map(ContainerTier::stats)
+    }
+
     /// Membership test via the bitmap filter plus a segment scan — the
     /// per-element primitive behind the paper's skewed-input strategy
     /// (§VI, "Input with dramatically different sizes").
@@ -509,6 +543,10 @@ impl SegmentedSet {
             + self.seg_meta.heap_bytes()
             + self.reordered.len() * 4
             + self.packed.as_ref().map_or(0, PackedTier::stream_bytes)
+            + self
+                .container
+                .as_ref()
+                .map_or(0, ContainerTier::memory_bytes)
     }
 
     /// Check every structural invariant; `true` when consistent.
@@ -529,6 +567,7 @@ impl SegmentedSet {
                     .iter()
                     .map(|w| w.count_ones() as u64)
                     .sum::<u64>()
+            && self.container.as_ref().is_none_or(|c| c.validate(self.n))
             && sizes_sum as usize == self.n
             && self.reordered.len() == self.n + PAD_LEN
             && self.reordered[self.n..].iter().all(|&x| x == PAD_SENTINEL)

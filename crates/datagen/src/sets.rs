@@ -119,6 +119,107 @@ pub fn skewed_pair(
     pair_with_intersection(n1, n2, r.min(n1), rng)
 }
 
+/// `n` distinct sorted values packed into `clusters` dense windows inside
+/// `[lo, hi)`: the span is split into equal slots, one cluster per slot
+/// at a random offset, each holding `n / clusters` values drawn from a
+/// window sized so the cluster's local density is `fill`. With windows
+/// wider than a 65536-value range and `fill` near 1, most elements land
+/// in ranges dense enough for the adaptive container tier's word-bitmap
+/// representation.
+fn clustered_in(
+    n: usize,
+    lo: u32,
+    hi: u32,
+    clusters: usize,
+    fill: f64,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    assert!(clusters > 0 && (0.0..=1.0).contains(&fill) && fill > 0.0);
+    if n == 0 {
+        return Vec::new();
+    }
+    let slot = (hi - lo) as u64 / clusters as u64;
+    let mut out = Vec::with_capacity(n);
+    for c in 0..clusters {
+        // Spread the remainder over the leading clusters.
+        let per = n / clusters + usize::from(c < n % clusters);
+        let window = ((per as f64 / fill).ceil() as u64).max(per as u64);
+        assert!(window <= slot, "cluster window exceeds its slot");
+        let base = lo as u64 + c as u64 * slot + rng.below(slot - window + 1);
+        let vals = sorted_distinct(per, window as u32, rng);
+        out.extend(vals.iter().map(|&v| base as u32 + v));
+    }
+    out
+}
+
+/// A clustered pair sharing exactly `r` elements: a shared clustered
+/// block plus per-side private blocks, laid out in disjoint thirds of the
+/// domain so the intersection is exactly the shared block. This is the
+/// adaptive-container experiment's bitmap-range-heavy workload.
+///
+/// # Panics
+/// Panics if `r > n`.
+pub fn clustered_pair(
+    n: usize,
+    r: usize,
+    clusters: usize,
+    fill: f64,
+    rng: &mut SplitMix64,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!(r <= n, "intersection size exceeds the set size");
+    let third = MAX_VALUE / 3;
+    let shared = clustered_in(r, 0, third, clusters, fill, rng);
+    let pa = clustered_in(n - r, third, 2 * third, clusters, fill, rng);
+    let pb = clustered_in(n - r, 2 * third, 3 * third, clusters, fill, rng);
+    // Shared values all precede the private thirds, so concatenation is
+    // already sorted.
+    let a: Vec<u32> = shared.iter().chain(pa.iter()).copied().collect();
+    let b: Vec<u32> = shared.iter().chain(pb.iter()).copied().collect();
+    (a, b)
+}
+
+/// `n` distinct sorted values as maximal consecutive runs inside
+/// `[lo, hi)`: alternating random gaps (at least 1, so runs stay maximal)
+/// and runs of `avg_run / 2 ..= 3 * avg_run / 2` consecutive values —
+/// the container tier's run-list representation captures each in 4
+/// bytes.
+fn runs_in(n: usize, lo: u32, hi: u32, avg_run: usize, rng: &mut SplitMix64) -> Vec<u32> {
+    assert!(avg_run >= 2, "avg_run must be at least 2");
+    let mut out = Vec::with_capacity(n);
+    let mut cur = lo as u64;
+    while out.len() < n {
+        cur += 1 + rng.below(avg_run as u64 / 2 + 1);
+        let len = (avg_run / 2 + rng.below(avg_run as u64 + 1) as usize).clamp(1, n - out.len());
+        out.extend((0..len).map(|k| (cur + k as u64) as u32));
+        cur += len as u64;
+    }
+    assert!(cur <= hi as u64, "run-heavy span exceeds its window");
+    out
+}
+
+/// A run-heavy pair sharing exactly `r` elements: shared plus per-side
+/// private maximal-run blocks in disjoint thirds of the domain (the same
+/// layout as [`clustered_pair`]). This is the adaptive-container
+/// experiment's run-range-heavy workload.
+///
+/// # Panics
+/// Panics if `r > n`.
+pub fn run_heavy_pair(
+    n: usize,
+    r: usize,
+    avg_run: usize,
+    rng: &mut SplitMix64,
+) -> (Vec<u32>, Vec<u32>) {
+    assert!(r <= n, "intersection size exceeds the set size");
+    let third = MAX_VALUE / 3;
+    let shared = runs_in(r, 0, third, avg_run, rng);
+    let pa = runs_in(n - r, third, 2 * third, avg_run, rng);
+    let pb = runs_in(n - r, 2 * third, 3 * third, avg_run, rng);
+    let a: Vec<u32> = shared.iter().chain(pa.iter()).copied().collect();
+    let b: Vec<u32> = shared.iter().chain(pb.iter()).copied().collect();
+    (a, b)
+}
+
 /// Exact intersection size of two sorted runs (test/verification helper).
 pub fn reference_count(a: &[u32], b: &[u32]) -> usize {
     let (mut i, mut j, mut r) = (0, 0, 0);
@@ -218,6 +319,37 @@ mod tests {
         assert_eq!(a.len(), 1000);
         assert_eq!(b.len(), 32_000);
         assert_eq!(reference_count(&a, &b), 100);
+    }
+
+    #[test]
+    fn clustered_pair_properties() {
+        let mut rng = SplitMix64::new(8);
+        let (a, b) = clustered_pair(100_000, 20_000, 2, 0.9, &mut rng);
+        assert_eq!(a.len(), 100_000);
+        assert_eq!(b.len(), 100_000);
+        assert!(is_sorted_distinct(&a) && is_sorted_distinct(&b));
+        assert_eq!(reference_count(&a, &b), 20_000);
+        // Clusters are dense: most elements share their 65536-value range
+        // with thousands of neighbours.
+        let mut per_range = std::collections::HashMap::new();
+        for &x in &a {
+            *per_range.entry(x >> 16).or_insert(0usize) += 1;
+        }
+        let dense: usize = per_range.values().filter(|&&c| c > 4096).sum();
+        assert!(dense * 2 > a.len(), "dense elements: {dense}");
+    }
+
+    #[test]
+    fn run_heavy_pair_properties() {
+        let mut rng = SplitMix64::new(9);
+        let (a, b) = run_heavy_pair(20_000, 5_000, 64, &mut rng);
+        assert_eq!(a.len(), 20_000);
+        assert_eq!(b.len(), 20_000);
+        assert!(is_sorted_distinct(&a) && is_sorted_distinct(&b));
+        assert_eq!(reference_count(&a, &b), 5_000);
+        // Most elements sit in consecutive runs (successor present).
+        let consecutive = a.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(consecutive * 10 > a.len() * 9, "consecutive: {consecutive}");
     }
 
     #[test]

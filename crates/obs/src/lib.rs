@@ -389,6 +389,18 @@ define_metrics! {
             "Boolean (AND/OR/NOT) queries executed against a FESIA index.",
         graph_neighborhood_unions:
             "Two-hop neighborhood unions computed over a FESIA-encoded graph.",
+        plan_container:
+            "Planner decisions that selected the per-range container directory.",
+        intersect_container:
+            "Set operations dispatched through the container directory.",
+        container_ranges_array:
+            "Array-container ranges touched by container-directory operations.",
+        container_ranges_bitmap:
+            "Word-bitmap-container ranges touched by container-directory operations.",
+        container_ranges_run:
+            "Run-container ranges touched by container-directory operations.",
+        container_word_ops:
+            "64-bit word operations executed by container word-bitmap kernels.",
     }
     histograms {
         intersect_cycles:

@@ -418,6 +418,207 @@ pub fn for_each_nonzero_lane_folded_op<F: FnMut(usize)>(
 }
 
 // ---------------------------------------------------------------------------
+// Word-level bitmap kernels (container tier: plain value-domain bitmaps).
+//
+// Unlike the lane scans above, these operate on *value-domain* `u64` word
+// bitmaps (bit `i` of word `w` ⇔ value `64*w + i` present) where every set
+// bit is exact — no hashing, no segment lanes. Combining two such bitmaps
+// with any [`MaskOp`] and popcounting the result *is* the set operation's
+// cardinality, so all four ops are sound here (the Or-scan restriction of
+// the hashed path does not apply). The popcount uses the Harley-Seal-style
+// nibble LUT (`pshufb` on a 0..=4 table + `psadbw` accumulation), which
+// needs no `popcnt` CPUID bit beyond the baseline ISA of each level.
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn word_scalar_impl(op: MaskOp, a: &[u64], b: &[u64], out: *mut u64) -> u64 {
+    let mut ones = 0u64;
+    for i in 0..a.len() {
+        let v = op.apply_u64(a[i], b[i]);
+        ones += u64::from(v.count_ones());
+        if !out.is_null() {
+            // SAFETY: caller guarantees `out` covers `a.len()` words.
+            unsafe { *out.add(i) = v };
+        }
+    }
+    ones
+}
+
+#[cfg(target_arch = "x86_64")]
+mod word_x86 {
+    use super::MaskOp;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires SSE4.2. `a`/`b` must hold `words` readable `u64`s with
+    /// `words % 2 == 0`; `out` is null or covers `words` writable `u64`s.
+    #[target_feature(enable = "sse4.2")]
+    pub unsafe fn word_sse(
+        op: MaskOp,
+        a: *const u64,
+        b: *const u64,
+        words: usize,
+        out: *mut u64,
+    ) -> u64 {
+        let lut = _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+        let low = _mm_set1_epi8(0x0f);
+        let zero = _mm_setzero_si128();
+        let mut acc = zero;
+        let mut i = 0;
+        while i < words {
+            let va = _mm_loadu_si128(a.add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.add(i) as *const __m128i);
+            let v = match op {
+                MaskOp::And => _mm_and_si128(va, vb),
+                MaskOp::Or => _mm_or_si128(va, vb),
+                // andnot computes !first & second, so the operands swap.
+                MaskOp::AndNotB => _mm_andnot_si128(vb, va),
+                MaskOp::Xor => _mm_xor_si128(va, vb),
+            };
+            if !out.is_null() {
+                _mm_storeu_si128(out.add(i) as *mut __m128i, v);
+            }
+            let lo = _mm_shuffle_epi8(lut, _mm_and_si128(v, low));
+            let hi = _mm_shuffle_epi8(lut, _mm_and_si128(_mm_srli_epi16(v, 4), low));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(_mm_add_epi8(lo, hi), zero));
+            i += 2;
+        }
+        let mut lanes = [0u64; 2];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+        lanes[0] + lanes[1]
+    }
+
+    /// # Safety
+    /// Requires AVX2. Same contract as [`word_sse`] with `words % 4 == 0`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn word_avx2(
+        op: MaskOp,
+        a: *const u64,
+        b: *const u64,
+        words: usize,
+        out: *mut u64,
+    ) -> u64 {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc = zero;
+        let mut i = 0;
+        while i < words {
+            let va = _mm256_loadu_si256(a.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(b.add(i) as *const __m256i);
+            let v = match op {
+                MaskOp::And => _mm256_and_si256(va, vb),
+                MaskOp::Or => _mm256_or_si256(va, vb),
+                MaskOp::AndNotB => _mm256_andnot_si256(vb, va),
+                MaskOp::Xor => _mm256_xor_si256(va, vb),
+            };
+            if !out.is_null() {
+                _mm256_storeu_si256(out.add(i) as *mut __m256i, v);
+            }
+            let lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low));
+            let hi = _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low));
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(_mm256_add_epi8(lo, hi), zero));
+            i += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        lanes[0] + lanes[1] + lanes[2] + lanes[3]
+    }
+
+    /// # Safety
+    /// Requires AVX-512 F+BW. Same contract as [`word_sse`] with
+    /// `words % 8 == 0`.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn word_avx512(
+        op: MaskOp,
+        a: *const u64,
+        b: *const u64,
+        words: usize,
+        out: *mut u64,
+    ) -> u64 {
+        let lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        ));
+        let low = _mm512_set1_epi8(0x0f);
+        let zero = _mm512_setzero_si512();
+        let mut acc = zero;
+        let mut i = 0;
+        while i < words {
+            let va = _mm512_loadu_si512(a.add(i) as *const _);
+            let vb = _mm512_loadu_si512(b.add(i) as *const _);
+            let v = match op {
+                MaskOp::And => _mm512_and_si512(va, vb),
+                MaskOp::Or => _mm512_or_si512(va, vb),
+                MaskOp::AndNotB => _mm512_andnot_si512(vb, va),
+                MaskOp::Xor => _mm512_xor_si512(va, vb),
+            };
+            if !out.is_null() {
+                _mm512_storeu_si512(out.add(i) as *mut _, v);
+            }
+            let lo = _mm512_shuffle_epi8(lut, _mm512_and_si512(v, low));
+            let hi = _mm512_shuffle_epi8(lut, _mm512_and_si512(_mm512_srli_epi64(v, 4), low));
+            acc = _mm512_add_epi64(acc, _mm512_sad_epu8(_mm512_add_epi8(lo, hi), zero));
+            i += 8;
+        }
+        _mm512_reduce_add_epi64(acc) as u64
+    }
+}
+
+fn word_dispatch(level: SimdLevel, op: MaskOp, a: &[u64], b: &[u64], out: *mut u64) -> u64 {
+    assert_eq!(a.len(), b.len(), "word bitmaps must have equal length");
+    assert_eq!(
+        a.len() % 8,
+        0,
+        "word bitmap length must be a multiple of 8 words (64 bytes)"
+    );
+    assert!(
+        level.is_available(),
+        "SIMD level {level} not available on this CPU"
+    );
+    match level {
+        SimdLevel::Scalar => word_scalar_impl(op, a, b, out),
+        // SAFETY: availability asserted above; lengths are multiples of 8
+        // words, covering every per-ISA block size; `out` (when non-null)
+        // is sized by the safe wrappers.
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse => unsafe { word_x86::word_sse(op, a.as_ptr(), b.as_ptr(), a.len(), out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { word_x86::word_avx2(op, a.as_ptr(), b.as_ptr(), a.len(), out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe {
+            word_x86::word_avx512(op, a.as_ptr(), b.as_ptr(), a.len(), out)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar level reported available on non-x86_64"),
+    }
+}
+
+/// Combine two equal-length value-domain word bitmaps with `op` and return
+/// the popcount of the result without materializing it. For `MaskOp::And`
+/// this is the exact intersection cardinality of the two bitmaps.
+///
+/// # Panics
+/// Panics if the lengths differ, are not multiples of 8 words (64 bytes),
+/// or `level` is unavailable on this CPU.
+pub fn word_op_count(level: SimdLevel, op: MaskOp, a: &[u64], b: &[u64]) -> u64 {
+    word_dispatch(level, op, a, b, core::ptr::null_mut())
+}
+
+/// Combine two equal-length value-domain word bitmaps with `op`, store the
+/// combined words into `out`, and return the popcount of the result.
+///
+/// # Panics
+/// Panics on the preconditions of [`word_op_count`], or if `out` is not
+/// exactly as long as `a`.
+pub fn word_op_into(level: SimdLevel, op: MaskOp, a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+    assert_eq!(out.len(), a.len(), "output must match input length");
+    word_dispatch(level, op, a, b, out.as_mut_ptr())
+}
+
+// ---------------------------------------------------------------------------
 // Summary bitmaps and the pruned scan (hierarchical two-level filtering).
 // ---------------------------------------------------------------------------
 
@@ -997,6 +1198,79 @@ mod tests {
             &[0u64],
             |_| {},
         );
+    }
+
+    fn pseudo_random_words(len: usize, seed: u64, density_shift: u32) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                if density_shift == 0 || z & ((1 << density_shift) - 1) == 0 {
+                    z
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_kernels_match_reference_all_ops_and_levels() {
+        for &len in &[8usize, 64, 1024] {
+            for density_shift in [0u32, 1, 3] {
+                let a = pseudo_random_words(len, 31 + u64::from(density_shift), density_shift);
+                let b = pseudo_random_words(len, 77 + u64::from(density_shift), density_shift);
+                for op in ALL_OPS {
+                    let expect_words: Vec<u64> = a
+                        .iter()
+                        .zip(&b)
+                        .map(|(&wa, &wb)| op.apply_u64(wa, wb))
+                        .collect();
+                    let expect_ones: u64 =
+                        expect_words.iter().map(|w| u64::from(w.count_ones())).sum();
+                    for level in SimdLevel::available_levels() {
+                        let got = word_op_count(level, op, &a, &b);
+                        assert_eq!(got, expect_ones, "op={op:?} level={level} len={len}");
+                        let mut out = vec![0u64; len];
+                        let got = word_op_into(level, op, &a, &b, &mut out);
+                        assert_eq!(got, expect_ones, "op={op:?} level={level} len={len}");
+                        assert_eq!(out, expect_words, "op={op:?} level={level} len={len}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_kernels_handle_saturated_and_empty_inputs() {
+        let full = vec![u64::MAX; 16];
+        let none = vec![0u64; 16];
+        for level in SimdLevel::available_levels() {
+            assert_eq!(word_op_count(level, MaskOp::And, &full, &full), 1024);
+            assert_eq!(word_op_count(level, MaskOp::And, &full, &none), 0);
+            assert_eq!(word_op_count(level, MaskOp::Xor, &full, &none), 1024);
+            assert_eq!(word_op_count(level, MaskOp::AndNotB, &full, &none), 1024);
+            assert_eq!(word_op_count(level, MaskOp::AndNotB, &none, &full), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8 words")]
+    fn word_kernels_reject_unaligned_length() {
+        let a = vec![0u64; 4];
+        let _ = word_op_count(SimdLevel::Scalar, MaskOp::And, &a, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must match")]
+    fn word_into_rejects_short_output() {
+        let a = vec![0u64; 8];
+        let mut out = vec![0u64; 4];
+        let _ = word_op_into(SimdLevel::Scalar, MaskOp::And, &a, &a, &mut out);
     }
 
     #[test]

@@ -68,6 +68,27 @@ if [[ "${1:-}" == "--smoke" ]]; then
     }
     echo "compress gates OK (counts match, auto-decline overhead ${overhead}%)"
 
+    echo "== tier1: repro containers --scale smoke =="
+    ./target/release/repro containers --scale smoke
+    echo "== tier1: container gates (BENCH_containers.json) =="
+    grep -q '"counts_match": true,' BENCH_containers.json || {
+        echo "tier1: FAIL — container-path counts disagree with the knob forced off"
+        exit 1
+    }
+    for wl in run_heavy clustered; do
+        speedup=$(sed -n "s/.*\"$wl\": {[^}]*\"speedup\": \([0-9.]*\).*/\1/p" BENCH_containers.json | head -1)
+        awk -v s="$speedup" 'BEGIN { exit !(s >= 1.25) }' || {
+            echo "tier1: FAIL — container speedup ${speedup}x on $wl below 1.25x"
+            exit 1
+        }
+    done
+    overhead=$(sed -n 's/.*"auto_decline_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_containers.json | head -1)
+    awk -v o="$overhead" 'BEGIN { exit !(o <= 2.0) }' || {
+        echo "tier1: FAIL — uniform-sparse container-dispatch overhead ${overhead}% > 2%"
+        exit 1
+    }
+    echo "container gates OK (counts match, speedup >= 1.25x, auto-decline overhead ${overhead}%)"
+
     echo "== tier1: repro algebra --scale smoke =="
     ./target/release/repro algebra --scale smoke
     echo "== tier1: algebra gates (BENCH_algebra.json) =="

@@ -12,8 +12,8 @@
 //! replays it.
 
 use fesia_baselines::merge;
-use fesia_core::{FesiaParams, PlanMode, SegmentedSet, SetOp};
-use fesia_datagen::SplitMix64;
+use fesia_core::{ContainerParams, FesiaParams, PlanMode, SegmentedSet, SetOp};
+use fesia_datagen::{clustered_pair, run_heavy_pair, SplitMix64};
 use std::sync::Mutex;
 
 /// `set_plan_mode` is process-global; tests that flip it serialize here.
@@ -169,6 +169,93 @@ fn folded_pairs_with_mismatched_bitmaps_agree() {
             );
         }
     }
+}
+
+/// Container-carrying pairs through every materializing op: the word-AND
+/// / word-OR range kernels are exact in the value domain, so forcing the
+/// container knob on, off, or leaving it auto must all reproduce the
+/// merge oracle element for element.
+#[test]
+fn container_sets_agree_with_the_oracle() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let params = FesiaParams::auto();
+    let mut rng = SplitMix64::new(0xC0DE);
+    let (rh_a, rh_b) = run_heavy_pair(40_000, 10_000, 64, &mut rng);
+    let (cl_a, cl_b) = clustered_pair(40_000, 10_000, 3, 0.85, &mut rng);
+    let saved = fesia_core::container_params();
+    fesia_core::set_plan_mode(PlanMode::Auto);
+    for (label, av, bv) in [("run-heavy", rh_a, rh_b), ("clustered", cl_a, cl_b)] {
+        let a = SegmentedSet::build(&av, &params).unwrap();
+        let b = SegmentedSet::build(&bv, &params).unwrap();
+        assert!(
+            a.container().is_some() && b.container().is_some(),
+            "case={label}: both sides must carry a directory"
+        );
+        for op in OPS {
+            let want = oracle(op, &av, &bv);
+            for forced in [None, Some(true), Some(false)] {
+                fesia_core::set_container_params(ContainerParams::default().with_forced(forced));
+                assert_eq!(
+                    fesia_core::set_op(&a, &b, op),
+                    want,
+                    "case={label} op={} container={forced:?}",
+                    op.name()
+                );
+                assert_eq!(
+                    fesia_core::set_op_count(&a, &b, op),
+                    want.len(),
+                    "case={label} op={} container={forced:?} count",
+                    op.name()
+                );
+            }
+        }
+    }
+    fesia_core::set_container_params(saved);
+}
+
+/// A folded pair (mismatched bitmap sizes) where both sides also carry
+/// container directories. The container path never consults the hashed
+/// bitmap, so folding is moot for it — but the dispatch seam between
+/// folded execution and the directory walk must agree with the oracle in
+/// both argument orders and with the knob at every setting.
+#[test]
+fn folded_container_pairs_agree_with_the_oracle() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let params = FesiaParams::auto();
+    let dense = params.with_bits_per_element(params.bits_per_element * 4.0);
+    let mut rng = SplitMix64::new(0xF01DC);
+    let (av, bv) = run_heavy_pair(30_000, 8_000, 48, &mut rng);
+    let a = SegmentedSet::build(&av, &params).unwrap();
+    let b = SegmentedSet::build(&bv, &dense).unwrap();
+    assert_ne!(
+        a.bitmap_bits(),
+        b.bitmap_bits(),
+        "the case must actually fold"
+    );
+    assert!(
+        a.container().is_some() && b.container().is_some(),
+        "both sides must carry a directory"
+    );
+    let saved = fesia_core::container_params();
+    fesia_core::set_plan_mode(PlanMode::Auto);
+    for op in OPS {
+        for forced in [None, Some(true), Some(false)] {
+            fesia_core::set_container_params(ContainerParams::default().with_forced(forced));
+            assert_eq!(
+                fesia_core::set_op(&a, &b, op),
+                oracle(op, &av, &bv),
+                "op={} container={forced:?} folded",
+                op.name()
+            );
+            assert_eq!(
+                fesia_core::set_op(&b, &a, op),
+                oracle(op, &bv, &av),
+                "op={} container={forced:?} folded (swapped)",
+                op.name()
+            );
+        }
+    }
+    fesia_core::set_container_params(saved);
 }
 
 #[test]

@@ -217,7 +217,11 @@ fn many_round_trips_including_empty() {
 /// section table fill the first 128 bytes) through both decode paths.
 #[test]
 fn v3_section_table_flips_never_panic() {
-    let bytes = sample(500, 37);
+    let mut rng = SplitMix64::new(37);
+    let v = sorted_distinct(500, 1 << 22, &mut rng);
+    let bytes = SegmentedSet::build(&v, &FesiaParams::auto())
+        .unwrap()
+        .serialize_v3();
     assert_eq!(bytes[4], 3, "sample should serialize as v3");
     for pos in 0..128.min(bytes.len()) {
         for flip in [0x01u8, 0x80, 0xFF] {
@@ -348,11 +352,12 @@ fn misaligned_buffers_decode_on_the_owned_path() {
     }
 }
 
-/// A v2 buffer decoded and re-serialized must produce a v3 set that is
-/// indistinguishable in every intersection path — the compressed tier the
-/// re-encode gains changes representation, never answers.
+/// A v2 buffer decoded and re-serialized must produce a current-version
+/// set that is indistinguishable in every intersection path — the
+/// compressed and container tiers the re-encode gains change
+/// representation, never answers.
 #[test]
-fn v2_to_v3_reencode_preserves_behavior() {
+fn v2_reencode_preserves_behavior() {
     let mut rng = SplitMix64::new(61);
     let av = sorted_distinct(2_500, 1 << 20, &mut rng);
     let bv = sorted_distinct(2_500, 1 << 20, &mut rng);
@@ -361,13 +366,255 @@ fn v2_to_v3_reencode_preserves_behavior() {
     let b0 = SegmentedSet::build(&bv, &params).unwrap();
     let (a2, _) = SegmentedSet::deserialize(&a0.serialize_v2()).unwrap();
     let v3 = a2.serialize();
-    assert_eq!(v3[4], 3);
+    assert_eq!(v3[4], 4);
     let (a3, used) = SegmentedSet::deserialize(&v3).unwrap();
     assert_eq!(used, v3.len());
     // And through the zero-copy path of the same buffer.
     let file = Arc::new(MappedFile::from_bytes(v3));
     let (am, _) = SegmentedSet::deserialize_mapped(&file, 0).expect("mapped decode of re-encode");
     for x in [&a2, &a3, &am] {
+        assert_eq!(
+            fesia_core::intersect_count(x, &b0),
+            fesia_core::intersect_count(&a0, &b0)
+        );
+        assert_eq!(
+            fesia_core::intersect(x, &b0),
+            fesia_core::intersect(&a0, &b0)
+        );
+    }
+}
+
+/// A set whose container directory mixes all three kinds: one maximal
+/// run (range 0), one dense word bitmap (range 1), one sparse array
+/// (range 2). Returns the set and its v4 serialization.
+fn sample_v4_mixed(seed: u64) -> (SegmentedSet, Vec<u8>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut v: Vec<u32> = (0..8_000).collect();
+    v.extend(
+        sorted_distinct(20_000, 1 << 16, &mut rng)
+            .iter()
+            .map(|x| (1 << 16) + x),
+    );
+    v.extend(
+        sorted_distinct(800, 1 << 16, &mut rng)
+            .iter()
+            .map(|x| (2 << 16) + x),
+    );
+    let set = SegmentedSet::build(&v, &FesiaParams::auto()).unwrap();
+    let stats = set.container_stats().expect("mixed sample builds a tier");
+    assert!(
+        stats.ranges_array >= 1 && stats.ranges_bitmap >= 1 && stats.ranges_run >= 1,
+        "sample should exercise all three container kinds: {stats:?}"
+    );
+    let bytes = set.serialize();
+    assert_eq!(bytes[4], 4, "container-carrying sets serialize as v4");
+    assert_ne!(bytes[7] & 4, 0, "FLAG_CONTAINER must be set");
+    (set, bytes)
+}
+
+/// Decode `m` through both paths and require the usual contracts: owned
+/// decode yields `Err` or a `validate()`-clean set; mapped decode never
+/// panics and — because the v4 container sections are fully validated —
+/// any surviving set is safe to drive through an intersection.
+fn both_paths_contained(m: Vec<u8>, ctx: &str) {
+    match SegmentedSet::deserialize(&m) {
+        Err(_) => {}
+        Ok((set, used)) => {
+            assert!(set.validate(), "owned {ctx}");
+            assert!(used <= m.len(), "owned {ctx}");
+        }
+    }
+    let file = Arc::new(MappedFile::from_bytes(m));
+    match SegmentedSet::deserialize_mapped(&file, 0) {
+        Err(_) => {}
+        Ok((set, used)) => {
+            assert!(used <= file.len(), "mapped {ctx}");
+            let _ = fesia_core::intersect_count(&set, &set);
+        }
+    }
+}
+
+/// Flip every byte of the v4 fixed part (header + 9-entry section table
+/// fill the first 192 bytes) and a sample of the container payload bytes,
+/// through both decode paths.
+#[test]
+fn v4_header_and_section_flips_never_panic() {
+    let (_, bytes) = sample_v4_mixed(67);
+    let mut rng = SplitMix64::new(71);
+    let positions: Vec<usize> = (0..192.min(bytes.len()))
+        .chain((0..200).map(|_| rng.below(bytes.len() as u64) as usize))
+        .collect();
+    for pos in positions {
+        for flip in [0x01u8, 0x80, 0xFF] {
+            let mut m = bytes.clone();
+            m[pos] ^= flip;
+            both_paths_contained(m, &format!("pos={pos} flip={flip:#x}"));
+        }
+    }
+}
+
+/// Section-table forgeries specific to the four v4 container sections
+/// (table entries 5–8 live at bytes 112..176): misaligned word-bitmap
+/// lengths, truncated run lists, flag/section disagreements, and a
+/// directory claiming more ranges than the key space holds.
+#[test]
+fn v4_hostile_container_tables_are_rejected() {
+    let (_, bytes) = sample_v4_mixed(73);
+    let u64_at = |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+    let forgeries: &[(usize, u64, &str)] = &[
+        (120, 0, "dlen zero with FLAG_CONTAINER set"),
+        (120, 8, "dlen not a whole directory entry"),
+        (120, (1u64 << 16) * 16 + 16, "dlen beyond one range per key"),
+        (136, u64_at(&bytes, 136) | 1, "vlen not whole u16 values"),
+        (152, u64_at(&bytes, 152) - 8, "wlen not whole 8 KiB blocks"),
+        (168, u64_at(&bytes, 168) - 4, "rlen truncated by one run"),
+        (168, u64_at(&bytes, 168) + 2, "rlen not whole u32 runs"),
+        (
+            112,
+            u64_at(&bytes, 112) + 64,
+            "dir offset shifted into values",
+        ),
+    ];
+    for &(pos, val, what) in forgeries {
+        let mut m = bytes.clone();
+        m[pos..pos + 8].copy_from_slice(&val.to_le_bytes());
+        // Structural rejection is required on the mapped path: either the
+        // header check or the tier validation must refuse the forgery.
+        let file = Arc::new(MappedFile::from_bytes(m.clone()));
+        match SegmentedSet::deserialize_mapped(&file, 0) {
+            Err(_) => {}
+            Ok((set, _)) => assert!(set.container().is_none(), "mapped accepted: {what}"),
+        }
+        both_paths_contained(m, what);
+    }
+    // FLAG_CONTAINER cleared while the sections stay non-empty.
+    let mut m = bytes.clone();
+    m[7] &= !4;
+    assert!(
+        SegmentedSet::deserialize(&m).is_err(),
+        "flag/section disagreement"
+    );
+    let file = Arc::new(MappedFile::from_bytes(m));
+    assert!(SegmentedSet::deserialize_mapped(&file, 0).is_err());
+}
+
+/// Hostile directory *content* (the mapped path's trust boundary):
+/// unknown kind tags, reserved bits, out-of-order keys, zero and absurd
+/// cardinalities, payload offsets off their prefix sums. The mapped
+/// decoder must reject every one; the owned decoder ignores stored tier
+/// bytes entirely (it rebuilds from elements) so it must stay clean.
+#[test]
+fn v4_hostile_directory_entries_are_rejected() {
+    let (_, bytes) = sample_v4_mixed(79);
+    let doff = u64::from_le_bytes(bytes[112..120].try_into().unwrap()) as usize;
+    let dlen = u64::from_le_bytes(bytes[120..128].try_into().unwrap()) as usize;
+    assert!(
+        dlen >= 3 * 16,
+        "sample has at least three directory entries"
+    );
+    let entry_w0 = |b: &[u8], i: usize| {
+        u64::from_le_bytes(b[doff + 16 * i..doff + 16 * i + 8].try_into().unwrap())
+    };
+    let mut forgeries: Vec<(Vec<u8>, &str)> = Vec::new();
+    // Unknown kind tag (3) and reserved directory bits.
+    for (shift, what) in [(16u32, "unknown kind tag"), (24, "reserved bits set")] {
+        let mut m = bytes.clone();
+        let w0 = entry_w0(&m, 0) | 3 << shift;
+        m[doff..doff + 8].copy_from_slice(&w0.to_le_bytes());
+        forgeries.push((m, what));
+    }
+    // Swap the first two entries: keys fall out of order and the payload
+    // prefix sums break.
+    let mut m = bytes.clone();
+    let (a, b): (Vec<u8>, Vec<u8>) = (
+        m[doff..doff + 16].to_vec(),
+        m[doff + 16..doff + 32].to_vec(),
+    );
+    m[doff..doff + 16].copy_from_slice(&b);
+    m[doff + 16..doff + 32].copy_from_slice(&a);
+    forgeries.push((m, "out-of-order keys"));
+    // Zero and over-range cardinality on the first entry.
+    for (card, what) in [
+        (0u64, "zero cardinality"),
+        (1 << 17, "cardinality beyond range"),
+    ] {
+        let mut m = bytes.clone();
+        let w0 = (entry_w0(&m, 0) & 0xFFFF_FFFF) | card << 32;
+        m[doff..doff + 8].copy_from_slice(&w0.to_le_bytes());
+        forgeries.push((m, what));
+    }
+    // Payload offset bumped off its prefix sum.
+    let mut m = bytes.clone();
+    let w1 = u64::from_le_bytes(m[doff + 8..doff + 16].try_into().unwrap()) + 1;
+    m[doff + 8..doff + 16].copy_from_slice(&w1.to_le_bytes());
+    forgeries.push((m, "payload offset off prefix sum"));
+    for (m, what) in forgeries {
+        let file = Arc::new(MappedFile::from_bytes(m.clone()));
+        assert!(
+            SegmentedSet::deserialize_mapped(&file, 0).is_err(),
+            "mapped accepted: {what}"
+        );
+        let (set, _) = SegmentedSet::deserialize(&m).expect("owned rebuilds from elements");
+        assert!(set.validate(), "owned {what}");
+    }
+}
+
+/// Every truncation of a v4 buffer through both paths, plus byte-flips
+/// over the container payload region specifically (bitmap words with
+/// wrong popcounts, unsorted array values, overlapping runs must all be
+/// caught by the tier validation, not trusted).
+#[test]
+fn v4_truncations_and_payload_flips_never_panic() {
+    let (_, bytes) = sample_v4_mixed(83);
+    let mut rng = SplitMix64::new(89);
+    let cuts: Vec<usize> = (0..256)
+        .chain((0..120).map(|_| rng.below(bytes.len() as u64) as usize))
+        .collect();
+    for cut in cuts {
+        both_paths_contained(
+            bytes[..cut.min(bytes.len())].to_vec(),
+            &format!("cut={cut}"),
+        );
+    }
+    // The container payload spans from the directory section to EOF.
+    let doff = u64::from_le_bytes(bytes[112..120].try_into().unwrap()) as usize;
+    for _ in 0..200 {
+        let pos = doff + rng.below((bytes.len() - doff) as u64) as usize;
+        let mut m = bytes.clone();
+        m[pos] ^= 1 << rng.below(8);
+        both_paths_contained(m, &format!("payload pos={pos}"));
+    }
+}
+
+/// A v3 buffer of a container-worthy set decoded and re-serialized must
+/// come back as v4 with a rebuilt container tier, and stay
+/// indistinguishable in every intersection path — on both the owned and
+/// the zero-copy decoder.
+#[test]
+fn v3_to_v4_reencode_preserves_behavior() {
+    let (a0, _) = sample_v4_mixed(97);
+    let mut rng = SplitMix64::new(101);
+    let bv = sorted_distinct(3_000, 3 << 16, &mut rng);
+    let b0 = SegmentedSet::build(&bv, &FesiaParams::auto()).unwrap();
+    let v3 = a0.serialize_v3();
+    assert_eq!(v3[4], 3);
+    // Owned v3 decode rebuilds the tier from elements...
+    let (a3, _) = SegmentedSet::deserialize(&v3).unwrap();
+    assert_eq!(a3.container_stats(), a0.container_stats());
+    // ...while the mapped v3 path has no container sections to view.
+    let v3file = Arc::new(MappedFile::from_bytes(v3));
+    let (a3m, _) = SegmentedSet::deserialize_mapped(&v3file, 0).unwrap();
+    assert!(a3m.container().is_none());
+    // Re-encoding the decoded set produces v4 and round-trips the tier
+    // bit for bit through the zero-copy path.
+    let v4 = a3.serialize();
+    assert_eq!(v4[4], 4);
+    let (a4, used) = SegmentedSet::deserialize(&v4).unwrap();
+    assert_eq!(used, v4.len());
+    let v4file = Arc::new(MappedFile::from_bytes(v4));
+    let (a4m, _) = SegmentedSet::deserialize_mapped(&v4file, 0).unwrap();
+    assert_eq!(a4m.container_stats(), a0.container_stats());
+    for x in [&a3, &a3m, &a4, &a4m] {
         assert_eq!(
             fesia_core::intersect_count(x, &b0),
             fesia_core::intersect_count(&a0, &b0)

@@ -9,8 +9,8 @@
 //! empty operands. Inputs come from a seeded [`SplitMix64`] stream, so a
 //! failure names the seed that replays it.
 
-use fesia_core::{FesiaParams, KernelTable, PlanMode, SegmentedSet};
-use fesia_datagen::SplitMix64;
+use fesia_core::{ContainerParams, FesiaParams, KernelTable, PlanMode, SegmentedSet};
+use fesia_datagen::{clustered_pair, run_heavy_pair, SplitMix64};
 use std::sync::Mutex;
 
 /// `set_plan_mode` is process-global; tests that flip it serialize here.
@@ -90,6 +90,70 @@ fn every_forced_plan_matches_auto() {
             fesia_core::set_plan_mode(PlanMode::Auto);
         }
     }
+}
+
+/// Container-carrying shapes: run-heavy, clustered, mixed-kind, and a
+/// one-sided pair where only one operand has a directory (the planner
+/// must decline even under `FESIA_CONTAINER=1`). Every knob setting —
+/// auto, forced on, forced off — returns the same count, under every
+/// forced `FESIA_PLAN` strategy on top.
+#[test]
+fn container_knob_settings_agree_on_counts() {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let table = KernelTable::auto();
+    let params = FesiaParams::auto();
+    let mut rng = SplitMix64::new(0xC0A7);
+    let (rh_a, rh_b) = run_heavy_pair(40_000, 10_000, 64, &mut rng);
+    let (cl_a, cl_b) = clustered_pair(40_000, 10_000, 3, 0.85, &mut rng);
+    // Mixed kinds on one side: a run block, a dense window, a sparse tail.
+    let mut mx_a: Vec<u32> = (0..6_000).collect();
+    mx_a.extend((0..20_000u32).map(|i| (1 << 16) + i * 3));
+    mx_a.extend((0..900u32).map(|i| (4 << 16) + i * 50));
+    let mx_b: Vec<u32> = (0..40_000u32).map(|i| i * 2).collect();
+    let one_sided_b = sorted_set(&mut rng, 2_000, 1 << 18);
+    let cases: Vec<(&str, &Vec<u32>, &Vec<u32>)> = vec![
+        ("run-heavy", &rh_a, &rh_b),
+        ("clustered", &cl_a, &cl_b),
+        ("mixed-kinds", &mx_a, &mx_b),
+        ("one-sided", &mx_a, &one_sided_b),
+    ];
+    let saved = fesia_core::container_params();
+    for (label, av, bv) in cases {
+        let a = SegmentedSet::build(av, &params).unwrap();
+        let b = SegmentedSet::build(bv, &params).unwrap();
+        if label != "one-sided" {
+            assert!(
+                a.container().is_some() && b.container().is_some(),
+                "case={label}: both sides must carry a directory"
+            );
+        } else {
+            assert!(
+                b.container().is_none(),
+                "one-sided case must stay one-sided"
+            );
+        }
+        let want = reference_count(av, bv);
+        for forced in [None, Some(true), Some(false)] {
+            fesia_core::set_container_params(ContainerParams::default().with_forced(forced));
+            fesia_core::set_plan_mode(PlanMode::Auto);
+            assert_eq!(
+                fesia_core::auto_count_with(&a, &b, &table),
+                want,
+                "case={label} container={forced:?} mode=auto"
+            );
+            for mode in PlanMode::FORCED {
+                fesia_core::set_plan_mode(mode);
+                assert_eq!(
+                    fesia_core::intersect_count_with(&a, &b, &table),
+                    want,
+                    "case={label} container={forced:?} mode={}",
+                    mode.name()
+                );
+            }
+        }
+    }
+    fesia_core::set_container_params(saved);
+    fesia_core::set_plan_mode(PlanMode::Auto);
 }
 
 #[test]
