@@ -32,7 +32,7 @@ fn main() {
             "--out" => out_path = it.next(),
             "--metrics" => experiments::batch::set_embed_metrics(true),
             "--list" => {
-                println!("experiments: all kernels fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ablation memory batch plan prune compress containers algebra obs");
+                println!("experiments: all kernels fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ablation memory batch plan prune compress containers algebra simjoin obs");
                 return;
             }
             "--help" | "-h" => {

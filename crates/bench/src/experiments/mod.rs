@@ -18,6 +18,7 @@ pub mod memory;
 pub mod obs;
 pub mod plan;
 pub mod prune;
+pub mod simjoin;
 pub mod table2;
 
 use crate::harness::Scale;
@@ -57,6 +58,7 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "containers" => containers::run(scale),
         "obs" => obs::run(scale),
         "memory" => memory::run(scale),
+        "simjoin" => simjoin::run(scale),
         _ => return None,
     })
 }
@@ -85,6 +87,7 @@ pub fn run_all(scale: Scale) -> String {
         "compress",
         "containers",
         "algebra",
+        "simjoin",
         "obs",
     ];
     let mut out = String::new();

@@ -18,11 +18,17 @@ usage:
   fesia intersect A.fsia B.fsia
   fesia algebra and|or|andnot|xor A.fsia B.fsia
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
+  fesia simjoin SETS.txt --overlap T | --jaccard J [--threads N]
   fesia tune [--quick] [--profile PATH]
 
 Boolean queries: `algebra` materializes A AND B (intersection), A OR B
 (union), A ANDNOT B (difference), or A XOR B (symmetric difference),
 one value per line, sorted ascending.
+
+Similarity join: `simjoin` reads one set per line (whitespace-separated
+u32 values) and prints every pair of line indices whose sets meet the
+threshold (overlap |A∩B| >= T, or Jaccard >= J), one `i j` pair per
+line, followed by a '#'-prefixed cascade-statistics line.
 
 Text inputs: one u32 per line; '#' comments and blank lines ignored.
 `tune` calibrates strategy crossovers on this machine and writes a
@@ -469,6 +475,93 @@ fn cmd_kway(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse a multiset text file: one set per line, whitespace-separated
+/// u32 values ('#' comments and blank lines skipped). Each line is
+/// sorted and deduplicated, so unordered input is accepted.
+pub fn parse_set_lines(text: &str) -> Result<Vec<Vec<u32>>, CliError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut set = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: u32 = tok.parse().map_err(|_| CliError::Parse {
+                line: i + 1,
+                content: tok.to_string(),
+            })?;
+            set.push(v);
+        }
+        set.sort_unstable();
+        set.dedup();
+        out.push(set);
+    }
+    Ok(out)
+}
+
+fn cmd_simjoin(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut path: Option<String> = None;
+    let mut threshold: Option<fesia_core::Threshold> = None;
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--overlap" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--overlap needs an integer".into()))?;
+                threshold = Some(fesia_core::Threshold::Overlap(t));
+            }
+            "--jaccard" => {
+                let j: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--jaccard needs a number".into()))?;
+                if !(0.0..=1.0).contains(&j) {
+                    return Err(CliError::Usage("--jaccard must be in [0, 1]".into()));
+                }
+                threshold = Some(fesia_core::Threshold::Jaccard(j));
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--threads needs a number".into()))?;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage("simjoin needs a SETS.txt file".into()))?;
+    let threshold = threshold
+        .ok_or_else(|| CliError::Usage("simjoin needs --overlap T or --jaccard J".into()))?;
+    if threads == 0 {
+        threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    }
+    let lists = parse_set_lines(&std::fs::read_to_string(Path::new(&path))?)?;
+    let res = fesia_core::self_join(&lists, threshold, threads);
+    // The qualifying-pair list of a large corpus can be huge; buffer it
+    // like the other line-per-value emitters.
+    let mut out = std::io::BufWriter::new(out);
+    for &(a, b) in &res.pairs {
+        writeln!(out, "{a} {b}")?;
+    }
+    writeln!(
+        out,
+        "# sets={} candidates={} bitmap_rejected={} early_exited={} verified={} pairs={}",
+        lists.len(),
+        res.stats.candidates,
+        res.stats.bitmap_rejected,
+        res.stats.early_exited,
+        res.stats.verified,
+        res.pairs.len()
+    )?;
+    out.flush()?;
+    Ok(())
+}
+
 /// `fesia tune`: run the calibration microbenchmarks and persist the
 /// fitted crossovers as a machine profile the planner loads on startup.
 fn cmd_tune(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -565,6 +658,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("intersect") => cmd_intersect(&args[1..], out),
         Some("algebra") => cmd_algebra(&args[1..], out),
         Some("kway") => cmd_kway(&args[1..], out),
+        Some("simjoin") => cmd_simjoin(&args[1..], out),
         Some("tune") => cmd_tune(&args[1..], out),
         Some("--help") | Some("-h") => {
             writeln!(out, "{USAGE}")?;
@@ -704,6 +798,66 @@ mod tests {
         assert!(json.contains("\"metrics\""), "{json}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simjoin_end_to_end() {
+        let dir = tmpdir();
+        let f = dir.join("sets.txt");
+        // Lines 0 and 2 share {1,2,3}; line 1 is disjoint; line 3 shares
+        // {2,3} with 0 and 2. Unsorted input on line 2 must be accepted.
+        std::fs::write(&f, "# corpus\n1 2 3 4\n10 11 12 13\n5 3 1 2\n\n2 3 20 21\n").unwrap();
+        let p = f.to_str().unwrap();
+
+        let mut out = Vec::new();
+        run(&s(&["simjoin", p, "--overlap", "3"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        let pairs: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(pairs, vec!["0 2"], "{text}");
+        let stats = text.lines().find(|l| l.starts_with('#')).unwrap();
+        assert!(
+            stats.contains("sets=4") && stats.contains("pairs=1"),
+            "{stats}"
+        );
+
+        let mut out = Vec::new();
+        run(
+            &s(&["simjoin", p, "--overlap", "2", "--threads", "2"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        let pairs: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(pairs, vec!["0 2", "0 3", "2 3"], "{text}");
+
+        // Jaccard(0.5): pair (0,2) has |∩|=3, |∪|=5 -> 0.6 qualifies.
+        let mut out = Vec::new();
+        run(&s(&["simjoin", p, "--jaccard", "0.5"]), &mut out).unwrap();
+        let text = String::from_utf8_lossy(&out);
+        let pairs: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(pairs, vec!["0 2"], "{text}");
+
+        // Argument errors: missing threshold, bad jaccard range.
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&s(&["simjoin", p]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["simjoin", p, "--jaccard", "1.5"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_set_lines_formats() {
+        let text = "# c\n3 1 2\n\n7\n";
+        let sets = parse_set_lines(text).unwrap();
+        assert_eq!(sets, vec![vec![1, 2, 3], vec![7]]);
+        let err = parse_set_lines("1 2\n3 x\n").unwrap_err();
+        assert!(matches!(err, CliError::Parse { line: 2, .. }));
     }
 
     #[test]

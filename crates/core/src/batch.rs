@@ -36,14 +36,14 @@ use fesia_exec::Executor;
 
 /// Fewest pairs a chunk claim should hold; below this the claim's atomic
 /// traffic rivals the intersection work itself.
-const MIN_PAIRS_PER_CHUNK: usize = 8;
+pub(crate) const MIN_PAIRS_PER_CHUNK: usize = 8;
 
 /// Shared output slice written by disjoint-range parallel workers.
 ///
 /// SAFETY invariant: `for_each_chunk` hands each index range to exactly
 /// one worker and the schedule is a permutation of the pair indices, so
 /// concurrent writers never alias a slot.
-struct DisjointOut<T>(*mut T);
+pub(crate) struct DisjointOut<T>(pub(crate) *mut T);
 unsafe impl<T: Send> Send for DisjointOut<T> {}
 unsafe impl<T: Send> Sync for DisjointOut<T> {}
 
@@ -57,7 +57,7 @@ unsafe impl<T: Send> Sync for DisjointOut<T> {}
 /// neighbour the chain ends and the scan picks the next start. Per-set
 /// adjacency lists with monotone cursors make the whole pass
 /// `O(|pairs|)` — each cursor only ever moves forward.
-fn cache_resident_order(num_sets: usize, pairs: &[(u32, u32)]) -> Vec<u32> {
+pub(crate) fn cache_resident_order(num_sets: usize, pairs: &[(u32, u32)]) -> Vec<u32> {
     fn next_untaken(list: &[u32], cur: &mut usize, taken: &[bool]) -> Option<u32> {
         while *cur < list.len() {
             let k = list[*cur];

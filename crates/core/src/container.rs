@@ -545,6 +545,79 @@ fn and_total(a: &ContainerTier, b: &ContainerTier, level: SimdLevel) -> (u64, u6
     (and, word_ops)
 }
 
+/// Threshold-aware AND cardinality: `Some(count >= threshold)` or `None`
+/// when |A ∩ B| provably falls short (see
+/// [`crate::intersect_count_bounded`] for the exact contract; a zero
+/// threshold degenerates to the exact `and_total` count).
+///
+/// Two directory-merge passes. The first costs only the directory walk
+/// and accumulates the budget `Σ min(card_a, card_b)` over key-matched
+/// ranges — a sound bound because an unmatched key contributes nothing
+/// and a matched range pair at most its smaller cardinality — rejecting
+/// a hopeless pair before any payload is touched. The second sweeps
+/// matched ranges under the invariant `count + budget >= threshold`,
+/// aborting the moment it breaks (budget is zero at completion, so
+/// finishing proves `count >= threshold`).
+pub fn and_total_bounded(
+    a: &ContainerTier,
+    b: &ContainerTier,
+    level: SimdLevel,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    let (na, nb) = (a.num_ranges(), b.num_ranges());
+    let mut budget = 0u64;
+    {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < na && j < nb {
+            let ea = a.entry(i);
+            let eb = b.entry(j);
+            match ea.key.cmp(&eb.key) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    budget += u64::from(ea.card.min(eb.card));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    let mut word_ops = 0u64;
+    let result = if budget < threshold {
+        None
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut count = 0u64;
+        'sweep: {
+            while i < na && j < nb {
+                let ea = a.entry(i);
+                let eb = b.entry(j);
+                match ea.key.cmp(&eb.key) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        budget -= u64::from(ea.card.min(eb.card));
+                        count +=
+                            range_and_count(&a.payload(&ea), &b.payload(&eb), level, &mut word_ops);
+                        i += 1;
+                        j += 1;
+                        if accept_early && count >= threshold {
+                            break 'sweep Some(count);
+                        }
+                        if count + budget < threshold {
+                            break 'sweep None;
+                        }
+                    }
+                }
+            }
+            Some(count)
+        }
+    };
+    record_metrics(a, b, word_ops);
+    result
+}
+
 /// Publish the per-op container metrics once per executed operation.
 fn record_metrics(a: &ContainerTier, b: &ContainerTier, word_ops: u64) {
     let m = fesia_obs::metrics();

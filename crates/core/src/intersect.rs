@@ -3,14 +3,15 @@
 
 use crate::kernels::{KernelTable, UnpackJob, OVERREAD};
 use crate::params::{CompressParams, ContainerParams, PipelineParams, PruneParams};
-use crate::plan::{IntersectPlan, IntersectPlanner, PlanMode, SetSummary};
+use crate::plan::{IntersectPlan, IntersectPlanner, PlanMode, SetSummary, ThresholdPlan};
 use crate::set::SegmentedSet;
 use fesia_simd::mask::{
     for_each_nonzero_lane, for_each_nonzero_lane_folded, for_each_nonzero_lane_folded_pruned,
-    for_each_nonzero_lane_pruned, PruneStats,
+    for_each_nonzero_lane_pruned, summary_min_bound, LaneWidth, PruneStats,
 };
 use fesia_simd::prefetch::prefetch_read;
 use fesia_simd::timer::CycleTimer;
+use fesia_simd::SimdLevel;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -695,6 +696,219 @@ pub fn intersect_count_pruned_with(
     (count as usize, stats)
 }
 
+// ---------------------------------------------------------------------------
+// Shared survivor-scan / sweep engine. The breakdown instrumentation and
+// the threshold (early-exit) forms all run phase 1 "collect survivors"
+// and phase 2 "sweep the list" explicitly; these helpers keep them to
+// one body per phase instead of a parallel copy per variant.
+// ---------------------------------------------------------------------------
+
+/// Order a pair for an explicit-survivor form: `(x, y, folded)` with `x`
+/// the larger-bitmap side when the pair folds.
+fn order_sides<'a>(
+    a: &'a SegmentedSet,
+    b: &'a SegmentedSet,
+) -> (&'a SegmentedSet, &'a SegmentedSet, bool) {
+    let folded = a.bitmap_bits() != b.bitmap_bits();
+    if !folded || a.bitmap_bits() > b.bitmap_bits() {
+        (a, b, folded)
+    } else {
+        (b, a, folded)
+    }
+}
+
+/// Phase 1 of every explicit-survivor form: visit the surviving segment
+/// indices of `x ∩ y`, through the summary filter when `pruned`.
+fn scan_survivors<F: FnMut(usize)>(
+    level: SimdLevel,
+    lane: LaneWidth,
+    x: &SegmentedSet,
+    y: &SegmentedSet,
+    folded: bool,
+    pruned: bool,
+    f: F,
+) -> Option<PruneStats> {
+    match (pruned, folded) {
+        (false, false) => {
+            for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), f);
+            None
+        }
+        (false, true) => {
+            for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), f);
+            None
+        }
+        (true, false) => Some(for_each_nonzero_lane_pruned(
+            level,
+            lane,
+            x.bitmap_bytes(),
+            y.bitmap_bytes(),
+            x.summary_words(),
+            y.summary_words(),
+            f,
+        )),
+        (true, true) => Some(for_each_nonzero_lane_folded_pruned(
+            level,
+            lane,
+            x.bitmap_bytes(),
+            y.bitmap_bytes(),
+            x.summary_words(),
+            y.summary_words(),
+            f,
+        )),
+    }
+}
+
+/// Phase 2's per-pair kernel dispatch for raw (uncompressed) segments.
+#[inline(always)]
+fn count_raw_pair(
+    x: &SegmentedSet,
+    y: &SegmentedSet,
+    table: &KernelTable,
+    folded: bool,
+    i: usize,
+    j: usize,
+) -> u32 {
+    // SAFETY: segment pointers carry PAD_LEN over-read slack and the
+    // segmented layout upholds the kernel (folded) over-read contract.
+    unsafe {
+        if folded {
+            table.count_folded(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
+        } else {
+            table.count(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
+        }
+    }
+}
+
+/// Prefetch the packed word segment `i`'s residual run starts in.
+#[inline]
+fn prefetch_packed(s: &SegmentedSet, words: *const u64, width: u32, i: usize) {
+    let word = (s.seg_entry(i).0 as u64 * u64::from(width)) / 64;
+    // SAFETY: the run start is inside the stream, which `words` spans.
+    prefetch_read(unsafe { words.add(word as usize) });
+}
+
+/// Phase-2 sweep state for the compressed form, shared by the production
+/// path, the breakdown instrumentation, and the threshold sweep: one
+/// surviving pair in, one unpack + kernel count out, with the two-stage
+/// prefetch kept identical everywhere.
+struct CompressedSweep<'a> {
+    x: &'a SegmentedSet,
+    y: &'a SegmentedSet,
+    table: &'a KernelTable,
+    xw: *const u64,
+    yw: *const u64,
+    wx: u32,
+    wy: u32,
+    log2_s: u32,
+    seg_mask: usize,
+    dist: usize,
+    da: &'a mut DecodeScratch,
+    db: &'a mut DecodeScratch,
+    kx_total: u64,
+    ky_total: u64,
+}
+
+impl<'a> CompressedSweep<'a> {
+    /// Both sides must carry packed tiers ([`SegmentedSet::packed`]).
+    fn new(
+        x: &'a SegmentedSet,
+        y: &'a SegmentedSet,
+        table: &'a KernelTable,
+        scratch: (&'a mut DecodeScratch, &'a mut DecodeScratch),
+        dist: usize,
+    ) -> CompressedSweep<'a> {
+        let px = x.packed().expect("compressed form needs packed tiers");
+        let py = y.packed().expect("compressed form needs packed tiers");
+        CompressedSweep {
+            x,
+            y,
+            table,
+            xw: px.words().as_ptr(),
+            yw: py.words().as_ptr(),
+            wx: px.width(),
+            wy: py.width(),
+            log2_s: x.lane().bits().trailing_zeros(),
+            seg_mask: y.num_segments() - 1,
+            dist,
+            da: scratch.0,
+            db: scratch.1,
+            kx_total: 0,
+            ky_total: 0,
+        }
+    }
+
+    /// Count survivor `pairs[k]`, keeping the two-stage lookahead window
+    /// in flight: the packed-word address depends on the metadata entry,
+    /// so the entry itself is hinted a further `dist` out — by the time
+    /// it is read to compute the stream word, it is cache-resident and
+    /// the only in-flight misses are the asynchronous hints.
+    #[inline]
+    fn count_pair(&mut self, pairs: &[u32], k: usize) -> u32 {
+        if self.dist != 0 {
+            if k + 2 * self.dist < pairs.len() {
+                let far = pairs[k + 2 * self.dist] as usize;
+                self.x.prefetch_seg_entry(far);
+                self.y.prefetch_seg_entry(far & self.seg_mask);
+            }
+            if k + self.dist < pairs.len() {
+                let ahead = pairs[k + self.dist] as usize;
+                prefetch_packed(self.x, self.xw, self.wx, ahead);
+                prefetch_packed(self.y, self.yw, self.wy, ahead & self.seg_mask);
+            }
+        }
+        let i = pairs[k] as usize;
+        let j = i & self.seg_mask;
+        let (xo, kx) = self.x.seg_entry(i);
+        let (yo, ky) = self.y.seg_entry(j);
+        let dx = self.da.prepare(kx);
+        let dy = self.db.prepare(ky);
+        // SAFETY: the jobs describe real segments of streams packed at
+        // these parameters; the scratch destinations are writable for
+        // the decoded element counts (with OVERREAD sentinel slack
+        // behind them); both decoded runs are ascending, sentinel-padded
+        // with distinct above-range values, and OVERREAD-readable.
+        let c = unsafe {
+            self.table.unpack_segment(
+                self.xw,
+                UnpackJob {
+                    bit_base: xo as u64 * u64::from(self.wx),
+                    k: kx,
+                    width: self.wx,
+                    log2_m: self.x.log2_m(),
+                    log2_s: self.log2_s,
+                    seg_index: i as u32,
+                },
+                dx,
+            );
+            self.table.unpack_segment(
+                self.yw,
+                UnpackJob {
+                    bit_base: yo as u64 * u64::from(self.wy),
+                    k: ky,
+                    width: self.wy,
+                    log2_m: self.y.log2_m(),
+                    log2_s: self.log2_s,
+                    seg_index: j as u32,
+                },
+                dy,
+            );
+            self.table.count(dx as *const u32, kx, dy as *const u32, ky)
+        };
+        self.kx_total += kx as u64;
+        self.ky_total += ky as u64;
+        c
+    }
+
+    /// Decode statistics for the `pairs_swept` pairs counted so far.
+    fn stats(&self, pairs_swept: usize) -> CompressStats {
+        CompressStats {
+            segments_decoded: 2 * pairs_swept as u64,
+            bytes_saved: 4 * (self.kx_total + self.ky_total)
+                - (self.kx_total * u64::from(self.wx) + self.ky_total * u64::from(self.wy)) / 8,
+        }
+    }
+}
+
 /// What the compressed step 2 did: how many segments it unpacked and how
 /// much memory traffic the packed streams avoided versus reading the raw
 /// element arrays (`4*(ka+kb) - (ka*wa + kb*wb)/8` bytes per surviving
@@ -729,123 +943,421 @@ pub fn intersect_count_compressed_with(
     prefetch_distance: usize,
 ) -> (usize, CompressStats) {
     check_compatible(a, b);
-    let level = table.level();
-    let lane = a.lane();
     scratch.clear();
-    // Large (or either, when equal) side is x; folding masks y's index.
-    let (x, y) = if a.bitmap_bits() >= b.bitmap_bits() {
-        (a, b)
-    } else {
-        (b, a)
-    };
+    let (x, y, folded) = order_sides(a, b);
     let px = x.packed().expect("compressed form needs packed tiers");
     let py = y.packed().expect("compressed form needs packed tiers");
     let (wx, wy) = (px.width(), py.width());
     let (xw, yw) = (px.words().as_ptr(), py.words().as_ptr());
     let seg_mask = y.num_segments() - 1;
-    let log2_s = lane.bits().trailing_zeros();
 
-    // Prefetch the packed word a segment's residual run starts in.
-    let pf = |s: &SegmentedSet, words: *const u64, width: u32, i: usize| {
-        let word = (s.seg_entry(i).0 as u64 * u64::from(width)) / 64;
-        // SAFETY: the run start is inside the stream, which `words` spans.
-        prefetch_read(unsafe { words.add(word as usize) });
-    };
+    scan_survivors(table.level(), a.lane(), x, y, folded, false, |i| {
+        if scratch.len() < prefetch_distance {
+            prefetch_packed(x, xw, wx, i);
+            prefetch_packed(y, yw, wy, i & seg_mask);
+        }
+        scratch.push(i as u32);
+    });
 
-    if a.bitmap_bits() == b.bitmap_bits() {
-        for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            if scratch.len() < prefetch_distance {
-                pf(x, xw, wx, i);
-                pf(y, yw, wy, i);
-            }
-            scratch.push(i as u32);
-        });
-    } else {
-        for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            if scratch.len() < prefetch_distance {
-                pf(x, xw, wx, i);
-                pf(y, yw, wy, i & seg_mask);
-            }
-            scratch.push(i as u32);
-        });
-    }
-
-    let mut count = 0u64;
-    // Decoded-element totals; the bytes-saved arithmetic runs once at the
-    // end instead of inside the miss-bound sweep.
-    let (mut kx_total, mut ky_total) = (0u64, 0u64);
     DECODE_SCRATCH.with(|ds| {
         let pair = &mut *ds.borrow_mut();
-        let (da, db) = (&mut pair.0, &mut pair.1);
+        let mut sweep =
+            CompressedSweep::new(x, y, table, (&mut pair.0, &mut pair.1), prefetch_distance);
+        let mut count = 0u64;
         for k in 0..scratch.len() {
-            // Two-stage prefetch: the packed-word address depends on the
-            // metadata entry, so the entry itself is hinted a further
-            // `prefetch_distance` out — by the time `pf` reads it to
-            // compute the stream word, it is cache-resident and the only
-            // in-flight misses are the asynchronous hints.
-            if prefetch_distance != 0 {
-                if k + 2 * prefetch_distance < scratch.len() {
-                    let far = scratch[k + 2 * prefetch_distance] as usize;
-                    x.prefetch_seg_entry(far);
-                    y.prefetch_seg_entry(far & seg_mask);
+            count += u64::from(sweep.count_pair(scratch, k));
+        }
+        (count as usize, sweep.stats(scratch.len()))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Threshold-aware (early-exit) counting: the kernels behind tiers 2 and 3
+// of the similarity-join filter cascade (see `crate::simjoin`).
+// ---------------------------------------------------------------------------
+
+/// Tier-2 filter of the similarity-join cascade: a sound upper bound on
+/// |A ∩ B| from the summary bitmaps and per-block populations alone.
+///
+/// Returns `Some(bound)` with `bound < threshold` when the pair is
+/// **rejectable** without touching bitmaps, segments, or elements;
+/// `None` when the bound reaches `threshold` (the pair may still fail —
+/// this tier only ever proves absence, never presence).
+///
+/// Soundness: a common element sets the same bit *position* on both
+/// sides (the smaller bitmap tiles the larger one under the power-of-two
+/// folding rule), so it lands in block `b` of the large side and block
+/// `b mod small_blocks` of the small side — each common element is
+/// charged to exactly one block pair in the summary AND, and a block
+/// pair's contribution is capped by the `min` of its two exact
+/// populations ([`SegmentedSet::block_pop`]). Note the bound is *not*
+/// `popcount(AND)` of the bitmaps: two distinct common elements may
+/// collide onto one bit via `h mod m`, so a raw popcount could
+/// under-count and wrongly reject.
+pub fn summary_overlap_bound(a: &SegmentedSet, b: &SegmentedSet, threshold: usize) -> Option<u64> {
+    check_compatible(a, b);
+    let (x, y, _) = order_sides(a, b);
+    summary_min_bound(
+        x.summary_words(),
+        y.summary_words(),
+        y.summary_blocks(),
+        threshold as u64,
+        |bx, by| x.block_pop(bx).min(y.block_pop(by)) as u64,
+    )
+}
+
+/// `Some(|A ∩ B|)` if the intersection reaches `threshold`, else `None`
+/// — the cascade's tier-3 early-exit counting kernel with the
+/// process-default table and planner. See
+/// [`intersect_count_bounded_planned`] for the exact contract.
+pub fn intersect_count_bounded(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    threshold: usize,
+) -> Option<usize> {
+    let planner = IntersectPlanner::current();
+    intersect_count_bounded_planned(a, b, default_table(), &planner, threshold)
+}
+
+/// Does |A ∩ B| reach `threshold`? Early-exits in both directions: on
+/// success the sweep stops the moment the running count reaches
+/// `threshold`, on failure the moment the residual upper bound
+/// (matched-so-far plus what the unswept remainder could still
+/// contribute) drops below it.
+///
+/// ```
+/// use fesia_core::{intersect_count_at_least, FesiaParams, SegmentedSet};
+/// let p = FesiaParams::auto();
+/// let a = SegmentedSet::build(&[1, 5, 9, 12], &p).unwrap();
+/// let b = SegmentedSet::build(&[5, 9, 20], &p).unwrap();
+/// assert!(intersect_count_at_least(&a, &b, 2));
+/// assert!(!intersect_count_at_least(&a, &b, 3));
+/// ```
+pub fn intersect_count_at_least(a: &SegmentedSet, b: &SegmentedSet, threshold: usize) -> bool {
+    let planner = IntersectPlanner::current();
+    intersect_count_at_least_planned(a, b, default_table(), &planner, threshold)
+}
+
+/// [`intersect_count_bounded`] against an explicit table and planner
+/// snapshot. `Some(n)` implies `n == |A ∩ B|` and `n >= threshold`;
+/// `None` implies `|A ∩ B| < threshold`. A zero threshold always returns
+/// the exact count (the residual-bound check can never fire), so
+/// `intersect_count_bounded(a, b, 0)` is a drop-in for the unbounded
+/// count. The planner's threshold term resolves trivial pairs first:
+/// `threshold > min(|A|, |B|)` rejects with no work at all.
+pub fn intersect_count_bounded_planned(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    threshold: usize,
+) -> Option<usize> {
+    let (sa, sb) = (SetSummary::of(a), SetSummary::of(b));
+    match planner.plan_pair_threshold(&sa, &sb, threshold) {
+        ThresholdPlan::TrivialAccept => {
+            Some(execute_plan_count(a, b, table, planner.plan_pair(&sa, &sb)))
+        }
+        ThresholdPlan::TrivialReject => None,
+        ThresholdPlan::Run(plan) => {
+            execute_plan_count_bounded(a, b, table, plan, threshold as u64, false)
+                .map(|n| n as usize)
+        }
+    }
+}
+
+/// [`intersect_count_at_least`] against an explicit table and planner
+/// snapshot.
+pub fn intersect_count_at_least_planned(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    threshold: usize,
+) -> bool {
+    let (sa, sb) = (SetSummary::of(a), SetSummary::of(b));
+    match planner.plan_pair_threshold(&sa, &sb, threshold) {
+        ThresholdPlan::TrivialAccept => true,
+        ThresholdPlan::TrivialReject => false,
+        ThresholdPlan::Run(plan) => {
+            execute_plan_count_bounded(a, b, table, plan, threshold as u64, true).is_some()
+        }
+    }
+}
+
+/// Execute an [`IntersectPlan`] with threshold-aware early exit.
+///
+/// `Some(count)` means the threshold was met (`count` is the exact
+/// intersection size unless `accept_early`, in which case it is merely
+/// `>= threshold`); `None` means |A ∩ B| < `threshold`, established with
+/// as little of the sweep as the residual bound allowed. Every plan
+/// shape short-circuits: the merge family via the per-survivor budget,
+/// the container plan via per-range cardinalities, and the probe family
+/// via the remaining-element count.
+fn execute_plan_count_bounded(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    plan: IntersectPlan,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    let m = fesia_obs::metrics();
+    match plan {
+        IntersectPlan::Plain => {
+            m.plan_plain.inc();
+            bounded_merge(a, b, table, false, 0, threshold, accept_early)
+        }
+        IntersectPlan::Pipelined { prefetch_distance } => {
+            m.plan_pipelined.inc();
+            bounded_merge(
+                a,
+                b,
+                table,
+                false,
+                prefetch_distance,
+                threshold,
+                accept_early,
+            )
+        }
+        IntersectPlan::Pruned { prefetch_distance } => {
+            m.plan_pruned.inc();
+            bounded_merge(
+                a,
+                b,
+                table,
+                true,
+                prefetch_distance,
+                threshold,
+                accept_early,
+            )
+        }
+        IntersectPlan::Compressed { prefetch_distance } => {
+            m.plan_compressed.inc();
+            // As in `execute_plan_count`: an explicit plan on tier-less
+            // sets falls back rather than failing.
+            if a.packed().is_none() || b.packed().is_none() {
+                return bounded_merge(
+                    a,
+                    b,
+                    table,
+                    false,
+                    prefetch_distance,
+                    threshold,
+                    accept_early,
+                );
+            }
+            bounded_compressed(a, b, table, prefetch_distance, threshold, accept_early)
+        }
+        IntersectPlan::Container => {
+            m.plan_container.inc();
+            let (Some(ca), Some(cb)) = (a.container(), b.container()) else {
+                return bounded_merge(a, b, table, false, 0, threshold, accept_early);
+            };
+            crate::container::and_total_bounded(ca, cb, table.level(), threshold, accept_early)
+        }
+        IntersectPlan::HashProbe => {
+            m.plan_hash.inc();
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            bounded_probe(
+                small.reordered_elements().iter().copied(),
+                small.len(),
+                |x| large.contains(x),
+                threshold,
+                accept_early,
+            )
+        }
+        IntersectPlan::GallopFallback => {
+            m.plan_gallop.inc();
+            bounded_gallop(a, b, threshold, accept_early)
+        }
+    }
+}
+
+/// Merge-family early exit. Phase 1 collects survivors and their total
+/// budget `Σ min(|seg_x|, |seg_y|)` — a sound bound because a zero AND
+/// lane implies an empty segment intersection, so only survivors can
+/// contribute, each at most its smaller side's population. A budget
+/// already below the threshold rejects with zero segment compares.
+/// Phase 2 sweeps under the invariant `count + budget >= threshold`,
+/// aborting the moment it breaks; the budget is zero when the sweep
+/// completes, so completion itself proves `count >= threshold`.
+fn bounded_merge(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    pruned: bool,
+    prefetch_distance: usize,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    check_compatible(a, b);
+    let m = fesia_obs::metrics();
+    let (x, y, folded) = order_sides(a, b);
+    let seg_mask = y.num_segments() - 1;
+    PIPELINE_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        if scratch.capacity() != 0 {
+            m.scratch_reused.inc();
+        }
+        scratch.clear();
+        let mut budget = 0u64;
+        let stats = {
+            let scratch = &mut *scratch;
+            scan_survivors(table.level(), a.lane(), x, y, folded, pruned, |i| {
+                if scratch.len() < prefetch_distance {
+                    prefetch_read(x.seg_ptr(i));
+                    prefetch_read(y.seg_ptr(i & seg_mask));
                 }
-                if k + prefetch_distance < scratch.len() {
-                    let ahead = scratch[k + prefetch_distance] as usize;
-                    pf(x, xw, wx, ahead);
-                    pf(y, yw, wy, ahead & seg_mask);
-                }
+                budget += x.seg_size(i).min(y.seg_size(i & seg_mask)) as u64;
+                scratch.push(i as u32);
+            })
+        };
+        m.survivor_segments.add(scratch.len() as u64);
+        if let Some(st) = stats {
+            m.summary_blocks_skipped.add(st.skipped() as u64);
+        }
+        if budget < threshold {
+            return None;
+        }
+        let mut count = 0u64;
+        for k in 0..scratch.len() {
+            if prefetch_distance != 0 && k + prefetch_distance < scratch.len() {
+                let ahead = scratch[k + prefetch_distance] as usize;
+                prefetch_read(x.seg_ptr(ahead));
+                prefetch_read(y.seg_ptr(ahead & seg_mask));
             }
             let i = scratch[k] as usize;
             let j = i & seg_mask;
-            let (xo, kx) = x.seg_entry(i);
-            let (yo, ky) = y.seg_entry(j);
-            let dx = da.prepare(kx);
-            let dy = db.prepare(ky);
-            // SAFETY: the jobs describe real segments of streams packed at
-            // these parameters; the scratch destinations are writable for
-            // `k` elements (with OVERREAD sentinel slack behind them).
-            unsafe {
-                table.unpack_segment(
-                    xw,
-                    UnpackJob {
-                        bit_base: xo as u64 * u64::from(wx),
-                        k: kx,
-                        width: wx,
-                        log2_m: x.log2_m(),
-                        log2_s,
-                        seg_index: i as u32,
-                    },
-                    dx,
-                );
-                table.unpack_segment(
-                    yw,
-                    UnpackJob {
-                        bit_base: yo as u64 * u64::from(wy),
-                        k: ky,
-                        width: wy,
-                        log2_m: y.log2_m(),
-                        log2_s,
-                        seg_index: j as u32,
-                    },
-                    dy,
-                );
-                // SAFETY: both decoded runs are ascending (residual order
-                // is hash order at fixed segment), sentinel-padded with
-                // distinct above-range values, and OVERREAD-readable.
-                count += u64::from(table.count(dx as *const u32, kx, dy as *const u32, ky));
+            budget -= x.seg_size(i).min(y.seg_size(j)) as u64;
+            count += u64::from(count_raw_pair(x, y, table, folded, i, j));
+            if accept_early && count >= threshold {
+                return Some(count);
             }
-            kx_total += kx as u64;
-            ky_total += ky as u64;
+            if count + budget < threshold {
+                return None;
+            }
         }
-    });
-    (
-        count as usize,
-        CompressStats {
-            segments_decoded: 2 * scratch.len() as u64,
-            bytes_saved: 4 * (kx_total + ky_total)
-                - (kx_total * u64::from(wx) + ky_total * u64::from(wy)) / 8,
-        },
-    )
+        Some(count)
+    })
+}
+
+/// [`bounded_merge`] with the compressed phase 2: identical budget
+/// arithmetic, decode-and-count sweep.
+fn bounded_compressed(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    table: &KernelTable,
+    prefetch_distance: usize,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    check_compatible(a, b);
+    let m = fesia_obs::metrics();
+    let (x, y, folded) = order_sides(a, b);
+    let px = x.packed().expect("compressed form needs packed tiers");
+    let py = y.packed().expect("compressed form needs packed tiers");
+    let (wx, wy) = (px.width(), py.width());
+    let (xw, yw) = (px.words().as_ptr(), py.words().as_ptr());
+    let seg_mask = y.num_segments() - 1;
+    PIPELINE_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        if scratch.capacity() != 0 {
+            m.scratch_reused.inc();
+        }
+        scratch.clear();
+        let mut budget = 0u64;
+        {
+            let scratch = &mut *scratch;
+            scan_survivors(table.level(), a.lane(), x, y, folded, false, |i| {
+                if scratch.len() < prefetch_distance {
+                    prefetch_packed(x, xw, wx, i);
+                    prefetch_packed(y, yw, wy, i & seg_mask);
+                }
+                budget += x.seg_size(i).min(y.seg_size(i & seg_mask)) as u64;
+                scratch.push(i as u32);
+            });
+        }
+        m.survivor_segments.add(scratch.len() as u64);
+        if budget < threshold {
+            return None;
+        }
+        DECODE_SCRATCH.with(|ds| {
+            let pair = &mut *ds.borrow_mut();
+            let mut sweep =
+                CompressedSweep::new(x, y, table, (&mut pair.0, &mut pair.1), prefetch_distance);
+            let mut count = 0u64;
+            for k in 0..scratch.len() {
+                let i = scratch[k] as usize;
+                let j = i & seg_mask;
+                budget -= x.seg_size(i).min(y.seg_size(j)) as u64;
+                count += u64::from(sweep.count_pair(&scratch, k));
+                if accept_early && count >= threshold {
+                    return Some(count);
+                }
+                if count + budget < threshold {
+                    return None;
+                }
+            }
+            Some(count)
+        })
+    })
+}
+
+/// Probe-style early exit shared by the hash and gallop plans: `n`
+/// candidate elements tested one at a time, with the residual bound
+/// `count + remaining`. Completion implies `count >= threshold` (the
+/// final iteration's bound is `count` itself).
+fn bounded_probe<I: Iterator<Item = u32>, F: FnMut(u32) -> bool>(
+    elems: I,
+    n: usize,
+    mut hit: F,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    if (n as u64) < threshold {
+        return None;
+    }
+    let mut count = 0u64;
+    for (idx, x) in elems.enumerate() {
+        if hit(x) {
+            count += 1;
+            if accept_early && count >= threshold {
+                return Some(count);
+            }
+        }
+        if count + ((n - idx - 1) as u64) < threshold {
+            return None;
+        }
+    }
+    Some(count)
+}
+
+/// Galloping early exit: sorted small side in per-thread scratch (as
+/// [`gallop_count`]), large side probed through [`bounded_probe`].
+fn bounded_gallop(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    threshold: u64,
+    accept_early: bool,
+) -> Option<u64> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    GALLOP_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        scratch.clear();
+        scratch.extend_from_slice(small.reordered_elements());
+        scratch.sort_unstable();
+        let hay = &*scratch;
+        bounded_probe(
+            large.reordered_elements().iter().copied(),
+            large.len(),
+            |x| {
+                let lo = gallop_find(hay, 0, x);
+                lo < hay.len() && hay[lo] == x
+            },
+            threshold,
+            accept_early,
+        )
+    })
 }
 
 /// |A ∩ B| with the process-default kernel table (widest available ISA).
@@ -1013,26 +1525,13 @@ pub fn intersect_count_breakdown(
     table: &KernelTable,
 ) -> Breakdown {
     check_compatible(a, b);
-    let level = table.level();
-    let lane = a.lane();
-    let folded = a.bitmap_bits() != b.bitmap_bits();
-    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
-        (a, b)
-    } else {
-        (b, a)
-    };
+    let (x, y, folded) = order_sides(a, b);
 
     let t1 = CycleTimer::start();
     let mut pairs: Vec<u32> = Vec::new();
-    if folded {
-        for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            pairs.push(i as u32)
-        });
-    } else {
-        for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            pairs.push(i as u32)
-        });
-    }
+    scan_survivors(table.level(), a.lane(), x, y, folded, false, |i| {
+        pairs.push(i as u32)
+    });
     let step1_cycles = t1.elapsed_cycles();
 
     let seg_mask = y.num_segments() - 1;
@@ -1040,15 +1539,7 @@ pub fn intersect_count_breakdown(
     let mut count = 0u64;
     for &i in &pairs {
         let i = i as usize;
-        let j = if folded { i & seg_mask } else { i };
-        // SAFETY: as in `intersect_count_with`.
-        count += unsafe {
-            if folded {
-                table.count_folded(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
-            } else {
-                table.count(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
-            }
-        } as u64;
+        count += u64::from(count_raw_pair(x, y, table, folded, i, i & seg_mask));
     }
     let step2_cycles = t2.elapsed_cycles();
 
@@ -1069,38 +1560,14 @@ pub fn intersect_count_breakdown_pruned(
     table: &KernelTable,
 ) -> (Breakdown, PruneStats) {
     check_compatible(a, b);
-    let level = table.level();
-    let lane = a.lane();
-    let folded = a.bitmap_bits() != b.bitmap_bits();
-    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
-        (a, b)
-    } else {
-        (b, a)
-    };
+    let (x, y, folded) = order_sides(a, b);
 
     let t1 = CycleTimer::start();
     let mut pairs: Vec<u32> = Vec::new();
-    let stats = if folded {
-        for_each_nonzero_lane_folded_pruned(
-            level,
-            lane,
-            x.bitmap_bytes(),
-            y.bitmap_bytes(),
-            x.summary_words(),
-            y.summary_words(),
-            |i| pairs.push(i as u32),
-        )
-    } else {
-        for_each_nonzero_lane_pruned(
-            level,
-            lane,
-            x.bitmap_bytes(),
-            y.bitmap_bytes(),
-            x.summary_words(),
-            y.summary_words(),
-            |i| pairs.push(i as u32),
-        )
-    };
+    let stats = scan_survivors(table.level(), a.lane(), x, y, folded, true, |i| {
+        pairs.push(i as u32)
+    })
+    .expect("pruned scan always reports stats");
     let step1_cycles = t1.elapsed_cycles();
 
     let seg_mask = y.num_segments() - 1;
@@ -1108,15 +1575,7 @@ pub fn intersect_count_breakdown_pruned(
     let mut count = 0u64;
     for &i in &pairs {
         let i = i as usize;
-        let j = if folded { i & seg_mask } else { i };
-        // SAFETY: as in `intersect_count_with`.
-        count += unsafe {
-            if folded {
-                table.count_folded(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
-            } else {
-                table.count(x.seg_ptr(i), x.seg_size(i), y.seg_ptr(j), y.seg_size(j))
-            }
-        } as u64;
+        count += u64::from(count_raw_pair(x, y, table, folded, i, i & seg_mask));
     }
     let step2_cycles = t2.elapsed_cycles();
 
@@ -1148,100 +1607,25 @@ pub fn intersect_count_breakdown_compressed(
     table: &KernelTable,
 ) -> (Breakdown, CompressStats) {
     check_compatible(a, b);
-    let level = table.level();
-    let lane = a.lane();
-    let folded = a.bitmap_bits() != b.bitmap_bits();
-    let (x, y) = if !folded || a.bitmap_bits() > b.bitmap_bits() {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    let px = x.packed().expect("compressed form needs packed tiers");
-    let py = y.packed().expect("compressed form needs packed tiers");
-    let (wx, wy) = (px.width(), py.width());
-    let (xw, yw) = (px.words().as_ptr(), py.words().as_ptr());
-    let seg_mask = y.num_segments() - 1;
-    let log2_s = lane.bits().trailing_zeros();
+    let (x, y, folded) = order_sides(a, b);
 
     let t1 = CycleTimer::start();
     let mut pairs: Vec<u32> = Vec::new();
-    if folded {
-        for_each_nonzero_lane_folded(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            pairs.push(i as u32)
-        });
-    } else {
-        for_each_nonzero_lane(level, lane, x.bitmap_bytes(), y.bitmap_bytes(), |i| {
-            pairs.push(i as u32)
-        });
-    }
+    scan_survivors(table.level(), a.lane(), x, y, folded, false, |i| {
+        pairs.push(i as u32)
+    });
     let step1_cycles = t1.elapsed_cycles();
 
-    let t2 = CycleTimer::start();
-    let mut count = 0u64;
-    // Decoded-element totals; the bytes-saved arithmetic runs once at the
-    // end instead of inside the miss-bound sweep.
-    let (mut kx_total, mut ky_total) = (0u64, 0u64);
     let dist = pipeline_params().prefetch_distance;
-    // Prefetch the packed word a segment's residual run starts in.
-    let pf = |s: &SegmentedSet, words: *const u64, width: u32, i: usize| {
-        let word = (s.seg_entry(i).0 as u64 * u64::from(width)) / 64;
-        // SAFETY: the run start is inside the stream, which `words` spans.
-        prefetch_read(unsafe { words.add(word as usize) });
-    };
-    DECODE_SCRATCH.with(|ds| {
+    let t2 = CycleTimer::start();
+    let (count, stats) = DECODE_SCRATCH.with(|ds| {
         let pair = &mut *ds.borrow_mut();
-        let (da, db) = (&mut pair.0, &mut pair.1);
+        let mut sweep = CompressedSweep::new(x, y, table, (&mut pair.0, &mut pair.1), dist);
+        let mut count = 0u64;
         for k in 0..pairs.len() {
-            // Two-stage prefetch, as in `intersect_count_compressed_with`.
-            if dist != 0 {
-                if k + 2 * dist < pairs.len() {
-                    let far = pairs[k + 2 * dist] as usize;
-                    x.prefetch_seg_entry(far);
-                    y.prefetch_seg_entry(far & seg_mask);
-                }
-                if k + dist < pairs.len() {
-                    let ahead = pairs[k + dist] as usize;
-                    pf(x, xw, wx, ahead);
-                    pf(y, yw, wy, ahead & seg_mask);
-                }
-            }
-            let i = pairs[k] as usize;
-            let j = i & seg_mask;
-            let (xo, kx) = x.seg_entry(i);
-            let (yo, ky) = y.seg_entry(j);
-            let dx = da.prepare(kx);
-            let dy = db.prepare(ky);
-            // SAFETY: as in `intersect_count_compressed_with`.
-            unsafe {
-                table.unpack_segment(
-                    xw,
-                    UnpackJob {
-                        bit_base: xo as u64 * u64::from(wx),
-                        k: kx,
-                        width: wx,
-                        log2_m: x.log2_m(),
-                        log2_s,
-                        seg_index: i as u32,
-                    },
-                    dx,
-                );
-                table.unpack_segment(
-                    yw,
-                    UnpackJob {
-                        bit_base: yo as u64 * u64::from(wy),
-                        k: ky,
-                        width: wy,
-                        log2_m: y.log2_m(),
-                        log2_s,
-                        seg_index: j as u32,
-                    },
-                    dy,
-                );
-                count += u64::from(table.count(dx as *const u32, kx, dy as *const u32, ky));
-            }
-            kx_total += kx as u64;
-            ky_total += ky as u64;
+            count += u64::from(sweep.count_pair(&pairs, k));
         }
+        (count as usize, sweep.stats(pairs.len()))
     });
     let step2_cycles = t2.elapsed_cycles();
 
@@ -1250,13 +1634,9 @@ pub fn intersect_count_breakdown_compressed(
             step1_cycles,
             step2_cycles,
             matched_segments: pairs.len(),
-            count: count as usize,
+            count,
         },
-        CompressStats {
-            segments_decoded: 2 * pairs.len() as u64,
-            bytes_saved: 4 * (kx_total + ky_total)
-                - (kx_total * u64::from(wx) + ky_total * u64::from(wy)) / 8,
-        },
+        stats,
     )
 }
 
@@ -1796,5 +2176,146 @@ mod tests {
         assert_eq!(prune_params().max_survivor_pct, 33);
         assert_eq!(intersect_count_with(&a, &b, &table), want);
         set_prune_params(saved);
+    }
+
+    /// The threshold kernels' contract, under every forced plan: for any
+    /// pair and any threshold `t`, `intersect_count_bounded` returns
+    /// `Some(exact)` exactly when `exact >= t` or `t == 0`, and
+    /// `intersect_count_at_least` returns `exact >= t` — including the
+    /// hostile thresholds 0, 1, `exact ± 1`, and past the smaller side.
+    #[test]
+    fn threshold_kernels_agree_with_exact_on_every_forced_plan() {
+        use crate::plan::{plan_mode, set_plan_mode, PlanMode};
+        let _guard = crate::plan::test_knob_lock();
+        let saved = plan_mode();
+
+        let random_a = gen_sorted(3_000, 42, 60_000);
+        let random_b = gen_sorted(3_000, 99, 60_000);
+        let folded_small = gen_sorted(300, 5, 1_000_000);
+        let folded_big = gen_sorted(20_000, 11, 1_000_000);
+        let skew_small = gen_sorted(64, 21, 1 << 20);
+        let skew_big = gen_sorted(20_000, 23, 1 << 20);
+        let identical = gen_sorted(1_000, 7, 50_000);
+        let disjoint_a: Vec<u32> = (0..1_000u32).map(|i| i * 2).collect();
+        let disjoint_b: Vec<u32> = (0..1_000u32).map(|i| i * 2 + 1).collect();
+        let empty: Vec<u32> = Vec::new();
+        let cases: Vec<(&str, &[u32], &[u32])> = vec![
+            ("random", &random_a, &random_b),
+            ("folded", &folded_small, &folded_big),
+            ("skewed", &skew_small, &skew_big),
+            ("identical", &identical, &identical),
+            ("disjoint", &disjoint_a, &disjoint_b),
+            ("empty", &empty, &random_a),
+        ];
+        let p = FesiaParams::auto();
+        let table = KernelTable::auto();
+        for mode in PlanMode::FORCED {
+            set_plan_mode(mode);
+            let planner = IntersectPlanner::current();
+            for (name, av, bv) in &cases {
+                let a = SegmentedSet::build(av, &p).unwrap();
+                let b = SegmentedSet::build(bv, &p).unwrap();
+                let want = reference(av, bv).len();
+                let min_len = av.len().min(bv.len());
+                for t in [
+                    0,
+                    1,
+                    want.saturating_sub(1),
+                    want,
+                    want + 1,
+                    min_len,
+                    min_len + 1,
+                    min_len * 2 + 3,
+                ] {
+                    let expect = (t == 0 || want >= t).then_some(want);
+                    assert_eq!(
+                        intersect_count_bounded_planned(&a, &b, &table, &planner, t),
+                        expect,
+                        "mode={mode:?} case={name} t={t}"
+                    );
+                    assert_eq!(
+                        intersect_count_at_least_planned(&a, &b, &table, &planner, t),
+                        want >= t,
+                        "mode={mode:?} case={name} t={t}"
+                    );
+                    // Symmetry: the kernels order sides internally.
+                    assert_eq!(
+                        intersect_count_bounded_planned(&b, &a, &table, &planner, t),
+                        expect,
+                        "mode={mode:?} case={name} t={t} swapped"
+                    );
+                }
+            }
+        }
+        set_plan_mode(saved);
+    }
+
+    /// Same contract over the packed (compressed step 2) and container
+    /// tiers, forced on through their knobs so the bounded sweep runs the
+    /// tier paths rather than the raw segment kernels.
+    #[test]
+    fn threshold_kernels_agree_on_forced_compress_and_container_tiers() {
+        use crate::plan::SetSummary;
+        let _guard = crate::plan::test_knob_lock();
+        let p = FesiaParams::auto();
+        let table = KernelTable::auto();
+
+        // Packed tier: sets above the packing floor.
+        let av = gen_sorted(4_000, 81, 80_000);
+        let bv = gen_sorted(4_000, 83, 80_000);
+        let a = SegmentedSet::build(&av, &p).unwrap();
+        let b = SegmentedSet::build(&bv, &p).unwrap();
+        assert!(a.packed().is_some() && b.packed().is_some());
+        let saved_compress = compress_params();
+        set_compress_params(CompressParams::default().with_forced(Some(true)));
+        let planner = IntersectPlanner::current();
+        assert!(matches!(
+            planner.plan_pair(&SetSummary::of(&a), &SetSummary::of(&b)),
+            IntersectPlan::Compressed { .. }
+        ));
+        let want = reference(&av, &bv).len();
+        for t in [0, 1, want, want + 1, av.len() + 7] {
+            let expect = (t == 0 || want >= t).then_some(want);
+            assert_eq!(
+                intersect_count_bounded_planned(&a, &b, &table, &planner, t),
+                expect,
+                "compressed t={t}"
+            );
+            assert_eq!(
+                intersect_count_at_least_planned(&a, &b, &table, &planner, t),
+                want >= t,
+                "compressed t={t}"
+            );
+        }
+        set_compress_params(saved_compress);
+
+        // Container tier: run-heavy value domains.
+        let run_a: Vec<u32> = (0..6_000u32).collect();
+        let run_b: Vec<u32> = (3_000..9_000u32).collect();
+        let ca = SegmentedSet::build(&run_a, &p).unwrap();
+        let cb = SegmentedSet::build(&run_b, &p).unwrap();
+        assert!(ca.container().is_some() && cb.container().is_some());
+        let saved_container = container_params();
+        set_container_params(ContainerParams::default().with_forced(Some(true)));
+        let planner = IntersectPlanner::current();
+        assert!(matches!(
+            planner.plan_pair(&SetSummary::of(&ca), &SetSummary::of(&cb)),
+            IntersectPlan::Container
+        ));
+        let want = 3_000usize;
+        for t in [0, 1, want, want + 1, run_a.len() + 7] {
+            let expect = (t == 0 || want >= t).then_some(want);
+            assert_eq!(
+                intersect_count_bounded_planned(&ca, &cb, &table, &planner, t),
+                expect,
+                "container t={t}"
+            );
+            assert_eq!(
+                intersect_count_at_least_planned(&ca, &cb, &table, &planner, t),
+                want >= t,
+                "container t={t}"
+            );
+        }
+        set_container_params(saved_container);
     }
 }

@@ -34,6 +34,9 @@ pub mod env {
         "FESIA_CONTAINER",
         "FESIA_CONTAINER_MIN",
         "FESIA_CONTAINER_DENSE_PCT",
+        "FESIA_SIMJOIN_BITMAP",
+        "FESIA_SIMJOIN_EARLY_EXIT",
+        "FESIA_SIMJOIN_CHUNK",
     ];
 
     /// `FESIA_*` variables present in the environment that no component
@@ -511,6 +514,84 @@ impl ContainerParams {
     }
 }
 
+/// Tuning knob for the similarity-join filter cascade
+/// ([`crate::simjoin`]).
+///
+/// The cascade's tier 1 (length/prefix candidate generation) is the
+/// baseline and always runs; tiers 2 and 3 are individually switchable
+/// so the `repro simjoin` experiment — and anyone debugging a corpus
+/// where a tier does not pay — can measure each filter's contribution.
+///
+/// The process-wide default is read once from the environment
+/// (`FESIA_SIMJOIN_BITMAP=0|1`, `FESIA_SIMJOIN_EARLY_EXIT=0|1`,
+/// `FESIA_SIMJOIN_CHUNK=N`) and can be changed at runtime with
+/// [`crate::set_simjoin_params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimjoinParams {
+    /// Run the tier-2 summary-bitmap upper-bound filter
+    /// ([`crate::summary_overlap_bound`]) before any segment work.
+    pub bitmap_filter: bool,
+    /// Run tier 3 with the early-exit counting kernels
+    /// ([`crate::intersect_count_at_least`]); off, survivors are decided
+    /// by a full unbounded count (the prefix-filter-only baseline the
+    /// acceptance gate compares against).
+    pub early_exit: bool,
+    /// Candidate pairs per parallel work chunk (the batch scheduler's
+    /// unit of work stealing). 0 lets the driver pick.
+    pub chunk_pairs: usize,
+}
+
+impl Default for SimjoinParams {
+    fn default() -> Self {
+        SimjoinParams {
+            bitmap_filter: true,
+            early_exit: true,
+            chunk_pairs: 0,
+        }
+    }
+}
+
+impl SimjoinParams {
+    /// The defaults, with `FESIA_SIMJOIN_BITMAP` /
+    /// `FESIA_SIMJOIN_EARLY_EXIT` / `FESIA_SIMJOIN_CHUNK` environment
+    /// overrides applied.
+    pub fn from_env() -> Self {
+        SimjoinParams::default().with_env_overrides()
+    }
+
+    /// Apply the environment overrides field-by-field on top of `self`.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(b) = env::parse_bool("FESIA_SIMJOIN_BITMAP") {
+            self.bitmap_filter = b;
+        }
+        if let Some(e) = env::parse_bool("FESIA_SIMJOIN_EARLY_EXIT") {
+            self.early_exit = e;
+        }
+        if let Some(c) = env::parse_usize("FESIA_SIMJOIN_CHUNK") {
+            self.chunk_pairs = c;
+        }
+        self
+    }
+
+    /// Enable or disable the tier-2 summary-bitmap filter.
+    pub fn with_bitmap_filter(mut self, on: bool) -> Self {
+        self.bitmap_filter = on;
+        self
+    }
+
+    /// Enable or disable the tier-3 early-exit kernels.
+    pub fn with_early_exit(mut self, on: bool) -> Self {
+        self.early_exit = on;
+        self
+    }
+
+    /// Override the candidate-pairs-per-chunk scheduling grain.
+    pub fn with_chunk_pairs(mut self, pairs: usize) -> Self {
+        self.chunk_pairs = pairs;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +666,19 @@ mod tests {
         assert_eq!(q.min_elements, 4096);
         assert_eq!(q.decode_millicycles_per_elem, 1500);
         assert_eq!(q.bandwidth_millicycles_per_byte, 700);
+    }
+
+    #[test]
+    fn simjoin_params_builders() {
+        let p = SimjoinParams::default();
+        assert!(p.bitmap_filter && p.early_exit);
+        assert_eq!(p.chunk_pairs, 0);
+        let q = p
+            .with_bitmap_filter(false)
+            .with_early_exit(false)
+            .with_chunk_pairs(512);
+        assert!(!q.bitmap_filter && !q.early_exit);
+        assert_eq!(q.chunk_pairs, 512);
     }
 
     #[test]

@@ -143,6 +143,21 @@ impl IntersectPlan {
     }
 }
 
+/// The planner's answer to a *threshold* query (`|A ∩ B| >= t`?):
+/// either the pair resolves trivially from lengths alone, or it runs an
+/// [`IntersectPlan`] through the early-exit executor
+/// ([`crate::intersect_count_bounded_planned`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdPlan {
+    /// `t == 0`: every pair qualifies; run an unbounded count if the
+    /// caller still wants the exact cardinality.
+    TrivialAccept,
+    /// `t > min(|A|, |B|)`: no intersection can reach the threshold.
+    TrivialReject,
+    /// Run this plan with threshold-aware early exit.
+    Run(IntersectPlan),
+}
+
 /// Multi-set plan: the evaluation order for a k-way intersection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KwayPlan {
@@ -740,6 +755,25 @@ impl IntersectPlanner {
             return IntersectPlan::GallopFallback;
         }
         self.plan_merge(a, b)
+    }
+
+    /// Plan a threshold query — [`IntersectPlanner::plan_pair`] with a
+    /// threshold term resolved first: a zero threshold accepts every
+    /// pair, and a threshold above the smaller side's length rejects
+    /// without touching either set's data.
+    pub fn plan_pair_threshold(
+        &self,
+        a: &SetSummary,
+        b: &SetSummary,
+        threshold: usize,
+    ) -> ThresholdPlan {
+        if threshold == 0 {
+            return ThresholdPlan::TrivialAccept;
+        }
+        if threshold > a.len.min(b.len) {
+            return ThresholdPlan::TrivialReject;
+        }
+        ThresholdPlan::Run(self.plan_pair(a, b))
     }
 
     /// Plan a *materializing* pair for `op` — the same strategy family as

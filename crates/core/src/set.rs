@@ -477,6 +477,28 @@ impl SegmentedSet {
         self.seg_entry(i).1
     }
 
+    /// Exact number of elements hashed into 512-bit bitmap block `blk`.
+    ///
+    /// A block spans a contiguous run of segments and the reordered array
+    /// is grouped by segment, so the population is the difference of two
+    /// `u32` segment offsets — exact (never saturated), which the
+    /// threshold cascade's block-level upper bound relies on: a `min` of
+    /// saturated counts could under-estimate and reject a qualifying
+    /// pair.
+    #[inline]
+    pub fn block_pop(&self, blk: usize) -> usize {
+        let segs_per_block = (SUMMARY_BLOCK_BYTES * 8) / self.lane.bits();
+        let start = blk * segs_per_block;
+        let end = start + segs_per_block;
+        let lo = self.seg_entry(start).0;
+        let hi = if end >= self.num_segments() {
+            self.n
+        } else {
+            self.seg_entry(end).0
+        };
+        hi - lo
+    }
+
     /// Pointer to the start of segment `i` in the reordered array.
     ///
     /// Valid for reads of `seg_size(i) + PAD_LEN` elements: either further
@@ -679,6 +701,25 @@ mod tests {
             SegmentedSet::build(&elements, &params().with_bits_per_element(512.0)).unwrap();
         assert!(sparse.summary_density() < 0.7);
         assert!(sparse.validate());
+    }
+
+    #[test]
+    fn block_pop_sums_segment_sizes() {
+        for lane in [LaneWidth::U8, LaneWidth::U16] {
+            let p = params().with_segment(lane);
+            let elements: Vec<u32> = (0..3000u32).map(|i| i * 13 + 5).collect();
+            let set = SegmentedSet::build(&elements, &p).unwrap();
+            let segs_per_block = 512 / lane.bits();
+            let mut total = 0usize;
+            for blk in 0..set.summary_blocks() {
+                let expect: usize = (blk * segs_per_block..(blk + 1) * segs_per_block)
+                    .map(|i| set.seg_size(i))
+                    .sum();
+                assert_eq!(set.block_pop(blk), expect, "lane={lane:?} blk={blk}");
+                total += set.block_pop(blk);
+            }
+            assert_eq!(total, set.len());
+        }
     }
 
     #[test]

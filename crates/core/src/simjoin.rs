@@ -1,0 +1,824 @@
+//! Exact set-similarity join on the threshold-aware filter cascade
+//! (DESIGN.md §5i).
+//!
+//! A similarity join reports every pair of sets whose intersection
+//! reaches a threshold — an absolute overlap `|A ∩ B| >= t`
+//! ([`Threshold::Overlap`]) or a Jaccard coefficient
+//! `|A ∩ B| / |A ∪ B| >= j` ([`Threshold::Jaccard`]). Evaluating all
+//! `O(n²)` pairs exactly is hopeless; the classical fix (AllPairs /
+//! PPJoin) is a *prefix filter*, and FESIA's summary/segment machinery
+//! adds two cheaper filters on top. The cascade, cheapest first:
+//!
+//! 1. **Length + prefix filter** (candidate generation): with every list
+//!    in one global token order (value-ascending here), a pair reaching
+//!    `t` must share a token in each side's first `len − t + 1` tokens,
+//!    so probing an inverted index of prefixes yields a candidate
+//!    superset without touching the other `t − 1` tokens.
+//! 2. **Summary upper bound** ([`crate::summary_overlap_bound`]): a
+//!    sound bound on `|A ∩ B|` from the summary bitmaps and exact
+//!    per-block populations alone — no segment or element work. Gated
+//!    adaptively: the driver samples the bound's reject rate and stops
+//!    evaluating it for the rest of the join when it is not firing
+//!    (skipping it never changes the survivor set, it only reroutes
+//!    candidates to tier 3).
+//! 3. **Early-exit counting** ([`crate::intersect_count_bounded`]):
+//!    the planner-selected kernel sweep, aborted the moment the residual
+//!    upper bound (matched-so-far + what the unswept remainder could
+//!    contribute) drops below `t`. Survivors complete the sweep, so
+//!    every reported pair carries its exact intersection size.
+//!
+//! Tiers 2 and 3 are individually switchable
+//! ([`crate::params::SimjoinParams`]); with both off the driver is the
+//! prefix-filter-only baseline (exact full count per candidate) that
+//! `repro simjoin` measures the cascade against. Candidate evaluation
+//! runs on the same cache-resident parallel schedule as
+//! [`crate::batch_count_pairs`], and the per-stage
+//! `simjoin_*` counters satisfy
+//! `candidates = bitmap_rejected + early_exited + verified`.
+
+use crate::batch::{cache_resident_order, DisjointOut, MIN_PAIRS_PER_CHUNK};
+use crate::intersect::{
+    auto_count_planned, default_table, intersect_count_bounded_planned, summary_overlap_bound,
+};
+use crate::kernels::KernelTable;
+use crate::params::{env, FesiaParams, SimjoinParams};
+use crate::plan::IntersectPlanner;
+use crate::set::SegmentedSet;
+use fesia_exec::Executor;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Process-wide simjoin knobs (`FESIA_SIMJOIN_*`)
+// ---------------------------------------------------------------------------
+
+/// Tri-state-free packing: bit 0 = bitmap filter, bit 1 = early exit.
+static SIMJOIN_FLAGS: AtomicUsize = AtomicUsize::new(0b11);
+static SIMJOIN_CHUNK: AtomicUsize = AtomicUsize::new(0);
+static SIMJOIN_INIT: OnceLock<()> = OnceLock::new();
+
+fn ensure_simjoin_init() {
+    SIMJOIN_INIT.get_or_init(|| {
+        env::warn_unrecognized();
+        store_simjoin(SimjoinParams::from_env());
+    });
+}
+
+fn store_simjoin(p: SimjoinParams) {
+    let flags = usize::from(p.bitmap_filter) | usize::from(p.early_exit) << 1;
+    SIMJOIN_FLAGS.store(flags, Ordering::Relaxed);
+    SIMJOIN_CHUNK.store(p.chunk_pairs, Ordering::Relaxed);
+}
+
+/// The process-wide [`SimjoinParams`] (after `FESIA_SIMJOIN_*`
+/// initialization).
+pub fn simjoin_params() -> SimjoinParams {
+    ensure_simjoin_init();
+    let flags = SIMJOIN_FLAGS.load(Ordering::Relaxed);
+    SimjoinParams {
+        bitmap_filter: flags & 1 != 0,
+        early_exit: flags & 2 != 0,
+        chunk_pairs: SIMJOIN_CHUNK.load(Ordering::Relaxed),
+    }
+}
+
+/// Replace the process-wide [`SimjoinParams`].
+pub fn set_simjoin_params(p: SimjoinParams) {
+    ensure_simjoin_init();
+    store_simjoin(p);
+}
+
+// ---------------------------------------------------------------------------
+// Thresholds
+// ---------------------------------------------------------------------------
+
+/// The join predicate: which pairs the join reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Threshold {
+    /// Absolute overlap: `|A ∩ B| >= t`. `Overlap(0)` reports every
+    /// pair.
+    Overlap(usize),
+    /// Jaccard coefficient: `|A ∩ B| / |A ∪ B| >= j`, `0.0 <= j <= 1.0`,
+    /// decided by the cross-multiplied integer form
+    /// `c · (1 + j) >= j · (|A| + |B|)` so the exact count settles the
+    /// predicate without division (two empty sets qualify for every
+    /// `j`). `Jaccard(0.0)` reports every pair.
+    Jaccard(f64),
+}
+
+impl Threshold {
+    fn validate(&self) {
+        if let Threshold::Jaccard(j) = *self {
+            assert!(
+                (0.0..=1.0).contains(&j),
+                "Jaccard threshold must be in [0, 1], got {j}"
+            );
+        }
+    }
+
+    /// Does every pair qualify (the prefix filter degenerates)?
+    fn is_trivial(&self) -> bool {
+        match *self {
+            Threshold::Overlap(t) => t == 0,
+            Threshold::Jaccard(j) => j == 0.0,
+        }
+    }
+
+    /// The overlap this pair must reach to qualify: the smallest integer
+    /// `c` satisfying the predicate at these lengths.
+    pub fn t_pair(&self, la: usize, lb: usize) -> usize {
+        match *self {
+            Threshold::Overlap(t) => t,
+            Threshold::Jaccard(j) => {
+                let target = j * (la + lb) as f64;
+                // Guard the float both ways so `t_pair` is exactly the
+                // smallest integer passing `qualifies`.
+                let mut c = (target / (1.0 + j)).ceil() as usize;
+                while c > 0 && ((c - 1) as f64) * (1.0 + j) >= target {
+                    c -= 1;
+                }
+                while (c as f64) * (1.0 + j) < target {
+                    c += 1;
+                }
+                c
+            }
+        }
+    }
+
+    /// Does an exact overlap of `c` at these lengths satisfy the
+    /// predicate?
+    pub fn qualifies(&self, c: usize, la: usize, lb: usize) -> bool {
+        match *self {
+            Threshold::Overlap(t) => c >= t,
+            Threshold::Jaccard(j) => (c as f64) * (1.0 + j) >= j * ((la + lb) as f64),
+        }
+    }
+
+    /// A lower bound on [`Threshold::t_pair`] over every partner this
+    /// set could qualify with — the prefix is `len − t_min + 1` tokens.
+    /// For Jaccard the bound is `⌊j · len⌋` (a qualifying pair has
+    /// `t_pair >= j · max(la, lb)` once the length filter holds), taken
+    /// one token conservative so float rounding can only lengthen the
+    /// prefix, never truncate it.
+    fn t_min(&self, len: usize) -> usize {
+        match *self {
+            Threshold::Overlap(t) => t,
+            Threshold::Jaccard(j) => (j * len as f64).floor() as usize,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// Per-stage cascade tallies for one join run. Every candidate lands in
+/// exactly one of the three outcome buckets:
+/// `candidates = bitmap_rejected + early_exited + verified`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimjoinStats {
+    /// Pairs the length/prefix filter generated (tier 1 survivors).
+    pub candidates: u64,
+    /// Candidates rejected by the tier-2 summary upper bound.
+    pub bitmap_rejected: u64,
+    /// Candidates rejected by tier 3 — the early-exit sweep's residual
+    /// bound, the planner's trivial length reject, or (with early exit
+    /// disabled) an exact count falling short.
+    pub early_exited: u64,
+    /// Candidates confirmed by a completed exact count.
+    pub verified: u64,
+}
+
+/// A similarity join's output: the qualifying index pairs and the
+/// cascade tallies that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimjoinResult {
+    /// Qualifying `(i, j)` index pairs, lexicographically sorted. For a
+    /// self-join `i < j` (each unordered pair once); for an A×B join
+    /// `i` indexes A and `j` indexes B.
+    pub pairs: Vec<(u32, u32)>,
+    /// Per-stage cascade tallies.
+    pub stats: SimjoinStats,
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: length + prefix candidate generation
+// ---------------------------------------------------------------------------
+
+fn assert_sorted_lists(lists: &[Vec<u32>]) {
+    for (i, l) in lists.iter().enumerate() {
+        assert!(
+            l.windows(2).all(|w| w[0] < w[1]),
+            "list {i} is not strictly ascending"
+        );
+    }
+}
+
+/// Candidate pairs of a self-join over `lists` (each strictly
+/// ascending): a superset of the qualifying pairs, each `(i, j)` with
+/// `i < j`, deduplicated, produced by the length + prefix filter alone.
+///
+/// Sets are processed in length-ascending order and probed against an
+/// inverted index of previously-processed prefixes, so every candidate's
+/// first element is the shorter (or equal, earlier) side. A trivial
+/// threshold short-circuits to all pairs — disjoint sets qualify, and
+/// token probing could never find them.
+pub fn candidate_pairs_self(lists: &[Vec<u32>], threshold: Threshold) -> Vec<(u32, u32)> {
+    threshold.validate();
+    assert_sorted_lists(lists);
+    let n = lists.len();
+    if threshold.is_trivial() {
+        let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                out.push((i, j));
+            }
+        }
+        return out;
+    }
+    let mut ord: Vec<u32> = (0..n as u32).collect();
+    ord.sort_by_key(|&i| lists[i as usize].len());
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut stamp = vec![0u32; n];
+    let mut version = 0u32;
+    let mut out = Vec::new();
+    for &r in &ord {
+        let lr = lists[r as usize].len();
+        let t_min = threshold.t_min(lr);
+        if t_min > lr {
+            continue; // can never reach the threshold with any partner
+        }
+        let prefix = &lists[r as usize][..(lr - t_min + 1).min(lr)];
+        version += 1;
+        for &tok in prefix {
+            let Some(ids) = index.get(&tok) else { continue };
+            for &s in ids {
+                if stamp[s as usize] == version {
+                    continue;
+                }
+                stamp[s as usize] = version;
+                let ls = lists[s as usize].len();
+                // Length filter: the pair is feasible only if the
+                // shorter side could hold the required overlap.
+                if threshold.t_pair(ls, lr) <= ls.min(lr) {
+                    out.push((s.min(r), s.max(r)));
+                }
+            }
+        }
+        for &tok in prefix {
+            index.entry(tok).or_default().push(r);
+        }
+    }
+    // Jaccard treats two empty sets as qualifying (see [`Threshold`]);
+    // they carry no tokens, so emit those pairs directly.
+    if matches!(threshold, Threshold::Jaccard(_)) {
+        let empties: Vec<u32> = (0..n as u32)
+            .filter(|&i| lists[i as usize].is_empty())
+            .collect();
+        for (x, &i) in empties.iter().enumerate() {
+            for &j in &empties[x + 1..] {
+                out.push((i, j));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Candidate pairs of an A×B join: each `(i, j)` indexes
+/// `lists_a` / `lists_b` respectively. Same filter structure as
+/// [`candidate_pairs_self`], with B's prefixes indexed and A's probed.
+pub fn candidate_pairs(
+    lists_a: &[Vec<u32>],
+    lists_b: &[Vec<u32>],
+    threshold: Threshold,
+) -> Vec<(u32, u32)> {
+    threshold.validate();
+    assert_sorted_lists(lists_a);
+    assert_sorted_lists(lists_b);
+    if threshold.is_trivial() {
+        let mut out = Vec::with_capacity(lists_a.len() * lists_b.len());
+        for i in 0..lists_a.len() as u32 {
+            for j in 0..lists_b.len() as u32 {
+                out.push((i, j));
+            }
+        }
+        return out;
+    }
+    let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (j, l) in lists_b.iter().enumerate() {
+        let t_min = threshold.t_min(l.len());
+        if t_min > l.len() {
+            continue;
+        }
+        for &tok in &l[..(l.len() - t_min + 1).min(l.len())] {
+            index.entry(tok).or_default().push(j as u32);
+        }
+    }
+    let mut stamp = vec![0u32; lists_b.len()];
+    let mut version = 0u32;
+    let mut out = Vec::new();
+    for (i, l) in lists_a.iter().enumerate() {
+        let la = l.len();
+        let t_min = threshold.t_min(la);
+        if t_min > la {
+            continue;
+        }
+        version += 1;
+        for &tok in &l[..(la - t_min + 1).min(la)] {
+            let Some(ids) = index.get(&tok) else { continue };
+            for &j in ids {
+                if stamp[j as usize] == version {
+                    continue;
+                }
+                stamp[j as usize] = version;
+                let lb = lists_b[j as usize].len();
+                if threshold.t_pair(la, lb) <= la.min(lb) {
+                    out.push((i as u32, j));
+                }
+            }
+        }
+    }
+    if matches!(threshold, Threshold::Jaccard(_)) {
+        for i in 0..lists_a.len() as u32 {
+            if !lists_a[i as usize].is_empty() {
+                continue;
+            }
+            for j in 0..lists_b.len() as u32 {
+                if lists_b[j as usize].is_empty() {
+                    out.push((i, j));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tiers 2 + 3: parallel cascade evaluation
+// ---------------------------------------------------------------------------
+
+const V_BITMAP_REJECTED: u8 = 0;
+const V_EARLY_EXITED: u8 = 1;
+const V_VERIFIED: u8 = 2;
+
+/// Tier-2 bound evaluations sampled before the gate may disable the tier.
+const TIER2_SAMPLE: u64 = 256;
+/// Minimum reject percentage over the sample for the tier to stay on.
+const TIER2_MIN_REJECT_PCT: u64 = 1;
+
+/// Adaptive tier-2 gate. The summary bound touches cachelines tier 3
+/// would not (summaries and block offsets of both operands), so on a
+/// corpus where it never fires it is pure added memory traffic. The gate
+/// samples the first [`TIER2_SAMPLE`] bound evaluations of a join and
+/// switches the tier off for the remainder when the reject rate is under
+/// [`TIER2_MIN_REJECT_PCT`]%. Purely a performance heuristic: the bound
+/// only ever rejects true negatives, so skipping it routes those
+/// candidates to tier 3 and never changes the survivor set. Counters are
+/// unaffected — `bitmap_rejected` records actual rejects only.
+struct Tier2Gate {
+    tries: std::sync::atomic::AtomicU64,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+impl Tier2Gate {
+    fn new() -> Self {
+        Tier2Gate {
+            tries: std::sync::atomic::AtomicU64::new(0),
+            hits: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn active(&self) -> bool {
+        let tries = self.tries.load(Ordering::Relaxed);
+        tries < TIER2_SAMPLE
+            || self.hits.load(Ordering::Relaxed) * 100 >= tries * TIER2_MIN_REJECT_PCT
+    }
+
+    fn record(&self, rejected: bool) {
+        self.tries.fetch_add(1, Ordering::Relaxed);
+        if rejected {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run tiers 2 and 3 on one candidate. Exactly one verdict per call —
+/// the counter identity is enforced here, not reconstructed later.
+fn evaluate_pair(
+    a: &SegmentedSet,
+    b: &SegmentedSet,
+    threshold: Threshold,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    sp: &SimjoinParams,
+    gate: &Tier2Gate,
+) -> u8 {
+    let t = threshold.t_pair(a.len(), b.len());
+    if sp.bitmap_filter && t > 0 && t <= a.len().min(b.len()) && gate.active() {
+        // Tier 2: summary-level upper bound, no segment work. `Some`
+        // means the bound fell short of `t` — a sound reject.
+        let rejected = summary_overlap_bound(a, b, t).is_some();
+        gate.record(rejected);
+        if rejected {
+            return V_BITMAP_REJECTED;
+        }
+    }
+    if sp.early_exit {
+        // Tier 3: early-exit sweep. Survivors complete the sweep, so the
+        // verify is an exact count, not a probabilistic accept.
+        match intersect_count_bounded_planned(a, b, table, planner, t) {
+            Some(c) => {
+                debug_assert!(threshold.qualifies(c, a.len(), b.len()));
+                V_VERIFIED
+            }
+            None => V_EARLY_EXITED,
+        }
+    } else {
+        // Baseline tier 3: full exact count (the prefix-filter-only
+        // driver the cascade is measured against).
+        let c = auto_count_planned(a, b, table, planner);
+        if threshold.qualifies(c, a.len(), b.len()) {
+            V_VERIFIED
+        } else {
+            V_EARLY_EXITED
+        }
+    }
+}
+
+/// Evaluate `cands` over the cascade on the cache-resident parallel
+/// schedule; `sets_b` is `None` for a self-join (both indices into
+/// `sets_a`).
+#[allow(clippy::too_many_arguments)] // internal driver shared by both join shapes
+fn evaluate_candidates(
+    sets_a: &[SegmentedSet],
+    sets_b: Option<&[SegmentedSet]>,
+    cands: Vec<(u32, u32)>,
+    threshold: Threshold,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    sp: &SimjoinParams,
+    threads: usize,
+) -> SimjoinResult {
+    assert!(threads >= 1, "need at least one thread");
+    let side_b = sets_b.unwrap_or(sets_a);
+    // The cache-resident scheduler keys on set ids; give B sets distinct
+    // ids for the A×B shape so operand reuse is still visible to it.
+    let sched: Vec<(u32, u32)> = match sets_b {
+        None => cands.clone(),
+        Some(_) => cands
+            .iter()
+            .map(|&(i, j)| (i, sets_a.len() as u32 + j))
+            .collect(),
+    };
+    let order = cache_resident_order(sets_a.len() + side_b.len(), &sched);
+    let grain = if sp.chunk_pairs > 0 {
+        sp.chunk_pairs
+    } else {
+        MIN_PAIRS_PER_CHUNK
+    };
+    let mut verdicts = vec![0u8; cands.len()];
+    let out = DisjointOut(verdicts.as_mut_ptr());
+    let gate = Tier2Gate::new();
+    Executor::global().for_each_chunk(cands.len(), grain, threads, |range| {
+        let out = &out;
+        for &k in &order[range] {
+            let (i, j) = cands[k as usize];
+            let v = evaluate_pair(
+                &sets_a[i as usize],
+                &side_b[j as usize],
+                threshold,
+                table,
+                planner,
+                sp,
+                &gate,
+            );
+            // SAFETY: chunk ranges partition 0..order.len() and `order`
+            // is a permutation of candidate indices, so each slot is
+            // written by exactly one worker.
+            unsafe { out.0.add(k as usize).write(v) };
+        }
+    });
+    let mut stats = SimjoinStats {
+        candidates: cands.len() as u64,
+        ..SimjoinStats::default()
+    };
+    let mut pairs = Vec::new();
+    for (k, &v) in verdicts.iter().enumerate() {
+        match v {
+            V_BITMAP_REJECTED => stats.bitmap_rejected += 1,
+            V_EARLY_EXITED => stats.early_exited += 1,
+            _ => {
+                stats.verified += 1;
+                pairs.push(cands[k]);
+            }
+        }
+    }
+    let m = fesia_obs::metrics();
+    m.simjoin_candidates.add(stats.candidates);
+    m.simjoin_bitmap_rejected.add(stats.bitmap_rejected);
+    m.simjoin_early_exited.add(stats.early_exited);
+    m.simjoin_verified.add(stats.verified);
+    SimjoinResult { pairs, stats }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Self-join: every unordered pair of `lists` satisfying `threshold`,
+/// via prebuilt sets (all built with one [`FesiaParams`]) and explicit
+/// table / planner / cascade knobs. `sets[i]` must contain exactly the
+/// elements of `lists[i]`.
+#[allow(clippy::too_many_arguments)] // explicit-knob variant mirrors the *_planned family
+pub fn self_join_with(
+    sets: &[SegmentedSet],
+    lists: &[Vec<u32>],
+    threshold: Threshold,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    sp: &SimjoinParams,
+    threads: usize,
+) -> SimjoinResult {
+    assert_eq!(sets.len(), lists.len(), "sets/lists length mismatch");
+    let cands = candidate_pairs_self(lists, threshold);
+    evaluate_candidates(sets, None, cands, threshold, table, planner, sp, threads)
+}
+
+/// Self-join with process defaults: sets built with
+/// [`FesiaParams::auto`], the default kernel table, the current planner
+/// snapshot, and the `FESIA_SIMJOIN_*` knobs.
+pub fn self_join(lists: &[Vec<u32>], threshold: Threshold, threads: usize) -> SimjoinResult {
+    let p = FesiaParams::auto();
+    let sets: Vec<SegmentedSet> = lists
+        .iter()
+        .map(|l| SegmentedSet::build(l, &p).expect("valid input list"))
+        .collect();
+    let planner = IntersectPlanner::current();
+    self_join_with(
+        &sets,
+        lists,
+        threshold,
+        default_table(),
+        &planner,
+        &simjoin_params(),
+        threads,
+    )
+}
+
+/// A×B join: every `(i, j)` with `lists_a[i]` and `lists_b[j]`
+/// satisfying `threshold`. Both set slices must be built with the same
+/// [`FesiaParams`].
+#[allow(clippy::too_many_arguments)] // explicit-knob variant mirrors the *_planned family
+pub fn join_with(
+    sets_a: &[SegmentedSet],
+    lists_a: &[Vec<u32>],
+    sets_b: &[SegmentedSet],
+    lists_b: &[Vec<u32>],
+    threshold: Threshold,
+    table: &KernelTable,
+    planner: &IntersectPlanner,
+    sp: &SimjoinParams,
+    threads: usize,
+) -> SimjoinResult {
+    assert_eq!(sets_a.len(), lists_a.len(), "sets/lists length mismatch");
+    assert_eq!(sets_b.len(), lists_b.len(), "sets/lists length mismatch");
+    let cands = candidate_pairs(lists_a, lists_b, threshold);
+    evaluate_candidates(
+        sets_a,
+        Some(sets_b),
+        cands,
+        threshold,
+        table,
+        planner,
+        sp,
+        threads,
+    )
+}
+
+/// A×B join with process defaults (see [`self_join`]).
+pub fn join(
+    lists_a: &[Vec<u32>],
+    lists_b: &[Vec<u32>],
+    threshold: Threshold,
+    threads: usize,
+) -> SimjoinResult {
+    let p = FesiaParams::auto();
+    let build = |lists: &[Vec<u32>]| -> Vec<SegmentedSet> {
+        lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).expect("valid input list"))
+            .collect()
+    };
+    let (sets_a, sets_b) = (build(lists_a), build(lists_b));
+    let planner = IntersectPlanner::current();
+    join_with(
+        &sets_a,
+        lists_a,
+        &sets_b,
+        lists_b,
+        threshold,
+        default_table(),
+        &planner,
+        &simjoin_params(),
+        threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_sorted(n: usize, seed: u64, universe: u32) -> Vec<u32> {
+        let mut state = seed | 1;
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            set.insert((state % universe as u64) as u32);
+        }
+        set.into_iter().collect()
+    }
+
+    fn overlap(a: &[u32], b: &[u32]) -> usize {
+        let sb: std::collections::BTreeSet<u32> = b.iter().copied().collect();
+        a.iter().filter(|x| sb.contains(x)).count()
+    }
+
+    fn oracle_self(lists: &[Vec<u32>], th: Threshold) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..lists.len() {
+            for j in i + 1..lists.len() {
+                let c = overlap(&lists[i], &lists[j]);
+                if th.qualifies(c, lists[i].len(), lists[j].len()) {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    /// A clustered corpus with known structure: groups share a large
+    /// core, plus unrelated singletons.
+    fn clustered(groups: usize, per_group: usize, n: usize, universe: u32) -> Vec<Vec<u32>> {
+        let mut lists = Vec::new();
+        for g in 0..groups {
+            let core = gen_sorted(n * 9 / 10, 1000 + g as u64, universe);
+            for m in 0..per_group {
+                let mut l: std::collections::BTreeSet<u32> = core.iter().copied().collect();
+                let extra = gen_sorted(n / 10, 5000 + (g * per_group + m) as u64, universe);
+                l.extend(extra);
+                lists.push(l.into_iter().collect());
+            }
+        }
+        for s in 0..groups * per_group {
+            lists.push(gen_sorted(n, 90_000 + s as u64, universe));
+        }
+        lists
+    }
+
+    #[test]
+    fn t_pair_is_smallest_qualifying_overlap() {
+        for &j in &[0.1, 0.25, 1.0 / 3.0, 0.5, 0.7, 0.85, 0.999, 1.0] {
+            let th = Threshold::Jaccard(j);
+            for &(la, lb) in &[(0usize, 0usize), (1, 1), (5, 9), (100, 100), (997, 1013)] {
+                let t = th.t_pair(la, lb);
+                assert!(th.qualifies(t, la, lb), "j={j} la={la} lb={lb} t={t}");
+                if t > 0 {
+                    assert!(!th.qualifies(t - 1, la, lb), "j={j} la={la} lb={lb} t={t}");
+                }
+                assert!(t <= th.t_pair(la + 1, lb), "monotone in length");
+            }
+        }
+        assert_eq!(Threshold::Overlap(7).t_pair(3, 900), 7);
+    }
+
+    #[test]
+    fn candidates_are_a_superset_of_qualifying_pairs() {
+        let lists = clustered(2, 3, 80, 4_000);
+        for th in [
+            Threshold::Overlap(60),
+            Threshold::Overlap(1),
+            Threshold::Jaccard(0.6),
+            Threshold::Jaccard(0.05),
+        ] {
+            let cands = candidate_pairs_self(&lists, th);
+            assert!(
+                cands.windows(2).all(|w| w[0] < w[1]),
+                "sorted and deduplicated"
+            );
+            let want = oracle_self(&lists, th);
+            for p in &want {
+                assert!(cands.contains(p), "{th:?}: qualifying pair {p:?} missed");
+            }
+        }
+        // Trivial thresholds must include disjoint pairs.
+        let n = lists.len() as u32;
+        assert_eq!(
+            candidate_pairs_self(&lists, Threshold::Overlap(0)).len(),
+            (n * (n - 1) / 2) as usize
+        );
+    }
+
+    #[test]
+    fn self_join_matches_oracle_and_counters_balance() {
+        let lists = clustered(2, 3, 80, 4_000);
+        for th in [
+            Threshold::Overlap(60),
+            Threshold::Overlap(0),
+            Threshold::Jaccard(0.6),
+            Threshold::Jaccard(0.0),
+        ] {
+            for threads in [1usize, 4] {
+                let r = self_join(&lists, th, threads);
+                assert_eq!(r.pairs, oracle_self(&lists, th), "{th:?} threads={threads}");
+                assert_eq!(
+                    r.stats.candidates,
+                    r.stats.bitmap_rejected + r.stats.early_exited + r.stats.verified,
+                    "{th:?}: counters must account for every candidate"
+                );
+                assert_eq!(r.stats.verified as usize, r.pairs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn every_cascade_configuration_agrees() {
+        let lists = clustered(2, 3, 60, 3_000);
+        let p = FesiaParams::auto();
+        let sets: Vec<SegmentedSet> = lists
+            .iter()
+            .map(|l| SegmentedSet::build(l, &p).unwrap())
+            .collect();
+        let planner = IntersectPlanner::current();
+        let th = Threshold::Overlap(45);
+        let want = oracle_self(&lists, th);
+        for bitmap in [false, true] {
+            for early in [false, true] {
+                let sp = SimjoinParams::default()
+                    .with_bitmap_filter(bitmap)
+                    .with_early_exit(early);
+                let r = self_join_with(&sets, &lists, th, default_table(), &planner, &sp, 2);
+                assert_eq!(r.pairs, want, "bitmap={bitmap} early={early}");
+                assert_eq!(
+                    r.stats.candidates,
+                    r.stats.bitmap_rejected + r.stats.early_exited + r.stats.verified
+                );
+                if !bitmap {
+                    assert_eq!(r.stats.bitmap_rejected, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_join_matches_naive() {
+        let a = clustered(1, 2, 50, 2_000);
+        let b = clustered(1, 3, 50, 2_000);
+        for th in [Threshold::Overlap(10), Threshold::Jaccard(0.2)] {
+            let r = join(&a, &b, th, 2);
+            let mut want = Vec::new();
+            for (i, sa) in a.iter().enumerate() {
+                for (j, sb) in b.iter().enumerate() {
+                    let c = overlap(sa, sb);
+                    if th.qualifies(c, sa.len(), sb.len()) {
+                        want.push((i as u32, j as u32));
+                    }
+                }
+            }
+            assert_eq!(r.pairs, want, "{th:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(self_join(&[], Threshold::Overlap(1), 1).pairs.is_empty());
+        let lists = vec![vec![], vec![], vec![1, 2, 3]];
+        // Two empty sets qualify under Jaccard (0/0 treated as full
+        // similarity), never under a positive overlap.
+        let r = self_join(&lists, Threshold::Jaccard(0.5), 1);
+        assert_eq!(r.pairs, vec![(0, 1)]);
+        let r = self_join(&lists, Threshold::Overlap(1), 1);
+        assert!(r.pairs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "Jaccard threshold")]
+    fn out_of_range_jaccard_panics() {
+        let _ = candidate_pairs_self(&[], Threshold::Jaccard(1.5));
+    }
+
+    #[test]
+    fn simjoin_knob_round_trips() {
+        let saved = simjoin_params();
+        let q = SimjoinParams::default()
+            .with_bitmap_filter(false)
+            .with_chunk_pairs(99);
+        set_simjoin_params(q);
+        assert_eq!(simjoin_params(), q);
+        set_simjoin_params(saved);
+    }
+}

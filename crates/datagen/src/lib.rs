@@ -18,7 +18,8 @@ pub mod zipf;
 
 pub use rng::SplitMix64;
 pub use sets::{
-    clustered_pair, ksets_with_density, ksets_with_intersection, pair_with_intersection,
-    reference_count, run_heavy_pair, skewed_pair, sorted_distinct, MAX_VALUE,
+    clustered_pair, join_corpus_clustered, join_corpus_zipf, ksets_with_density,
+    ksets_with_intersection, pair_with_intersection, reference_count, run_heavy_pair, skewed_pair,
+    sorted_distinct, MAX_VALUE,
 };
 pub use zipf::Zipf;

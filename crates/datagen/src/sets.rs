@@ -220,6 +220,97 @@ pub fn run_heavy_pair(
     (a, b)
 }
 
+/// A similarity-join corpus: `groups` clusters of `per_group` members
+/// each sharing a cluster-private core of `round(core_frac * n)` elements
+/// (topped up to `n` with member-private uniform values), followed by
+/// `background` unrelated uniform sets of `n` elements, all over
+/// `[0, universe)`.
+///
+/// Intra-cluster pairs overlap in at least the core (`~core_frac * n`
+/// elements), cross-cluster and background pairs overlap only by chance
+/// (`~n^2 / universe` expected) — so an overlap threshold between those
+/// two levels makes exactly the intra-cluster pairs qualify. This is the
+/// `repro simjoin` workload.
+///
+/// # Panics
+/// Panics if `core_frac` is outside `[0, 1]`, or if `universe` cannot
+/// hold `n` distinct values (see [`sorted_distinct`]).
+pub fn join_corpus_clustered(
+    groups: usize,
+    per_group: usize,
+    background: usize,
+    n: usize,
+    core_frac: f64,
+    universe: u32,
+    rng: &mut SplitMix64,
+) -> Vec<Vec<u32>> {
+    assert!(
+        (0.0..=1.0).contains(&core_frac),
+        "core_frac must be in [0, 1]"
+    );
+    let core_n = ((core_frac * n as f64).round() as usize).min(n);
+    let mut out = Vec::with_capacity(groups * per_group + background);
+    for _ in 0..groups {
+        let core = sorted_distinct(core_n, universe, rng);
+        let core_set: HashSet<u32> = core.iter().copied().collect();
+        for _ in 0..per_group {
+            let mut member = core.clone();
+            let mut seen = HashSet::with_capacity((n - core_n) * 2);
+            while member.len() < n {
+                let v = rng.below(universe as u64) as u32;
+                if !core_set.contains(&v) && seen.insert(v) {
+                    member.push(v);
+                }
+            }
+            member.sort_unstable();
+            out.push(member);
+        }
+    }
+    for _ in 0..background {
+        out.push(sorted_distinct(n, universe, rng));
+    }
+    out
+}
+
+/// A similarity-join corpus with Zipf-skewed token frequencies:
+/// `num_sets` sets of `n` distinct tokens each, every token drawn from a
+/// Zipf(`s`) distribution over `[0, universe)` (token `k` has sampling
+/// weight `(k+1)^-s`). Hot head tokens recur across most sets while the
+/// long tail individualizes each set — the frequency profile of
+/// text/web-document similarity-join workloads.
+///
+/// # Panics
+/// Panics if `n > universe`, `universe == 0` or `universe > MAX_VALUE`,
+/// or if `s` is not positive and finite (see [`crate::zipf::Zipf`]).
+pub fn join_corpus_zipf(
+    num_sets: usize,
+    n: usize,
+    universe: u32,
+    s: f64,
+    rng: &mut SplitMix64,
+) -> Vec<Vec<u32>> {
+    assert!(
+        universe as usize >= n,
+        "universe too small for n distinct values"
+    );
+    assert!(universe <= MAX_VALUE, "universe exceeds the element domain");
+    let zipf = crate::zipf::Zipf::new(universe as u64, s);
+    let mut out = Vec::with_capacity(num_sets);
+    for _ in 0..num_sets {
+        let mut seen = HashSet::with_capacity(n * 2);
+        let mut set = Vec::with_capacity(n);
+        while set.len() < n {
+            let v = (zipf.sample(rng) - 1) as u32;
+            if seen.insert(v) {
+                set.push(v);
+            }
+        }
+        set.sort_unstable();
+        out.push(set);
+    }
+    out
+}
+
 /// Exact intersection size of two sorted runs (test/verification helper).
 pub fn reference_count(a: &[u32], b: &[u32]) -> usize {
     let (mut i, mut j, mut r) = (0, 0, 0);
@@ -363,5 +454,55 @@ mod tests {
     #[should_panic(expected = "universe too small")]
     fn impossible_request_panics() {
         let _ = sorted_distinct(11, 10, &mut SplitMix64::new(1));
+    }
+
+    #[test]
+    fn join_corpus_clustered_properties() {
+        let mut rng = SplitMix64::new(11);
+        let (groups, per_group, background, n) = (3, 4, 10, 200);
+        let sets = join_corpus_clustered(groups, per_group, background, n, 0.9, 1 << 21, &mut rng);
+        assert_eq!(sets.len(), groups * per_group + background);
+        for s in &sets {
+            assert_eq!(s.len(), n);
+            assert!(is_sorted_distinct(s));
+            assert!(s.iter().all(|&x| x < 1 << 21));
+        }
+        let core_n = (0.9 * n as f64).round() as usize;
+        // Intra-cluster pairs share at least the core; everything else is
+        // near-disjoint (chance overlap ~ n^2/universe << core).
+        for g in 0..groups {
+            for i in 0..per_group {
+                for j in (i + 1)..per_group {
+                    let c = reference_count(&sets[g * per_group + i], &sets[g * per_group + j]);
+                    assert!(c >= core_n, "intra-cluster overlap {c} < core {core_n}");
+                }
+            }
+        }
+        let cross = reference_count(&sets[0], &sets[per_group]);
+        assert!(
+            cross < core_n / 2,
+            "cross-cluster overlap too high: {cross}"
+        );
+        let bg = reference_count(&sets[0], &sets[groups * per_group]);
+        assert!(bg < core_n / 2, "background overlap too high: {bg}");
+    }
+
+    #[test]
+    fn join_corpus_zipf_properties() {
+        let mut rng = SplitMix64::new(12);
+        let sets = join_corpus_zipf(6, 300, 1 << 20, 1.0, &mut rng);
+        assert_eq!(sets.len(), 6);
+        for s in &sets {
+            assert_eq!(s.len(), 300);
+            assert!(is_sorted_distinct(s));
+            assert!(s.iter().all(|&x| x < 1 << 20));
+        }
+        // Skew: the hot head recurs, so sets overlap far more than the
+        // uniform expectation (300^2 / 2^20 ~ 0.09 elements).
+        let c = reference_count(&sets[0], &sets[1]);
+        assert!(c > 10, "Zipf sets should share the hot head, got {c}");
+        // Determinism.
+        let again = join_corpus_zipf(6, 300, 1 << 20, 1.0, &mut SplitMix64::new(12));
+        assert_eq!(sets, again);
     }
 }

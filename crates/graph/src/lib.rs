@@ -24,5 +24,5 @@ pub use cliques::{clique_size_histogram, maximal_cliques};
 pub use clustering::{average_clustering, local_clustering, per_vertex_triangles, transitivity};
 pub use csr::CsrGraph;
 pub use generate::{barabasi_albert, erdos_renyi, rmat, GraphPreset};
-pub use similarity::{cosine, jaccard, neighborhood_union, recommend, Candidate};
+pub use similarity::{cosine, jaccard, neighborhood_union, recommend, similar_pairs, Candidate};
 pub use triangles::{common_neighbors, count_reference, count_with_method, FesiaGraph};

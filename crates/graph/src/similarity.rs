@@ -5,6 +5,7 @@
 
 use crate::csr::CsrGraph;
 use fesia_baselines::SliceIntersector;
+use fesia_core::simjoin::{self_join, SimjoinResult, Threshold};
 use fesia_core::{FesiaParams, SegmentedSet};
 
 /// Jaccard similarity of two vertices' neighborhoods:
@@ -107,6 +108,27 @@ pub fn recommend(g: &CsrGraph, u: u32, k: usize, method: &dyn SliceIntersector) 
     scored
 }
 
+/// All vertex pairs `(u, v)`, `u < v`, whose neighborhoods meet
+/// `threshold` — the whole-graph generalization of [`jaccard`]: instead
+/// of scoring one pair at a time, the threshold-aware filter cascade in
+/// [`fesia_core::simjoin`] prunes the quadratic pair space down to the
+/// qualifying pairs (prefix filter, then summary-bitmap bound, then
+/// early-exit counting kernels).
+///
+/// `threads = 0` uses all available cores. Returns the qualifying pairs
+/// plus per-tier cascade statistics.
+pub fn similar_pairs(g: &CsrGraph, threshold: Threshold, threads: usize) -> SimjoinResult {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let lists: Vec<Vec<u32>> = (0..g.num_nodes() as u32)
+        .map(|u| g.neighbors(u).to_vec())
+        .collect();
+    self_join(&lists, threshold, threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +203,29 @@ mod tests {
         assert_eq!(
             fesia_obs::metrics().graph_neighborhood_unions.get() - before,
             4
+        );
+    }
+
+    #[test]
+    fn similar_pairs_matches_pairwise_jaccard() {
+        let g = crate::generate::barabasi_albert(300, 4, 42);
+        let j = 0.3;
+        let res = similar_pairs(&g, Threshold::Jaccard(j), 1);
+        let mut want = Vec::new();
+        for u in 0..g.num_nodes() as u32 {
+            for v in (u + 1)..g.num_nodes() as u32 {
+                let c = Method::Scalar.count(g.neighbors(u), g.neighbors(v));
+                let union = g.degree(u) + g.degree(v) - c;
+                // Cross-multiplied predicate, exactly as simjoin decides it.
+                if c as f64 * (1.0 + j) >= j * (union + c) as f64 {
+                    want.push((u, v));
+                }
+            }
+        }
+        assert_eq!(res.pairs, want);
+        assert_eq!(
+            res.stats.candidates,
+            res.stats.bitmap_rejected + res.stats.early_exited + res.stats.verified
         );
     }
 

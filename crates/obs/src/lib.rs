@@ -401,6 +401,14 @@ define_metrics! {
             "Run-container ranges touched by container-directory operations.",
         container_word_ops:
             "64-bit word operations executed by container word-bitmap kernels.",
+        simjoin_candidates:
+            "Candidate pairs generated by the similarity-join prefix filter.",
+        simjoin_bitmap_rejected:
+            "Candidates rejected by the tier-2 summary-bitmap upper bound.",
+        simjoin_early_exited:
+            "Candidates rejected by tier-3 early-exit counting (incl. trivial length rejects).",
+        simjoin_verified:
+            "Candidates verified as join results by an exact threshold count.",
     }
     histograms {
         intersect_cycles:

@@ -103,6 +103,28 @@ if [[ "${1:-}" == "--smoke" ]]; then
     }
     echo "algebra gates OK (results match, materialize/count ratio ${ratio}x)"
 
+    echo "== tier1: repro simjoin --scale smoke =="
+    ./target/release/repro simjoin --scale smoke
+    echo "== tier1: simjoin gates (BENCH_simjoin.json) =="
+    grep -q '"pairs_match": true' BENCH_simjoin.json || {
+        echo "tier1: FAIL — cascade survivor pairs differ from the prefix-filter baseline"
+        exit 1
+    }
+    grep -q '"counters_balance": true' BENCH_simjoin.json || {
+        echo "tier1: FAIL — simjoin counters do not account for every candidate"
+        exit 1
+    }
+    grep -q '"survivors_expected": true' BENCH_simjoin.json || {
+        echo "tier1: FAIL — survivor count differs from the corpus construction"
+        exit 1
+    }
+    speedup=$(sed -n 's/.*"cascade_speedup": \([0-9.]*\).*/\1/p' BENCH_simjoin.json | head -1)
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.4) }' || {
+        echo "tier1: FAIL — cascade speedup ${speedup}x over prefix-only baseline below 1.4x"
+        exit 1
+    }
+    echo "simjoin gates OK (pairs match, counters balance, cascade ${speedup}x)"
+
     echo "== tier1: fesia tune --quick round-trip =="
     profile=$(mktemp -t fesia-profile-XXXXXX.json)
     ./target/release/fesia tune --quick --profile "$profile" | grep -q "reload verified" || {
