@@ -44,11 +44,18 @@ fn speedup_row(
         assert_eq!(got, want, "{}", m.name());
         cells.push(format!("{:.2}x", scalar_c as f64 / c.max(1) as f64));
     }
+    // Resolve terms through one pinned snapshot (the serving-layer read
+    // path); the measured kernel work is unchanged.
+    let snap = fesia.snapshot();
     let (c, got) = measure_cycles(reps, || {
         queries
             .iter()
             .map(|q| {
-                let sets: Vec<_> = q.terms.iter().map(|&t| fesia.set(t)).collect();
+                let sets: Vec<_> = q
+                    .terms
+                    .iter()
+                    .map(|&t| snap.get(t).expect("term id").set().base())
+                    .collect();
                 fesia_core::kway_count_with(&sets, table)
             })
             .sum::<usize>()

@@ -18,6 +18,8 @@ pub mod memory;
 pub mod obs;
 pub mod plan;
 pub mod prune;
+#[cfg(feature = "serve")]
+pub mod serve;
 pub mod simjoin;
 pub mod table2;
 
@@ -59,6 +61,13 @@ pub fn run(id: &str, scale: Scale) -> Option<String> {
         "obs" => obs::run(scale),
         "memory" => memory::run(scale),
         "simjoin" => simjoin::run(scale),
+        #[cfg(feature = "serve")]
+        "serve" => serve::run(scale),
+        #[cfg(not(feature = "serve"))]
+        "serve" => {
+            eprintln!("`serve` needs a harness built with --features serve");
+            return None;
+        }
         _ => return None,
     })
 }

@@ -20,6 +20,8 @@ usage:
   fesia kway SET.fsia SET.fsia [SET.fsia ...]
   fesia simjoin SETS.txt --overlap T | --jaccard J [--threads N]
   fesia tune [--quick] [--profile PATH]
+  fesia serve [--tcp ADDR] [--shards N] [--script FILE] [--max-sets N]
+              (requires building with --features serve)
 
 Boolean queries: `algebra` materializes A AND B (intersection), A OR B
 (union), A ANDNOT B (difference), or A XOR B (symmetric difference),
@@ -33,7 +35,13 @@ line, followed by a '#'-prefixed cascade-statistics line.
 Text inputs: one u32 per line; '#' comments and blank lines ignored.
 `tune` calibrates strategy crossovers on this machine and writes a
 machine profile (default: FESIA_PROFILE or ~/.fesia/profile.json) that
-the planner loads on startup.";
+the planner loads on startup.
+
+Serving: `serve` runs the concurrently-updatable serving layer behind
+a line protocol (ADD/DEL/CARD/COUNT/AND/OR/BOOL, QUIT to close) — over
+stdin by default, a TCP listener with --tcp HOST:PORT, or a scripted
+command file with --script. Shard count defaults to FESIA_SERVE_SHARDS
+or the executor's lane count.";
 
 /// Errors surfaced to the binary's `main`.
 #[derive(Debug)]
@@ -648,6 +656,62 @@ fn cmd_tune(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `fesia serve`: the line-protocol serving layer over stdin, a TCP
+/// listener, or a scripted command file.
+#[cfg(feature = "serve")]
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    use fesia_serve::{serve_lines, serve_tcp, ServeConfig, Server};
+
+    let mut tcp: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut max_sets: Option<u32> = None;
+    let mut config = ServeConfig::from_env();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--tcp" => tcp = Some(value(&mut i)?),
+            "--script" => script = Some(value(&mut i)?),
+            "--shards" => {
+                let v = value(&mut i)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --shards `{v}`")))?;
+                config = config.with_shards(n);
+            }
+            "--max-sets" => {
+                let v = value(&mut i)?;
+                max_sets = Some(
+                    v.parse()
+                        .map_err(|_| CliError::Usage(format!("bad --max-sets `{v}`")))?,
+                );
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let mut server = Server::new(config);
+    if let Some(n) = max_sets {
+        server = server.with_max_sets(n);
+    }
+    if let Some(addr) = tcp {
+        serve_tcp(std::sync::Arc::new(server), &addr).map_err(CliError::Io)
+    } else if let Some(path) = script {
+        let file = std::fs::File::open(path)?;
+        serve_lines(&server, std::io::BufReader::new(file), out).map_err(CliError::Io)
+    } else {
+        let stdin = std::io::stdin();
+        serve_lines(&server, stdin.lock(), out).map_err(CliError::Io)
+    }
+}
+
 /// Dispatch a full argument vector (everything after the binary name).
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
@@ -660,6 +724,13 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("kway") => cmd_kway(&args[1..], out),
         Some("simjoin") => cmd_simjoin(&args[1..], out),
         Some("tune") => cmd_tune(&args[1..], out),
+        #[cfg(feature = "serve")]
+        Some("serve") => cmd_serve(&args[1..], out),
+        #[cfg(not(feature = "serve"))]
+        Some("serve") => Err(CliError::Usage(
+            "this binary was built without the `serve` feature (rebuild with --features serve)"
+                .into(),
+        )),
         Some("--help") | Some("-h") => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -1021,5 +1092,52 @@ mod tests {
         let err = run(&s(&["info", bogus.to_str().unwrap()]), &mut out).unwrap_err();
         assert!(matches!(err, CliError::Decode(_)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "serve")]
+    #[test]
+    fn serve_runs_a_scripted_session() {
+        let dir = tmpdir();
+        let script = dir.join("session.txt");
+        std::fs::write(
+            &script,
+            "ADD 0 5\nADD 0 9\nADD 1 9\nCOUNT 0 1\nAND 0 1\nBOGUS\nQUIT\n",
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(
+            &s(&[
+                "serve",
+                "--shards",
+                "2",
+                "--script",
+                script.to_str().unwrap(),
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let got = String::from_utf8(out).unwrap();
+        assert_eq!(got, "OK\nOK\nOK\n1\n9\nERR unknown command `BOGUS`\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "serve")]
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(matches!(
+            run(&s(&["serve", "--shards", "x"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&s(&["serve", "--frob"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[cfg(not(feature = "serve"))]
+    #[test]
+    fn serve_without_the_feature_reports_usage() {
+        let err = run(&s(&["serve"]), &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 }

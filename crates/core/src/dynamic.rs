@@ -12,37 +12,86 @@
 //!
 //! Intersections decompose exactly (no approximation): with
 //! `A = (baseA \ delA) ∪ addA`, the count is the base-vs-base FESIA count
-//! corrected by probes of the (small) deltas. When a delta outgrows
-//! [`DynamicSet::REBUILD_FRACTION`] of the base, the set is re-encoded.
+//! corrected by probes of the (small) deltas. When a delta outgrows the
+//! configured rebuild fraction of the base
+//! ([`crate::params::DynamicParams`], default
+//! [`DynamicSet::REBUILD_FRACTION`], env `FESIA_REBUILD_FRACTION`), the
+//! set is re-encoded.
+//!
+//! The base is held behind an [`Arc`], so cloning a `DynamicSet` — the
+//! copy-on-write step of the serving layer's publish path — copies only
+//! the delta vectors, never the encoded base.
 
 use crate::error::BuildError;
 use crate::intersect::auto_count_planned;
 use crate::kernels::KernelTable;
-use crate::params::FesiaParams;
+use crate::params::{DynamicParams, FesiaParams};
 use crate::plan::IntersectPlanner;
 use crate::set::SegmentedSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `DynamicParams::rebuild_fraction` as f64 bits (atomics hold no
+/// floats); initialized to the documented default.
+static REBUILD_FRACTION_BITS: AtomicU64 = AtomicU64::new(0x3FD0_0000_0000_0000); // 0.25
+
+/// Raw store of the dynamic-set knobs, with no initialization check
+/// (`crate::plan::ensure_init` uses this from inside its `OnceLock`
+/// closure — see `store_pipeline`).
+pub(crate) fn store_dynamic(p: DynamicParams) {
+    REBUILD_FRACTION_BITS.store(p.rebuild_fraction.to_bits(), Ordering::Relaxed);
+}
+
+/// The process-wide [`DynamicParams`] governing when a [`DynamicSet`]
+/// folds its deltas (profile + env layering done by the planner's
+/// one-shot initialization).
+pub fn dynamic_params() -> DynamicParams {
+    crate::plan::ensure_init();
+    DynamicParams {
+        rebuild_fraction: f64::from_bits(REBUILD_FRACTION_BITS.load(Ordering::Relaxed)),
+    }
+}
+
+/// Replace the process-wide [`DynamicParams`].
+pub fn set_dynamic_params(p: DynamicParams) {
+    crate::plan::ensure_init();
+    store_dynamic(p);
+}
 
 /// A mutable set: immutable FESIA base plus sorted add/delete deltas.
 #[derive(Debug, Clone)]
 pub struct DynamicSet {
-    base: SegmentedSet,
+    base: Arc<SegmentedSet>,
     added: Vec<u32>,
     deleted: Vec<u32>,
     params: FesiaParams,
 }
 
 impl DynamicSet {
-    /// Delta size (relative to the base) that triggers a rebuild.
+    /// Default delta size (relative to the base) that triggers a rebuild;
+    /// the effective value is [`dynamic_params`].
     pub const REBUILD_FRACTION: f64 = 0.25;
 
     /// Start from a sorted, duplicate-free slice.
     pub fn build(sorted: &[u32], params: &FesiaParams) -> Result<DynamicSet, BuildError> {
         Ok(DynamicSet {
-            base: SegmentedSet::build(sorted, params)?,
+            base: Arc::new(SegmentedSet::build(sorted, params)?),
             added: Vec::new(),
             deleted: Vec::new(),
             params: *params,
         })
+    }
+
+    /// Wrap an already-encoded base with empty deltas, sharing it
+    /// without re-encoding (snapshot stores use this to adopt existing
+    /// [`SegmentedSet`]s).
+    pub fn from_base(base: Arc<SegmentedSet>, params: FesiaParams) -> DynamicSet {
+        DynamicSet {
+            base,
+            added: Vec::new(),
+            deleted: Vec::new(),
+            params,
+        }
     }
 
     /// Number of elements currently in the set.
@@ -73,6 +122,24 @@ impl DynamicSet {
     /// # Errors
     /// Propagates a rebuild failure for out-of-domain values.
     pub fn insert(&mut self, x: u32) -> Result<bool, BuildError> {
+        let changed = self.insert_deferred(x)?;
+        self.maybe_rebuild()?;
+        Ok(changed)
+    }
+
+    /// Remove `x`; returns `true` if it was present.
+    pub fn remove(&mut self, x: u32) -> Result<bool, BuildError> {
+        let changed = self.remove_deferred(x)?;
+        self.maybe_rebuild()?;
+        Ok(changed)
+    }
+
+    /// [`DynamicSet::insert`] without the inline rebuild check: the
+    /// delta may grow past the rebuild fraction. Callers that must keep
+    /// mutation latency flat (the serving layer's write path) apply a
+    /// batch of deferred ops, check [`DynamicSet::needs_rebuild`], and
+    /// fold the deltas elsewhere ([`DynamicSet::rebuilt`]).
+    pub fn insert_deferred(&mut self, x: u32) -> Result<bool, BuildError> {
         if x > crate::error::MAX_ELEMENT {
             return Err(BuildError::ReservedValue { index: 0 });
         }
@@ -85,12 +152,12 @@ impl DynamicSet {
         }
         let pos = self.added.binary_search(&x).unwrap_err();
         self.added.insert(pos, x);
-        self.maybe_rebuild()?;
         Ok(true)
     }
 
-    /// Remove `x`; returns `true` if it was present.
-    pub fn remove(&mut self, x: u32) -> Result<bool, BuildError> {
+    /// [`DynamicSet::remove`] without the inline rebuild check (see
+    /// [`DynamicSet::insert_deferred`]).
+    pub fn remove_deferred(&mut self, x: u32) -> Result<bool, BuildError> {
         if let Ok(pos) = self.added.binary_search(&x) {
             self.added.remove(pos);
             return Ok(true);
@@ -98,7 +165,6 @@ impl DynamicSet {
         if self.base.contains(x) && self.deleted.binary_search(&x).is_err() {
             let pos = self.deleted.binary_search(&x).unwrap_err();
             self.deleted.insert(pos, x);
-            self.maybe_rebuild()?;
             return Ok(true);
         }
         Ok(false)
@@ -113,15 +179,36 @@ impl DynamicSet {
     /// the right plan as soon as the deltas fold in.
     pub fn rebuild(&mut self) -> Result<(), BuildError> {
         let snapshot = self.to_sorted_vec();
-        self.base = SegmentedSet::build(&snapshot, &self.params)?;
+        self.base = Arc::new(SegmentedSet::build(&snapshot, &self.params)?);
         self.added.clear();
         self.deleted.clear();
         Ok(())
     }
 
+    /// A fresh, logically identical set with the deltas folded into a
+    /// new base encoding — the off-write-path form of
+    /// [`DynamicSet::rebuild`]: the serving layer encodes against an
+    /// immutable published version and swaps the result in afterwards,
+    /// so neither readers nor writers wait on the encode.
+    pub fn rebuilt(&self) -> Result<DynamicSet, BuildError> {
+        let mut folded = self.clone();
+        folded.rebuild()?;
+        Ok(folded)
+    }
+
+    /// Whether the pending delta has outgrown the configured rebuild
+    /// fraction ([`dynamic_params`]) of the base.
+    pub fn needs_rebuild(&self) -> bool {
+        self.delta_len() > self.rebuild_threshold()
+    }
+
+    fn rebuild_threshold(&self) -> usize {
+        let fraction = dynamic_params().rebuild_fraction;
+        (self.base.len() as f64 * fraction).max(64.0) as usize
+    }
+
     fn maybe_rebuild(&mut self) -> Result<(), BuildError> {
-        let threshold = (self.base.len() as f64 * Self::REBUILD_FRACTION).max(64.0) as usize;
-        if self.delta_len() > threshold {
+        if self.needs_rebuild() {
             self.rebuild()?;
         }
         Ok(())
@@ -151,6 +238,28 @@ impl DynamicSet {
     /// The immutable base (for inspection/tests).
     pub fn base(&self) -> &SegmentedSet {
         &self.base
+    }
+
+    /// A shared handle to the immutable base — what snapshot readers
+    /// hand to the planner-driven entry points without copying the
+    /// encoding.
+    pub fn base_arc(&self) -> Arc<SegmentedSet> {
+        Arc::clone(&self.base)
+    }
+
+    /// The pending additions, sorted ascending (disjoint from the base).
+    pub fn added(&self) -> &[u32] {
+        &self.added
+    }
+
+    /// The pending deletions, sorted ascending (all present in the base).
+    pub fn deleted(&self) -> &[u32] {
+        &self.deleted
+    }
+
+    /// The build parameters this set encodes with.
+    pub fn params(&self) -> FesiaParams {
+        self.params
     }
 }
 
@@ -248,6 +357,98 @@ pub fn dynamic_set_op(
     cand
 }
 
+/// K-way intersection of dynamic sets, materialized (sorted ascending).
+/// Delta-free inputs run the planner-ordered immutable k-way path
+/// unchanged; any live delta switches to the exact candidate filter:
+/// the base k-way result plus every addition, settled by live-membership
+/// probes against all `k` sets.
+///
+/// # Panics
+/// Panics if `sets` is empty (matches [`crate::kway_intersect`]).
+pub fn dynamic_kway_intersect(sets: &[&DynamicSet], table: &KernelTable) -> Vec<u32> {
+    assert!(!sets.is_empty(), "k-way intersection of zero sets");
+    let bases: Vec<&SegmentedSet> = sets.iter().map(|s| s.base()).collect();
+    let planner = IntersectPlanner::current();
+    let lens: Vec<usize> = bases.iter().map(|s| s.len()).collect();
+    let ordered: Vec<&SegmentedSet> = planner
+        .plan_kway(&lens)
+        .order
+        .iter()
+        .map(|&i| bases[i])
+        .collect();
+    let mut cand = crate::kway::kway_intersect_with(&ordered, table);
+    if sets.iter().all(|s| s.delta_len() == 0) {
+        return cand;
+    }
+    for s in sets {
+        cand.extend_from_slice(s.added());
+    }
+    cand.sort_unstable();
+    cand.dedup();
+    cand.retain(|&x| sets.iter().all(|s| s.contains(x)));
+    cand
+}
+
+/// `|∩ sets|`; see [`dynamic_kway_intersect`].
+pub fn dynamic_kway_count(sets: &[&DynamicSet], table: &KernelTable) -> usize {
+    assert!(!sets.is_empty(), "k-way intersection of zero sets");
+    if sets.iter().all(|s| s.delta_len() == 0) {
+        let bases: Vec<&SegmentedSet> = sets.iter().map(|s| s.base()).collect();
+        let planner = IntersectPlanner::current();
+        return crate::kway::kway_count_planned(&bases, table, &planner);
+    }
+    dynamic_kway_intersect(sets, table).len()
+}
+
+/// K-way union of dynamic sets, materialized (sorted ascending).
+///
+/// # Panics
+/// Panics if `sets` is empty (matches [`crate::kway_union`]).
+pub fn dynamic_kway_union(sets: &[&DynamicSet]) -> Vec<u32> {
+    assert!(!sets.is_empty(), "k-way union of zero sets");
+    let bases: Vec<&SegmentedSet> = sets.iter().map(|s| s.base()).collect();
+    let mut cand = crate::kway::kway_union(&bases);
+    if sets.iter().all(|s| s.delta_len() == 0) {
+        return cand;
+    }
+    for s in sets {
+        cand.extend_from_slice(s.added());
+    }
+    cand.sort_unstable();
+    cand.dedup();
+    cand.retain(|&x| sets.iter().any(|s| s.contains(x)));
+    cand
+}
+
+/// Boolean query over dynamic sets: every element in all `must` sets
+/// AND (when `should` is non-empty) at least one `should` set, minus
+/// every `must_not` set. A query with neither `must` nor `should`
+/// matches nothing.
+pub fn dynamic_boolean(
+    must: &[&DynamicSet],
+    should: &[&DynamicSet],
+    must_not: &[&DynamicSet],
+    table: &KernelTable,
+) -> Vec<u32> {
+    let mut acc: Vec<u32> = if !must.is_empty() {
+        dynamic_kway_intersect(must, table)
+    } else if !should.is_empty() {
+        dynamic_kway_union(should)
+    } else {
+        return Vec::new();
+    };
+    if !must.is_empty() && !should.is_empty() {
+        acc.retain(|&x| should.iter().any(|s| s.contains(x)));
+    }
+    for ex in must_not {
+        if acc.is_empty() {
+            break;
+        }
+        acc.retain(|&x| !ex.contains(x));
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +502,69 @@ mod tests {
         assert!(s.base().len() >= 238, "base never absorbed the deltas");
         assert!(s.contains(1) && s.contains(399));
         assert_eq!(s.len(), 303);
+    }
+
+    /// Satellite: the rebuild fraction is a process-wide knob
+    /// (`FESIA_REBUILD_FRACTION` / [`crate::set_dynamic_params`]), not a
+    /// hard-coded const.
+    #[test]
+    fn rebuild_fraction_is_configurable() {
+        let _guard = crate::plan::test_knob_lock();
+        let prev = dynamic_params();
+        let base: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+
+        // Default fraction 0.25: 150 inserts stay in the delta.
+        set_dynamic_params(DynamicParams::default());
+        let mut s = DynamicSet::build(&base, &params()).unwrap();
+        for x in 0..150 {
+            s.insert(x * 2 + 1).unwrap();
+        }
+        assert_eq!(s.delta_len(), 150, "default fraction should not fold yet");
+        assert!(!s.needs_rebuild());
+
+        // Fraction 0.01 (threshold 100): the same churn folds early.
+        set_dynamic_params(DynamicParams::default().with_rebuild_fraction(0.01));
+        let mut s = DynamicSet::build(&base, &params()).unwrap();
+        for x in 0..150 {
+            s.insert(x * 2 + 1).unwrap();
+        }
+        assert!(
+            s.delta_len() <= 101,
+            "delta {} not folded at fraction 0.01",
+            s.delta_len()
+        );
+        assert_eq!(s.len(), 10_150);
+
+        set_dynamic_params(prev);
+    }
+
+    #[test]
+    fn deferred_writes_fold_off_path() {
+        let base: Vec<u32> = (0..1_000).collect();
+        let mut s = DynamicSet::build(&base, &params()).unwrap();
+        for x in 1_000..1_400 {
+            s.insert_deferred(x).unwrap();
+        }
+        // Deferred ops never rebuild inline, however large the delta…
+        assert_eq!(s.delta_len(), 400);
+        assert!(s.needs_rebuild());
+        // …and the off-path fold is non-destructive and exact.
+        let folded = s.rebuilt().unwrap();
+        assert_eq!(s.delta_len(), 400, "source untouched");
+        assert_eq!(folded.delta_len(), 0);
+        assert_eq!(folded.to_sorted_vec(), s.to_sorted_vec());
+        assert!(!folded.needs_rebuild());
+    }
+
+    #[test]
+    fn clone_shares_the_base_encoding() {
+        let base: Vec<u32> = (0..5_000).collect();
+        let s = DynamicSet::build(&base, &params()).unwrap();
+        let c = s.clone();
+        assert!(
+            std::ptr::eq(s.base(), c.base()),
+            "clone must share the Arc'd base"
+        );
     }
 
     #[test]

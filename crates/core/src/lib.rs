@@ -57,6 +57,7 @@ pub mod plan;
 pub mod serialize;
 pub mod set;
 pub mod simjoin;
+pub mod snapshot;
 pub mod stats;
 pub mod tuning;
 pub mod u64set;
@@ -66,7 +67,10 @@ pub use batch::{
     batch_count, batch_count_pairs, batch_count_pairs_on, batch_op_pairs, batch_op_pairs_on,
 };
 pub use container::{ContainerKind, ContainerStats, ContainerTier};
-pub use dynamic::{dynamic_intersect_count, dynamic_set_op, DynamicSet};
+pub use dynamic::{
+    dynamic_boolean, dynamic_intersect_count, dynamic_kway_count, dynamic_kway_intersect,
+    dynamic_kway_union, dynamic_params, dynamic_set_op, set_dynamic_params, DynamicSet,
+};
 pub use error::{BuildError, MAX_ELEMENT};
 pub use intersect::{
     auto_count, auto_count_planned, auto_count_with, compress_params, container_params,
@@ -91,7 +95,8 @@ pub use parallel::{
     par_set_op_on,
 };
 pub use params::{
-    CompressParams, ContainerParams, FesiaParams, PipelineParams, PruneParams, SimjoinParams,
+    CompressParams, ContainerParams, DynamicParams, FesiaParams, PipelineParams, PruneParams,
+    SimjoinParams,
 };
 pub use plan::{
     default_profile_path, gallop_max_len, plan_mode, profile_status, set_gallop_max_len,
@@ -105,6 +110,7 @@ pub use simjoin::{
     candidate_pairs, candidate_pairs_self, join, join_with, self_join, self_join_with,
     set_simjoin_params, simjoin_params, SimjoinResult, SimjoinStats, Threshold,
 };
+pub use snapshot::{SetRef, SetStore, SetVersion, Snapshot, StoreState, EPOCH_SLOTS};
 pub use stats::{bit_collision_rate, filter_stats, survivor_segments, FilterStats, SegmentStats};
 pub use tuning::{calibrate, should_prune, tune, tune_grid, tune_pipeline, TuneResult};
 pub use u64set::{intersect_count64, intersect_count64_with, Fesia64Set};

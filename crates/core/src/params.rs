@@ -37,6 +37,9 @@ pub mod env {
         "FESIA_SIMJOIN_BITMAP",
         "FESIA_SIMJOIN_EARLY_EXIT",
         "FESIA_SIMJOIN_CHUNK",
+        "FESIA_REBUILD_FRACTION",
+        "FESIA_SERVE_SHARDS",
+        "FESIA_SERVE_MUTATION_RATE",
     ];
 
     /// `FESIA_*` variables present in the environment that no component
@@ -592,9 +595,89 @@ impl SimjoinParams {
     }
 }
 
+/// Tuning knob for [`crate::DynamicSet`]'s delta-folding policy.
+///
+/// A dynamic set re-encodes its base when the pending delta (adds +
+/// deletes) outgrows `rebuild_fraction` of the base length (with an
+/// absolute floor of 64 so tiny sets are not rebuilt per insert).
+/// Smaller fractions keep the delta-correction terms of
+/// [`crate::dynamic_intersect_count`] cheap at the price of more
+/// frequent rebuilds; the serving layer's write amplification is
+/// directly this knob.
+///
+/// The process-wide default is read once from the environment
+/// (`FESIA_REBUILD_FRACTION=F`), can be persisted by the machine
+/// profile, and can be changed at runtime with
+/// [`crate::set_dynamic_params`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicParams {
+    /// Delta size relative to the base that triggers a rebuild
+    /// (strictly positive).
+    pub rebuild_fraction: f64,
+}
+
+impl Default for DynamicParams {
+    fn default() -> Self {
+        DynamicParams {
+            rebuild_fraction: 0.25,
+        }
+    }
+}
+
+impl DynamicParams {
+    /// The defaults, with the `FESIA_REBUILD_FRACTION` environment
+    /// override applied.
+    pub fn from_env() -> Self {
+        DynamicParams::default().with_env_overrides()
+    }
+
+    /// Apply the environment overrides field-by-field on top of `self`.
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(f) = env::parse_f64("FESIA_REBUILD_FRACTION") {
+            if f > 0.0 && f.is_finite() {
+                self.rebuild_fraction = f;
+            } else {
+                env::warn_malformed(
+                    "FESIA_REBUILD_FRACTION",
+                    &f.to_string(),
+                    "a positive finite fraction",
+                );
+            }
+        }
+        self
+    }
+
+    /// Override the rebuild fraction.
+    ///
+    /// # Panics
+    /// Panics unless `f` is positive and finite.
+    pub fn with_rebuild_fraction(mut self, f: f64) -> Self {
+        assert!(
+            f > 0.0 && f.is_finite(),
+            "rebuild fraction must be positive"
+        );
+        self.rebuild_fraction = f;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dynamic_params_builders() {
+        let p = DynamicParams::default();
+        assert!((p.rebuild_fraction - 0.25).abs() < 1e-12);
+        let q = p.with_rebuild_fraction(0.05);
+        assert!((q.rebuild_fraction - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rebuild_fraction_panics() {
+        let _ = DynamicParams::default().with_rebuild_fraction(0.0);
+    }
 
     #[test]
     fn defaults_track_simd_width() {

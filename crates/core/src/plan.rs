@@ -27,7 +27,9 @@
 //! Every plan decision is recorded in the `fesia-obs` `plan_*` counters.
 
 use crate::kernels::visit::SetOp;
-use crate::params::{self, CompressParams, ContainerParams, PipelineParams, PruneParams};
+use crate::params::{
+    self, CompressParams, ContainerParams, DynamicParams, PipelineParams, PruneParams,
+};
 use crate::set::SegmentedSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -301,6 +303,8 @@ pub struct MachineProfile {
     pub compress: CompressParams,
     /// Calibrated per-range container dispatch knobs.
     pub container: ContainerParams,
+    /// Dynamic-set delta-folding knobs (rebuild fraction).
+    pub dynamic: DynamicParams,
     /// Largest combined element count for which auto mode picks the
     /// galloping fallback; 0 disables it (the default — on every machine
     /// measured so far the segmented merge wins even on tiny pairs).
@@ -315,6 +319,7 @@ impl Default for MachineProfile {
             prune: PruneParams::default(),
             compress: CompressParams::default(),
             container: ContainerParams::default(),
+            dynamic: DynamicParams::default(),
             gallop_max_len: 0,
         }
     }
@@ -336,7 +341,7 @@ impl MachineProfile {
              \"compress_min_elements\": {},\n  \"compress_decode_mc\": {},\n  \
              \"compress_bw_mc\": {},\n  \"container_forced\": \"{}\",\n  \
              \"container_min_elements\": {},\n  \"container_dense_pct\": {},\n  \
-             \"gallop_max_len\": {}\n}}\n",
+             \"rebuild_fraction\": {},\n  \"gallop_max_len\": {}\n}}\n",
             self.version,
             self.pipeline.enabled,
             self.pipeline.prefetch_distance,
@@ -351,6 +356,7 @@ impl MachineProfile {
             tri(self.container.forced),
             self.container.min_elements,
             self.container.min_dense_pct,
+            self.dynamic.rebuild_fraction,
             self.gallop_max_len,
         )
     }
@@ -453,6 +459,15 @@ impl MachineProfile {
                         .parse()
                         .map_err(|_| format!("bad container_dense_pct `{value}`"))?;
                     p.container.min_dense_pct = pct.min(100);
+                }
+                "rebuild_fraction" => {
+                    let f: f64 = value
+                        .parse()
+                        .map_err(|_| format!("bad rebuild_fraction `{value}`"))?;
+                    if !(f > 0.0 && f.is_finite()) {
+                        return Err(format!("bad rebuild_fraction `{value}`"));
+                    }
+                    p.dynamic.rebuild_fraction = f;
                 }
                 "gallop_max_len" => {
                     p.gallop_max_len = value
@@ -566,6 +581,7 @@ pub(crate) fn ensure_init() {
         let mut prune = PruneParams::default();
         let mut compress = CompressParams::default();
         let mut container = ContainerParams::default();
+        let mut dynamic = DynamicParams::default();
         let status = match default_profile_path() {
             None => "none (no FESIA_PROFILE and no HOME)".to_string(),
             Some(path) if !path.exists() => format!("none ({} not found)", path.display()),
@@ -575,6 +591,7 @@ pub(crate) fn ensure_init() {
                     prune = profile.prune;
                     compress = profile.compress;
                     container = profile.container;
+                    dynamic = profile.dynamic;
                     GALLOP_MAX_LEN.store(profile.gallop_max_len, Ordering::Relaxed);
                     fesia_obs::metrics().plan_profile_loads.inc();
                     format!("loaded v{} ({})", profile.version, path.display())
@@ -591,6 +608,7 @@ pub(crate) fn ensure_init() {
         crate::intersect::store_prune(prune.with_env_overrides());
         crate::intersect::store_compress(compress.with_env_overrides());
         crate::intersect::store_container(container.with_env_overrides());
+        crate::dynamic::store_dynamic(dynamic.with_env_overrides());
         if let Some(v) = params::env::raw("FESIA_PLAN") {
             match PlanMode::parse(&v) {
                 Some(m) => PLAN_MODE.store(mode_encode(m), Ordering::Relaxed),
@@ -1136,6 +1154,7 @@ mod tests {
                 .with_forced(Some(true))
                 .with_min_elements(2048)
                 .with_min_dense_pct(55),
+            dynamic: DynamicParams::default().with_rebuild_fraction(0.125),
             gallop_max_len: 99,
             ..MachineProfile::default()
         };
@@ -1172,6 +1191,7 @@ mod tests {
             prune: PruneParams::default().with_min_bitmap_bytes(777),
             compress: CompressParams::default().with_min_elements(31),
             container: ContainerParams::default().with_min_dense_pct(61),
+            dynamic: DynamicParams::default().with_rebuild_fraction(0.5),
             gallop_max_len: 12,
         };
         profile.save(&path).unwrap();

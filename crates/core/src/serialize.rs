@@ -782,13 +782,13 @@ fn deserialize_legacy(bytes: &[u8], version: u8) -> Result<(SegmentedSet, usize)
 /// of an inverted index) into one buffer. The v3 framing (count word
 /// padded to 64 bytes, then 64-aligned set blocks) keeps every section of
 /// every set aligned, so the buffer is mmap-ready as written.
-pub fn serialize_many(sets: &[SegmentedSet]) -> Vec<u8> {
-    let total: usize = sets.iter().map(SegmentedSet::serialized_len).sum();
+pub fn serialize_many<S: std::borrow::Borrow<SegmentedSet>>(sets: &[S]) -> Vec<u8> {
+    let total: usize = sets.iter().map(|s| s.borrow().serialized_len()).sum();
     let mut out = Vec::with_capacity(total + MANY_PROLOGUE);
     out.extend_from_slice(&(sets.len() as u64).to_le_bytes());
     out.resize(MANY_PROLOGUE, 0);
     for s in sets {
-        s.serialize_into(&mut out);
+        s.borrow().serialize_into(&mut out);
     }
     out
 }
@@ -1059,7 +1059,9 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].reordered_elements(), a.reordered_elements());
         assert_eq!(back[1].reordered_elements(), b.reordered_elements());
-        assert!(deserialize_many(&serialize_many(&[])).unwrap().is_empty());
+        assert!(deserialize_many(&serialize_many::<SegmentedSet>(&[]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

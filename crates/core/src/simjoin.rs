@@ -45,6 +45,7 @@ use crate::params::{env, FesiaParams, SimjoinParams};
 use crate::plan::IntersectPlanner;
 use crate::set::SegmentedSet;
 use fesia_exec::Executor;
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -452,9 +453,9 @@ fn evaluate_pair(
 /// schedule; `sets_b` is `None` for a self-join (both indices into
 /// `sets_a`).
 #[allow(clippy::too_many_arguments)] // internal driver shared by both join shapes
-fn evaluate_candidates(
-    sets_a: &[SegmentedSet],
-    sets_b: Option<&[SegmentedSet]>,
+fn evaluate_candidates<S: Borrow<SegmentedSet> + Sync>(
+    sets_a: &[S],
+    sets_b: Option<&[S]>,
     cands: Vec<(u32, u32)>,
     threshold: Threshold,
     table: &KernelTable,
@@ -487,8 +488,8 @@ fn evaluate_candidates(
         for &k in &order[range] {
             let (i, j) = cands[k as usize];
             let v = evaluate_pair(
-                &sets_a[i as usize],
-                &side_b[j as usize],
+                sets_a[i as usize].borrow(),
+                side_b[j as usize].borrow(),
                 threshold,
                 table,
                 planner,
@@ -533,8 +534,8 @@ fn evaluate_candidates(
 /// table / planner / cascade knobs. `sets[i]` must contain exactly the
 /// elements of `lists[i]`.
 #[allow(clippy::too_many_arguments)] // explicit-knob variant mirrors the *_planned family
-pub fn self_join_with(
-    sets: &[SegmentedSet],
+pub fn self_join_with<S: Borrow<SegmentedSet> + Sync>(
+    sets: &[S],
     lists: &[Vec<u32>],
     threshold: Threshold,
     table: &KernelTable,
@@ -572,10 +573,10 @@ pub fn self_join(lists: &[Vec<u32>], threshold: Threshold, threads: usize) -> Si
 /// satisfying `threshold`. Both set slices must be built with the same
 /// [`FesiaParams`].
 #[allow(clippy::too_many_arguments)] // explicit-knob variant mirrors the *_planned family
-pub fn join_with(
-    sets_a: &[SegmentedSet],
+pub fn join_with<S: Borrow<SegmentedSet> + Sync>(
+    sets_a: &[S],
     lists_a: &[Vec<u32>],
-    sets_b: &[SegmentedSet],
+    sets_b: &[S],
     lists_b: &[Vec<u32>],
     threshold: Threshold,
     table: &KernelTable,

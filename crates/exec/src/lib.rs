@@ -42,9 +42,13 @@
 
 use fesia_obs::metrics;
 use std::any::Any;
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A fire-and-forget task bound to one worker lane.
+type PinnedTask = Box<dyn FnOnce() + Send + 'static>;
 
 /// Chunks per participating thread that a region is split into; more
 /// gives finer dynamic balancing, fewer gives lower claim overhead.
@@ -183,6 +187,10 @@ struct Pool {
     generation: Mutex<u64>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// One FIFO of pinned tasks per worker: only worker `w` pops
+    /// `pinned[w]`, so tasks spawned to one lane serialize in spawn
+    /// order with no stealing — the property shard write-appliers need.
+    pinned: Vec<Mutex<VecDeque<PinnedTask>>>,
 }
 
 impl Pool {
@@ -205,14 +213,35 @@ impl Pool {
     }
 }
 
-fn worker_loop(pool: Arc<Pool>) {
+/// Run one pinned task, insulating the pool from its panics (there is
+/// no submitter to re-raise on — the spawn already returned).
+fn run_pinned(task: PinnedTask) {
+    metrics().exec_pinned_tasks.inc();
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+        eprintln!("warning: fesia-exec pinned task panicked (lane kept running)");
+    }
+}
+
+fn worker_loop(pool: Arc<Pool>, me: usize) {
     loop {
         if pool.shutdown.load(Ordering::Acquire) {
             return;
         }
         let seen = *pool.generation.lock().expect("pool lock");
-        let regions: Vec<Arc<Region>> = pool.regions.lock().expect("pool lock").clone();
         let mut did_work = false;
+        // Drain this worker's pinned lane first: write-path work
+        // (delta folds, rebuilds) must not starve behind long regions.
+        loop {
+            let task = pool.pinned[me].lock().expect("pool lock").pop_front();
+            match task {
+                Some(t) => {
+                    run_pinned(t);
+                    did_work = true;
+                }
+                None => break,
+            }
+        }
+        let regions: Vec<Arc<Region>> = pool.regions.lock().expect("pool lock").clone();
         for r in &regions {
             did_work |= r.participate();
         }
@@ -250,13 +279,16 @@ impl Executor {
             generation: Mutex::new(0),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            pinned: (0..threads - 1)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
         });
         let handles = (0..threads - 1)
             .map(|i| {
                 let pool = Arc::clone(&pool);
                 std::thread::Builder::new()
                     .name(format!("fesia-exec-{i}"))
-                    .spawn(move || worker_loop(pool))
+                    .spawn(move || worker_loop(pool, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -294,6 +326,38 @@ impl Executor {
     /// Degrees of parallelism (worker threads + the submitting thread).
     pub fn parallelism(&self) -> usize {
         self.pool.workers + 1
+    }
+
+    /// Number of distinct pinned-task lanes. Tasks spawned to the same
+    /// lane (modulo this) run on one worker in FIFO order; at least 1
+    /// even for a single-thread pool (whose lane runs inline).
+    pub fn lanes(&self) -> usize {
+        self.pool.workers.max(1)
+    }
+
+    /// Queue `task` on the worker owning `lane % lanes()` and return
+    /// immediately. Per-lane tasks execute serially in spawn order and
+    /// are never stolen, so a shard that always spawns to its own lane
+    /// gets mutual exclusion for free. On a single-thread pool the task
+    /// runs inline before returning. Tasks still queued when the
+    /// executor drops are discarded — callers that need completion
+    /// track it themselves (see `fesia-serve`'s in-flight counter).
+    pub fn spawn_pinned<F>(&self, lane: usize, task: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.pool.workers == 0 {
+            run_pinned(Box::new(task));
+            return;
+        }
+        self.pool.pinned[lane % self.pool.workers]
+            .lock()
+            .expect("pool lock")
+            .push_back(Box::new(task));
+        // Wake everyone: a targeted notify_one could rouse a worker
+        // that does not own this lane, which would park again and
+        // strand the task until the next submission.
+        self.pool.notify(usize::MAX);
     }
 
     /// Run `f` over every chunk of `0..len`, in parallel, with dynamic
@@ -660,6 +724,81 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = Executor::new(0);
+    }
+
+    fn wait_for(count: &AtomicUsize, want: usize) {
+        let start = std::time::Instant::now();
+        while count.load(Ordering::Acquire) < want {
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(10),
+                "pinned tasks stalled: {}/{want}",
+                count.load(Ordering::Acquire)
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn pinned_tasks_on_one_lane_run_in_spawn_order() {
+        let exec = Arc::new(Executor::new(4));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..100usize {
+            let (seen, done) = (Arc::clone(&seen), Arc::clone(&done));
+            exec.spawn_pinned(7, move || {
+                seen.lock().unwrap().push(i);
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        wait_for(&done, 100);
+        assert_eq!(*seen.lock().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pinned_tasks_spread_across_lanes_all_complete() {
+        let exec = Executor::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for lane in 0..64usize {
+            let done = Arc::clone(&done);
+            exec.spawn_pinned(lane, move || {
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        wait_for(&done, 64);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_pinned_tasks_inline() {
+        let exec = Executor::new(1);
+        assert_eq!(exec.lanes(), 1);
+        let ran = AtomicUsize::new(0);
+        // Inline execution: complete before spawn_pinned returns, no
+        // 'static bound escape needed thanks to the scope.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let done = Arc::new(AtomicUsize::new(0));
+                let d = Arc::clone(&done);
+                exec.spawn_pinned(5, move || {
+                    d.fetch_add(1, Ordering::Release);
+                });
+                assert_eq!(done.load(Ordering::Acquire), 1);
+            })
+            .join()
+            .unwrap();
+        });
+        let _ = ran;
+    }
+
+    #[test]
+    fn pinned_task_panic_does_not_kill_the_lane() {
+        let exec = Executor::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        exec.spawn_pinned(0, || panic!("pinned boom"));
+        let d = Arc::clone(&done);
+        exec.spawn_pinned(0, move || {
+            d.fetch_add(1, Ordering::Release);
+        });
+        wait_for(&done, 1);
     }
 
     /// Satellite 1 regression: a pool wider than the hardware must not

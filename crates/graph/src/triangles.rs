@@ -10,7 +10,7 @@
 
 use crate::csr::CsrGraph;
 use fesia_baselines::SliceIntersector;
-use fesia_core::{FesiaParams, KernelTable, SegmentedSet};
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SetStore, Snapshot};
 use fesia_exec::Executor;
 use std::time::{Duration, Instant};
 
@@ -65,9 +65,14 @@ pub fn count_with_method(
     (total, start.elapsed())
 }
 
-/// Per-vertex FESIA encodings of the oriented out-neighborhoods.
+/// Per-vertex FESIA encodings of the oriented out-neighborhoods, held
+/// in an epoch-pinned [`SetStore`]: the triangle loop pins one
+/// [`Snapshot`] and shares it across every worker, so an edge-stream
+/// writer publishing neighborhood updates through
+/// [`FesiaGraph::store`] never blocks or tears a running count.
 pub struct FesiaGraph {
-    sets: Vec<SegmentedSet>,
+    store: SetStore,
+    num_nodes: usize,
     /// Wall time of the offline encoding pass (Table III's
     /// "construction time" column).
     pub construction_time: Duration,
@@ -77,21 +82,37 @@ impl FesiaGraph {
     /// Encode every out-neighborhood of the oriented graph.
     pub fn build(oriented: &CsrGraph, params: &FesiaParams) -> FesiaGraph {
         let start = Instant::now();
-        let sets = (0..oriented.num_nodes() as u32)
+        let sets: Vec<SegmentedSet> = (0..oriented.num_nodes() as u32)
             .map(|v| {
                 SegmentedSet::build(oriented.neighbors(v), params)
                     .expect("adjacency lists are sorted node ids")
             })
             .collect();
+        let num_nodes = sets.len();
         FesiaGraph {
-            sets,
+            store: SetStore::from_segmented(sets, *params),
+            num_nodes,
             construction_time: start.elapsed(),
         }
     }
 
+    /// Pin the current neighborhood catalog for reading.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        self.store.pin()
+    }
+
+    /// The underlying store (writers publish neighborhood updates here).
+    pub fn store(&self) -> &SetStore {
+        &self.store
+    }
+
     /// Total memory of the encodings.
     pub fn memory_bytes(&self) -> usize {
-        self.sets.iter().map(SegmentedSet::memory_bytes).sum()
+        let snap = self.store.pin();
+        (0..self.num_nodes as u32)
+            .filter_map(|v| snap.get(v))
+            .map(|r| r.set().base().memory_bytes())
+            .sum()
     }
 
     /// Count triangles with FESIA on `threads` cores.
@@ -106,9 +127,12 @@ impl FesiaGraph {
         // One planner snapshot shared by every worker: millions of edge
         // intersections plan against plain loads of a `Copy` struct.
         let planner = fesia_core::IntersectPlanner::current();
+        // One epoch pin for the whole region (`Snapshot` is `Sync`; the
+        // submitter blocks until every chunk completes), so all workers
+        // count against the same published neighborhoods.
+        let snap = self.store.pin();
         let start = Instant::now();
         let n = oriented.num_nodes();
-        let sets = &self.sets;
         let total = Executor::global()
             .map_reduce(
                 n,
@@ -118,19 +142,25 @@ impl FesiaGraph {
                     let mut acc = 0u64;
                     let mut edges = 0u64;
                     for u in range {
-                        let su = &sets[u];
+                        let su = snap.get(u as u32).expect("vertex ids are dense").set();
                         for &v in oriented.neighbors(u as u32) {
                             // Strategy selection per pair (paper §VI):
                             // adjacency lists are mostly tiny and often
                             // skewed, so the planner's adaptive pair plan
                             // (probe vs merge vs gallop) is the faithful way
-                            // to run FESIA on a graph workload.
-                            acc += fesia_core::auto_count_planned(
-                                su,
-                                &sets[v as usize],
-                                table,
-                                &planner,
-                            ) as u64;
+                            // to run FESIA on a graph workload. Delta-free
+                            // neighborhoods run it on the bases directly.
+                            let sv = snap.get(v).expect("vertex ids are dense").set();
+                            acc += if su.delta_len() == 0 && sv.delta_len() == 0 {
+                                fesia_core::auto_count_planned(
+                                    su.base(),
+                                    sv.base(),
+                                    table,
+                                    &planner,
+                                )
+                            } else {
+                                fesia_core::dynamic_intersect_count(su, sv, table)
+                            } as u64;
                             edges += 1;
                         }
                     }

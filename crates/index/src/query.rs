@@ -7,7 +7,7 @@
 
 use crate::corpus::InvertedIndex;
 use fesia_baselines::Method;
-use fesia_core::{FesiaParams, KernelTable, SegmentedSet};
+use fesia_core::{FesiaParams, KernelTable, SegmentedSet, SetStore, Snapshot};
 use fesia_datagen::SplitMix64;
 use fesia_exec::Executor;
 use std::time::{Duration, Instant};
@@ -152,9 +152,14 @@ pub struct BooleanQuery {
 }
 
 /// Posting lists pre-encoded as FESIA segmented sets (the offline phase
-/// whose construction time §VII-F reports separately).
+/// whose construction time §VII-F reports separately), served out of an
+/// epoch-pinned [`SetStore`]: every read entry point pins a
+/// [`Snapshot`] and resolves term ids through it, so a live writer
+/// (e.g. `fesia-serve` feeding document updates through
+/// [`FesiaIndex::store`]) never blocks or tears a running query.
 pub struct FesiaIndex {
-    sets: Vec<SegmentedSet>,
+    store: SetStore,
+    num_terms: usize,
     /// Wall time of the offline encoding pass.
     pub construction_time: Duration,
 }
@@ -163,61 +168,88 @@ impl FesiaIndex {
     /// Encode every posting list.
     pub fn build(index: &InvertedIndex, params: &FesiaParams) -> FesiaIndex {
         let start = Instant::now();
-        let sets = (0..index.num_terms() as u32)
+        let sets: Vec<SegmentedSet> = (0..index.num_terms() as u32)
             .map(|t| {
                 SegmentedSet::build(index.posting(t), params)
                     .expect("posting lists are sorted doc ids")
             })
             .collect();
+        let num_terms = sets.len();
         FesiaIndex {
-            sets,
+            store: SetStore::from_segmented(sets, *params),
+            num_terms,
             construction_time: start.elapsed(),
         }
     }
 
-    /// The encoded posting list of a term.
-    pub fn set(&self, term: u32) -> &SegmentedSet {
-        &self.sets[term as usize]
+    /// Pin the current posting catalog for reading. All queries against
+    /// one snapshot see one consistent published version.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        self.store.pin()
+    }
+
+    /// The underlying store (writers publish posting updates here).
+    pub fn store(&self) -> &SetStore {
+        &self.store
     }
 
     /// Total memory of all encodings.
     pub fn memory_bytes(&self) -> usize {
-        self.sets.iter().map(SegmentedSet::memory_bytes).sum()
+        let snap = self.store.pin();
+        (0..self.num_terms as u32)
+            .filter_map(|t| snap.get(t))
+            .map(|r| r.set().base().memory_bytes())
+            .sum()
     }
 
     /// Persist every posting-list encoding to a byte buffer (the artifact
-    /// a search engine would write after the offline build).
+    /// a search engine would write after the offline build). Posting
+    /// lists with live deltas are folded into fresh encodings first.
     pub fn serialize(&self) -> Vec<u8> {
-        fesia_core::serialize_many(&self.sets)
+        let snap = self.store.pin();
+        let sets: Vec<std::borrow::Cow<'_, SegmentedSet>> = (0..self.num_terms as u32)
+            .map(|t| {
+                let r = snap.get(t).expect("term ids are dense");
+                if r.set().delta_len() == 0 {
+                    std::borrow::Cow::Borrowed(r.set().base())
+                } else {
+                    let d = r.set().rebuilt().expect("live elements re-encode");
+                    std::borrow::Cow::Owned(d.base().clone())
+                }
+            })
+            .collect();
+        fesia_core::serialize_many(&sets)
     }
 
     /// Load an index previously persisted with [`FesiaIndex::serialize`].
     pub fn deserialize(bytes: &[u8]) -> Result<FesiaIndex, fesia_core::DecodeError> {
         let start = Instant::now();
         let sets = fesia_core::deserialize_many(bytes)?;
+        let num_terms = sets.len();
         Ok(FesiaIndex {
-            sets,
+            store: SetStore::from_segmented(sets, FesiaParams::auto()),
+            num_terms,
             construction_time: start.elapsed(),
         })
     }
 
     /// Number of encoded posting lists.
     pub fn num_terms(&self) -> usize {
-        self.sets.len()
+        self.num_terms
     }
 
     /// Execute a query workload with FESIA; returns the total result count
-    /// and the elapsed (online-phase) wall time. The
-    /// [`fesia_core::IntersectPlanner`] is snapshotted once for the whole
-    /// workload, so per-query planning costs no atomic loads.
+    /// and the elapsed (online-phase) wall time. The whole workload runs
+    /// against one pinned snapshot, so a concurrent writer cannot tear it.
     pub fn run_queries(&self, queries: &[Query], table: &KernelTable) -> (usize, Duration) {
         fesia_obs::metrics().index_queries.add(queries.len() as u64);
-        let planner = fesia_core::IntersectPlanner::current();
+        let snap = self.store.pin();
         let start = Instant::now();
         let mut total = 0usize;
         for q in queries {
-            let sets: Vec<&SegmentedSet> = q.terms.iter().map(|&t| self.set(t)).collect();
-            total += fesia_core::kway_count_planned(&sets, table, &planner);
+            total += snap
+                .kway_count(&q.terms, table)
+                .expect("query terms are valid ids");
         }
         (total, start.elapsed())
     }
@@ -235,7 +267,10 @@ impl FesiaIndex {
     ) -> (usize, Duration) {
         assert!(threads >= 1, "need at least one thread");
         fesia_obs::metrics().index_queries.add(queries.len() as u64);
-        let planner = fesia_core::IntersectPlanner::current();
+        // One pin for the whole region: `Snapshot` is `Sync` and the
+        // submitter blocks until every worker chunk completes, so every
+        // participant reads the same published version.
+        let snap = self.store.pin();
         let start = Instant::now();
         let total = Executor::global()
             .map_reduce(
@@ -245,9 +280,9 @@ impl FesiaIndex {
                 |range| {
                     let mut acc = 0usize;
                     for q in &queries[range] {
-                        let sets: Vec<&SegmentedSet> =
-                            q.terms.iter().map(|&t| self.set(t)).collect();
-                        acc += fesia_core::kway_count_planned(&sets, table, &planner);
+                        acc += snap
+                            .kway_count(&q.terms, table)
+                            .expect("query terms are valid ids");
                     }
                     acc
                 },
@@ -262,16 +297,10 @@ impl FesiaIndex {
     /// path. Posting lists are visited in the planner's k-way order
     /// (shortest first), which shrinks the candidate set fastest.
     pub fn retrieve(&self, query: &Query, table: &KernelTable) -> Vec<u32> {
-        let planner = fesia_core::IntersectPlanner::current();
-        let sets: Vec<&SegmentedSet> = query.terms.iter().map(|&t| self.set(t)).collect();
-        let lens: Vec<usize> = sets.iter().map(|s| s.len()).collect();
-        let ordered: Vec<&SegmentedSet> = planner
-            .plan_kway(&lens)
-            .order
-            .iter()
-            .map(|&i| sets[i])
-            .collect();
-        fesia_core::kway_intersect_with(&ordered, table)
+        self.store
+            .pin()
+            .kway_intersect(&query.terms, table)
+            .expect("query terms are valid ids")
     }
 
     /// Answer a [`BooleanQuery`] with the matching document ids
@@ -281,41 +310,21 @@ impl FesiaIndex {
     /// posting-list filters — the NOT side is never materialized.
     pub fn run_boolean(&self, query: &BooleanQuery, table: &KernelTable) -> Vec<u32> {
         fesia_obs::metrics().index_boolean_queries.inc();
+        let snap = self.store.pin();
         // A single must/must_not pair is exactly one set-level difference;
         // hand it to the planner whole so it can pick hash-probe or gallop
         // for skewed posting lengths.
         if query.must.len() == 1 && query.should.is_empty() && query.must_not.len() == 1 {
-            return fesia_core::difference(self.set(query.must[0]), self.set(query.must_not[0]));
+            return snap
+                .set_op(
+                    query.must[0],
+                    query.must_not[0],
+                    fesia_core::SetOp::Difference,
+                )
+                .expect("query terms are valid ids");
         }
-        let must: Vec<&SegmentedSet> = query.must.iter().map(|&t| self.set(t)).collect();
-        let should: Vec<&SegmentedSet> = query.should.iter().map(|&t| self.set(t)).collect();
-        let mut acc: Vec<u32> = if !must.is_empty() {
-            let lens: Vec<usize> = must.iter().map(|s| s.len()).collect();
-            let ordered: Vec<&SegmentedSet> = fesia_core::IntersectPlanner::current()
-                .plan_kway(&lens)
-                .order
-                .iter()
-                .map(|&i| must[i])
-                .collect();
-            fesia_core::kway_intersect_with(&ordered, table)
-        } else if !should.is_empty() {
-            fesia_core::kway_union(&should)
-        } else {
-            return Vec::new();
-        };
-        if !must.is_empty() && !should.is_empty() {
-            // The AND clause already shrank the candidate set; probing each
-            // survivor against the should-filters beats materializing the
-            // (potentially corpus-sized) OR of the should-postings.
-            acc.retain(|&d| should.iter().any(|s| s.contains(d)));
-        }
-        for ex in query.must_not.iter().map(|&t| self.set(t)) {
-            if acc.is_empty() {
-                break;
-            }
-            acc.retain(|&d| !ex.contains(d));
-        }
-        acc
+        snap.boolean(&query.must, &query.should, &query.must_not, table)
+            .expect("query terms are valid ids")
     }
 }
 

@@ -65,6 +65,16 @@ impl Counter {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raise the counter to `v` if it is currently lower (a running
+    /// maximum, e.g. the worst reader stall observed). Fields updated
+    /// this way are high-water marks: a windowed
+    /// [`MetricsSnapshot::delta`] of them is not meaningful — gates read
+    /// the absolute value.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
@@ -151,6 +161,50 @@ impl HistogramSnapshot {
             *slot = self.buckets[k].wrapping_sub(baseline.buckets[k]);
         }
         HistogramSnapshot { buckets }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 < q <= 1.0`) of the
+    /// recorded values: the inclusive upper edge `2^(k+1) - 1` of the
+    /// first bucket at which the cumulative count reaches
+    /// `ceil(q * total)`. Returns 0 for an empty histogram.
+    ///
+    /// Log2 bucketing means the true quantile lies within 2x below the
+    /// returned value — the right direction for a latency gate, which
+    /// must never under-report a tail.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Upper bound on the median — see [`HistogramSnapshot::percentile`].
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// Upper bound on the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Upper bound on the 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
     }
 
     /// Render the non-empty buckets as `2^k:count` pairs.
@@ -409,6 +463,22 @@ define_metrics! {
             "Candidates rejected by tier-3 early-exit counting (incl. trivial length rejects).",
         simjoin_verified:
             "Candidates verified as join results by an exact threshold count.",
+        snapshot_pins:
+            "Epoch-pinned snapshots taken by readers.",
+        snapshot_publishes:
+            "New store states published by writers (atomic pointer swaps).",
+        snapshot_retired:
+            "Superseded store states reclaimed after their epoch drained.",
+        snapshot_pin_stall_max_cycles:
+            "Worst cycles one reader spent waiting for a free epoch slot (a high-water mark, not a sum; 0 means readers never stalled).",
+        serve_reads:
+            "Queries (COUNT/AND/BOOL) answered by the serving layer.",
+        serve_writes:
+            "Mutations (ADD/DEL) applied by the serving layer's shard write logs.",
+        serve_rebuilds:
+            "Off-write-path set rebuilds scheduled by the serving layer when a delta outgrew the rebuild fraction.",
+        exec_pinned_tasks:
+            "Tasks executed through the executor's shard-pinned task queues.",
     }
     histograms {
         intersect_cycles:
@@ -417,6 +487,10 @@ define_metrics! {
             "Chunks claimed per participation burst (balance indicator: all-in-one-bucket means no stealing happened).",
         exec_submit_wait_cycles:
             "Cycles a region submitter spent blocked waiting for stragglers after running out of chunks to claim.",
+        serve_read_cycles:
+            "Cycles per serving-layer query, snapshot pin to response (recorded on every read — serving latency gates need real tails, not samples).",
+        serve_write_cycles:
+            "Cycles per serving-layer mutation, log append to published version.",
     }
 }
 
@@ -480,6 +554,42 @@ mod tests {
         assert_eq!(s.buckets[9], 1);
         assert_eq!(s.buckets[10], 1);
         assert_eq!(s.buckets[63], 1);
+    }
+
+    #[test]
+    fn counter_record_max_is_a_high_water_mark() {
+        let c = Counter::new();
+        c.record_max(10);
+        c.record_max(3);
+        assert_eq!(c.get(), 10);
+        c.record_max(99);
+        assert_eq!(c.get(), 99);
+    }
+
+    #[test]
+    fn percentiles_read_the_log2_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().p50(), 0, "empty histogram");
+        // 99 fast observations in [8, 16), one slow one in [1024, 2048).
+        for _ in 0..99 {
+            h.record(9);
+        }
+        h.record(1_500);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 15); // upper edge of bucket 3
+        assert_eq!(s.p99(), 15); // rank 99 still lands in the fast bucket
+        assert_eq!(s.p999(), 2_047); // the tail observation
+        assert_eq!(s.percentile(1.0), 2_047);
+        // A quantile never under-reports: it is >= every recorded value
+        // at or below its rank.
+        assert!(s.p50() >= 9);
+    }
+
+    #[test]
+    fn percentile_saturates_at_the_top_bucket() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().p50(), u64::MAX);
     }
 
     #[test]

@@ -15,14 +15,21 @@ cargo fmt --check
 echo "== tier1: cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier1: cargo build --release =="
-cargo build --release
+echo "== tier1: cargo clippy --features serve =="
+cargo clippy --workspace --all-targets --features serve -- -D warnings
+
+echo "== tier1: cargo build --release (--features serve) =="
+cargo build --release --features serve
 
 echo "== tier1: cargo test -q =="
 cargo test -q
 
+echo "== tier1: cargo test -q --features serve (feature-gated surfaces) =="
+cargo test -q -p fesia-cli -p fesia-bench --features serve
+
 echo "== tier1: cargo doc --no-deps =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q --features serve
 
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "== tier1: repro batch --scale smoke =="
@@ -124,6 +131,27 @@ if [[ "${1:-}" == "--smoke" ]]; then
         exit 1
     }
     echo "simjoin gates OK (pairs match, counters balance, cascade ${speedup}x)"
+
+    echo "== tier1: repro serve --scale smoke =="
+    ./target/release/repro serve --scale smoke
+    echo "== tier1: serve gates (BENCH_serve.json) =="
+    grep -q '"counts_match": true' BENCH_serve.json || {
+        echo "tier1: FAIL — serving results diverged from the offline replay oracle"
+        exit 1
+    }
+    grep -q '"p99_within_budget": true' BENCH_serve.json || {
+        p99=$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' BENCH_serve.json | head -1)
+        echo "tier1: FAIL — serve read p99 ${p99}ms over budget"
+        exit 1
+    }
+    grep -q '"stall_within_budget": true' BENCH_serve.json || {
+        stall=$(sed -n 's/.*"max_reader_stall_ms": \([0-9.]*\).*/\1/p' BENCH_serve.json | head -1)
+        echo "tier1: FAIL — a reader stalled ${stall}ms (> 10ms) waiting for an epoch slot"
+        exit 1
+    }
+    p99=$(sed -n 's/.*"p99_ms": \([0-9.]*\).*/\1/p' BENCH_serve.json | head -1)
+    stall=$(sed -n 's/.*"max_reader_stall_ms": \([0-9.]*\).*/\1/p' BENCH_serve.json | head -1)
+    echo "serve gates OK (oracle match, p99 ${p99}ms, max reader stall ${stall}ms)"
 
     echo "== tier1: fesia tune --quick round-trip =="
     profile=$(mktemp -t fesia-profile-XXXXXX.json)

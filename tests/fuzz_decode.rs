@@ -198,7 +198,9 @@ fn many_byte_flips_never_panic() {
 #[test]
 fn many_round_trips_including_empty() {
     // Zero sets, one empty set, and a mix — all must round-trip exactly.
-    assert!(deserialize_many(&serialize_many(&[])).unwrap().is_empty());
+    assert!(deserialize_many(&serialize_many::<SegmentedSet>(&[]))
+        .unwrap()
+        .is_empty());
     let p = FesiaParams::auto();
     let sets = vec![
         SegmentedSet::build(&[], &p).unwrap(),
